@@ -1,0 +1,26 @@
+"""Shared utilities for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (table/figure) at simulation
+scale, asserts the paper's qualitative *shape* (who wins, rough factors,
+where crossovers fall), and writes the paper-style rows to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+def by_system(rows_by_system: Dict[str, List[dict]], system: str, key: str) -> List:
+    return [row[key] for row in rows_by_system[system]]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fault-tolerance walkthrough: DAST's failover protocols (§4.4) live.
+
+Script:
+ 1. run TPC-C traffic on a 2-region deployment;
+ 2. crash a shard replica -> the manager installs a new view (Algorithm 3),
+    orphaned IRTs commit, orphaned CRTs abort, traffic continues;
+ 3. crash the active manager -> the standby takes over (SMR-backed view);
+ 4. add a fresh replica back via checkpoint transfer + the fake-CRT clock
+    alignment (Algorithm 4);
+ 5. verify every surviving replica converged to identical state.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro.bench.metrics import LatencyRecorder
+from repro.config import Topology, TopologyConfig
+from repro.core.system import DastSystem
+from repro.workloads.client import spawn_clients
+from repro.workloads.tpcc import TpccWorkload
+
+
+def consistent(system, shard_id: str) -> bool:
+    return len(set(system.replicas_digest(shard_id))) == 1
+
+
+def main() -> None:
+    topology = Topology(TopologyConfig(
+        num_regions=2, shards_per_region=1, replication=3, clients_per_region=4,
+    ))
+    workload = TpccWorkload(topology)
+    system = DastSystem(topology, workload.schemas(), workload.load, with_smr=True)
+    recorder = LatencyRecorder()
+    system.start()
+    clients = spawn_clients(system, workload, recorder.record)
+
+    print("phase 1: normal traffic for 2s (virtual)...")
+    system.run(until=2000.0)
+    print(f"  completed: {len(recorder.results)} txns")
+
+    print("phase 2: crashing data node r0.n1 (Algorithm 3 fast failover)...")
+    system.crash_node("r0.n1")
+    system.run(until=4000.0)
+    survivor = system.nodes["r0.n0"]
+    print(f"  new view id: {survivor.vid}; members: {survivor.members}")
+    print(f"  completed so far: {len(recorder.results)} txns (traffic continued)")
+
+    print("phase 3: crashing region r1's manager (standby takeover)...")
+    new_mgr = system.fail_manager("r1")
+    system.run(until=6000.0)
+    print(f"  active manager for r1 is now {new_mgr.host} (vid {new_mgr.vid})")
+    print(f"  completed so far: {len(recorder.results)} txns")
+
+    print("phase 4: adding a fresh replica r0.n9 (Algorithm 4)...")
+    event = system.add_replica("r0", "r0.n9", "s0")
+    system.run(until=8000.0)
+    if event.triggered and event.ok:
+        print(f"  installed at anticipated ts {event.value['ts_ins']}")
+    system.run(until=9000.0)
+
+    print("phase 5: drain and verify consistency...")
+    for client in clients:
+        client.stop()
+    system.run(until=13000.0)
+    for shard_id in topology.all_shards():
+        status = "consistent" if consistent(system, shard_id) else "DIVERGED"
+        replicas = [h for h in system.catalog.replicas_of(shard_id) if h in system.nodes]
+        print(f"  {shard_id}: {status} across {replicas}")
+    aborted = sum(1 for r in recorder.results if not r.committed)
+    print(f"done: {len(recorder.results)} transactions, {aborted} aborted "
+          f"(failover aborts + TPC-C rollbacks)")
+
+
+if __name__ == "__main__":
+    main()

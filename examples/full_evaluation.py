@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§6).
+
+Runs all experiments from ``repro.bench.experiments`` at a configurable
+scale and writes paper-style tables to stdout.  The default scale finishes
+in a few minutes; ``--scale large`` gets closer to paper proportions (more
+regions/clients, longer virtual runs) and takes correspondingly longer.
+
+Run:  python examples/full_evaluation.py [--scale small|large] [--only fig2,...]
+"""
+
+import argparse
+
+from repro.bench import experiments as exp
+from repro.bench.report import format_series, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "large"], default="small")
+    parser.add_argument("--only", default="",
+                        help="comma-separated subset, e.g. fig2,table3")
+    args = parser.parse_args()
+    big = args.scale == "large"
+    only = {s.strip() for s in args.only.split(",") if s.strip()}
+
+    def wanted(name: str) -> bool:
+        return not only or name in only
+
+    if wanted("table1"):
+        from repro.bench.features import feature_rows
+        print("=== Table 1: qualitative comparison ===")
+        print(format_table(feature_rows(),
+                           ["system", "implemented", "serializable", "r1", "r2", "r3"]))
+        print()
+
+    if wanted("fig2"):
+        print("=== Figure 2: p99 tail latency, TPC-C ===")
+        rows = exp.fig2_tail_latency(
+            num_regions=4 if big else 3, clients_per_region=16 if big else 8,
+            duration_ms=12000.0 if big else 6000.0,
+        )
+        print(format_table(rows, ["system", "irt_p99_ms", "crt_p99_ms",
+                                  "throughput_tps"]))
+        print()
+
+    if wanted("table2"):
+        print("=== Table 2: TPC-C transaction mix ===")
+        mix = exp.table2_transaction_mix(samples=50000 if big else 10000)
+        rows = [{"txn_type": t, **{k: round(v, 4) for k, v in v.items()}}
+                for t, v in mix.items()]
+        print(format_table(rows, ["txn_type", "irt_ratio", "crt_ratio", "total_ratio"]))
+        print()
+
+    if wanted("fig5"):
+        print("=== Figure 5: client sweep, TPC-C ===")
+        series = exp.fig5_client_sweep(
+            client_counts=(4, 8, 16, 32) if big else (2, 8, 16),
+            duration_ms=8000.0 if big else 5000.0,
+        )
+        print(format_series(series, ["clients_per_region", "throughput_tps",
+                                     "irt_p50_ms", "crt_p50_ms"]))
+        print()
+
+    if wanted("table3"):
+        print("=== Table 3: DAST CRT breakdown, TPC-C ===")
+        breakdown = exp.table3_crt_breakdown(
+            num_regions=4 if big else 3, duration_ms=10000.0 if big else 7000.0,
+        )
+        rows = [{"case": k, **{kk: round(vv, 1) for kk, vv in v.items()}}
+                for k, v in breakdown.items() if v]
+        print(format_table(rows))
+        print()
+
+    if wanted("fig6"):
+        print("=== Figure 6: payment-only CRT-ratio sweep ===")
+        series = exp.fig6_crt_ratio_sweep(
+            ratios=(0.01, 0.1, 0.4, 0.8) if big else (0.01, 0.2, 0.6),
+            duration_ms=8000.0 if big else 5000.0,
+        )
+        print(format_series(series, ["crt_ratio", "throughput_tps",
+                                     "irt_p99_ms", "crt_p99_ms", "abort_rate"]))
+        print()
+
+    if wanted("table4"):
+        print("=== Table 4: payment-only (40% CRT) breakdown ===")
+        breakdown = exp.table4_payment_breakdown(
+            duration_ms=10000.0 if big else 7000.0,
+        )
+        rows = [{"case": k, **{kk: round(vv, 1) for kk, vv in v.items()}}
+                for k, v in breakdown.items() if v]
+        print(format_table(rows))
+        print()
+
+    if wanted("fig7"):
+        print("=== Figure 7: TPC-A conflict sweep ===")
+        series = exp.fig7_conflict_sweep(
+            thetas=(0.5, 0.7, 0.9, 0.99) if big else (0.5, 0.9),
+            duration_ms=8000.0 if big else 5000.0,
+        )
+        print(format_series(series, ["theta", "throughput_tps", "irt_p99_ms",
+                                     "crt_p99_ms", "abort_rate"]))
+        print()
+
+    if wanted("fig8"):
+        print("=== Figure 8: region scalability ===")
+        series = exp.fig8_region_scalability(
+            region_counts=(2, 4, 8, 12) if big else (2, 4, 8),
+            duration_ms=6000.0 if big else 4000.0,
+        )
+        print(format_series(series, ["regions", "throughput_tps",
+                                     "crt_p50_ms", "crt_p99_ms"]))
+        print()
+
+    if wanted("fig9"):
+        print("=== Figure 9a: RTT jitter ===")
+        rows = exp.fig9a_rtt_jitter(jitters=(0.0, 10.0, 30.0, 50.0) if big else (0.0, 30.0))
+        print(format_table(rows, ["jitter_ms", "irt_p99_ms", "crt_p99_ms"]))
+        print()
+        print("=== Figure 9b: abrupt RTT steps (timeline) ===")
+        series = exp.fig9b_rtt_steps(phase_ms=4000.0 if big else 2500.0)
+        print(format_table(series, ["t_ms", "throughput_tps", "irt_p50_ms",
+                                    "crt_p50_ms"]))
+        from repro.bench.plots import sparkline
+        print("IRT p50 over time:", sparkline([r["irt_p50_ms"] for r in series]))
+        print("CRT p50 over time:", sparkline([r["crt_p50_ms"] for r in series]))
+        print()
+
+    if wanted("fig10"):
+        print("=== Figure 10a: 200ms clock-skew injection (timeline) ===")
+        series = exp.fig10a_clock_skew_timeline(
+            duration_ms=14000.0 if big else 9000.0,
+        )
+        print(format_table(series, ["t_ms", "irt_p99_ms", "crt_p50_ms",
+                                    "crt_p99_ms"]))
+        from repro.bench.plots import sparkline
+        print("CRT p99 over time (skew injected mid-run):",
+              sparkline([r["crt_p99_ms"] for r in series]))
+        print()
+        print("=== Figure 10b: skew + asymmetric delay ===")
+        rows = exp.fig10b_asymmetric_delay(
+            forward_fractions=(0.5, 0.6, 0.7) if big else (0.5, 0.65),
+        )
+        print(format_table(rows, ["forward_fraction", "irt_p99_ms", "crt_p50_ms"]))
+        print()
+
+    if wanted("ablations"):
+        print("=== Ablations: DAST design choices ===")
+        rows = exp.ablation_sweep(duration_ms=8000.0 if big else 5000.0)
+        print(format_table(rows, ["variant", "throughput_tps", "irt_p99_ms",
+                                  "crt_p99_ms", "stretches"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run DAST on TPC-C and print the headline numbers.
+
+Builds a small edge deployment (2 regions x 2 warehouse-shards x 3
+replicas), drives closed-loop clients for a few virtual seconds, and prints
+the paper's headline metrics: tail latency split by intra-region (IRT) and
+cross-region (CRT) transactions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.harness import Trial, run_trial
+from repro.bench.report import format_table
+from repro.workloads.tpcc import TpccWorkload
+
+
+def main() -> None:
+    print("Running DAST on TPC-C (2 regions, 4 warehouses, 3x replication)...")
+    trial = Trial(
+        "dast",
+        lambda topology: TpccWorkload(topology),
+        num_regions=2,
+        shards_per_region=2,
+        clients_per_region=8,
+        duration_ms=6000.0,  # virtual milliseconds
+    )
+    result = run_trial(trial)
+    summary = result.summary
+    print()
+    print(format_table([summary.as_row()]))
+    print()
+    print("CRT latency phase breakdown (cf. paper Table 3):")
+    for label, dep in (("without value deps", False), ("with value deps", True)):
+        breakdown = result.recorder.phase_breakdown(with_dependency=dep)
+        if breakdown:
+            phases = {k: round(v, 1) for k, v in breakdown.items() if k != "count"}
+            print(f"  {label}: {phases}")
+    print()
+    print(f"Clock stretches performed: {result.system.total_stretches()}")
+    print("The headline property (R1): IRT p99 stays a few intra-region RTTs")
+    print(f"  -> measured IRT p99 = {summary.irt_p99:.1f} ms "
+          f"(cross-region RTT is {trial.timing.cross_region_rtt:.0f} ms)")
+
+
+if __name__ == "__main__":
+    main()

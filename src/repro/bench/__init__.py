@@ -1,0 +1,32 @@
+"""Benchmark harness: metrics, trials, per-figure experiments, auditor."""
+
+from repro.bench.auditor import AuditReport, audit_dast_run, replay_serial
+from repro.bench.features import FEATURE_MATRIX, IMPLEMENTED, feature_rows
+from repro.bench.harness import SYSTEMS, Trial, TrialResult, run_trial
+from repro.bench.metrics import LatencyRecorder, Summary, percentile
+from repro.bench.plots import ascii_cdf, ascii_plot, sparkline
+from repro.bench.report import format_series, format_table
+from repro.bench.traffic import hotspot_ratio, traffic_report
+
+__all__ = [
+    "AuditReport",
+    "FEATURE_MATRIX",
+    "IMPLEMENTED",
+    "LatencyRecorder",
+    "SYSTEMS",
+    "Summary",
+    "Trial",
+    "TrialResult",
+    "ascii_cdf",
+    "ascii_plot",
+    "hotspot_ratio",
+    "sparkline",
+    "traffic_report",
+    "audit_dast_run",
+    "feature_rows",
+    "format_series",
+    "format_table",
+    "percentile",
+    "replay_serial",
+    "run_trial",
+]

@@ -1,0 +1,399 @@
+"""Per-table / per-figure experiment runners (the §6 evaluation).
+
+Each function regenerates one paper artifact at simulation scale and returns
+the same rows/series the paper reports.  EXPERIMENTS.md records the measured
+values next to the paper's.  Scales are parameterised so the benchmark suite
+can run quickly while `examples/full_evaluation.py` can run closer to paper
+scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.harness import Trial, run_trial
+from repro.bench.metrics import percentile
+from repro.config import Topology, TopologyConfig
+from repro.workloads.base import Workload
+from repro.workloads.tpca import TpcaWorkload
+from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+
+__all__ = [
+    "fig2_tail_latency",
+    "table2_transaction_mix",
+    "fig5_client_sweep",
+    "table3_crt_breakdown",
+    "fig6_crt_ratio_sweep",
+    "table4_payment_breakdown",
+    "fig7_conflict_sweep",
+    "fig8_region_scalability",
+    "fig9a_rtt_jitter",
+    "fig9b_rtt_steps",
+    "fig10a_clock_skew_timeline",
+    "fig10b_asymmetric_delay",
+    "ablation_sweep",
+]
+
+
+def _tpcc(topology: Topology) -> Workload:
+    return TpccWorkload(topology, seed=topology.config.seed)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: 99th-percentile IRT and CRT latency, TPC-C, all four systems
+# ----------------------------------------------------------------------
+def fig2_tail_latency(
+    systems: Sequence[str] = ("dast", "janus", "tapir", "slog"),
+    num_regions: int = 3,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 8000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    rows = []
+    for system in systems:
+        result = run_trial(Trial(
+            system, _tpcc,
+            num_regions=num_regions, shards_per_region=shards_per_region,
+            clients_per_region=clients_per_region, duration_ms=duration_ms,
+            seed=seed,
+        ))
+        rows.append(result.summary.as_row())
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: TPC-C transaction mix, IRT vs CRT share per type
+# ----------------------------------------------------------------------
+def table2_transaction_mix(
+    num_regions: int = 10,
+    shards_per_region: int = 2,
+    samples: int = 20000,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    config = TopologyConfig(
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        clients_per_region=4, seed=seed,
+    )
+    topology = Topology(config)
+    workload = TpccWorkload(topology, seed=seed)
+    bindings = workload.bind_clients()
+    rng = random.Random(seed)
+    counts: Dict[str, Dict[str, int]] = {}
+    spr = shards_per_region
+    for i in range(samples):
+        binding = bindings[i % len(bindings)]
+        txn = workload.next_transaction(binding, rng)
+        regions = {topology.shard_index(s) // spr for s in txn.shard_ids}
+        home_region = binding.home_shard_index // spr
+        is_crt = regions != {home_region}
+        slot = counts.setdefault(txn.txn_type, {"irt": 0, "crt": 0})
+        slot["crt" if is_crt else "irt"] += 1
+    table: Dict[str, Dict[str, float]] = {}
+    for txn_type, slot in sorted(counts.items()):
+        total = slot["irt"] + slot["crt"]
+        table[txn_type] = {
+            "irt_ratio": slot["irt"] / samples,
+            "crt_ratio": slot["crt"] / samples,
+            "total_ratio": total / samples,
+        }
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 5: throughput + median latencies vs client count; CRT CDFs
+# ----------------------------------------------------------------------
+def fig5_client_sweep(
+    client_counts: Sequence[int] = (2, 4, 8, 16),
+    systems: Sequence[str] = ("dast", "janus", "tapir", "slog"),
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {s: [] for s in systems}
+    for system in systems:
+        for clients in client_counts:
+            result = run_trial(Trial(
+                system, _tpcc,
+                num_regions=num_regions, shards_per_region=shards_per_region,
+                clients_per_region=clients, duration_ms=duration_ms, seed=seed,
+            ))
+            row = result.summary.as_row()
+            row["clients_per_region"] = clients
+            row["crt_cdf"] = result.recorder.cdf(crt=True, points=20)
+            series[system].append(row)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Tables 3 & 4: DAST CRT latency phase breakdown
+# ----------------------------------------------------------------------
+def table3_crt_breakdown(
+    num_regions: int = 3,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 8000.0,
+    seed: int = 1,
+    workload_factory: Optional[Callable[[Topology], Workload]] = None,
+) -> Dict[str, Dict[str, float]]:
+    result = run_trial(Trial(
+        "dast", workload_factory or _tpcc,
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        clients_per_region=clients_per_region, duration_ms=duration_ms, seed=seed,
+    ))
+    return {
+        "without_dependency": result.recorder.phase_breakdown(with_dependency=False),
+        "with_dependency": result.recorder.phase_breakdown(with_dependency=True),
+    }
+
+
+def table4_payment_breakdown(
+    crt_ratio: float = 0.4,
+    num_regions: int = 3,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 8000.0,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    factory = lambda topo: PaymentOnlyWorkload(topo, seed=seed, crt_ratio=crt_ratio)
+    return table3_crt_breakdown(
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        clients_per_region=clients_per_region, duration_ms=duration_ms,
+        seed=seed, workload_factory=factory,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: payment-only, CRT ratio sweep
+# ----------------------------------------------------------------------
+def fig6_crt_ratio_sweep(
+    ratios: Sequence[float] = (0.01, 0.1, 0.4, 0.8),
+    systems: Sequence[str] = ("dast", "janus", "tapir", "slog"),
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {s: [] for s in systems}
+    for system in systems:
+        for ratio in ratios:
+            factory = lambda topo, r=ratio: PaymentOnlyWorkload(topo, seed=seed, crt_ratio=r)
+            result = run_trial(Trial(
+                system, factory,
+                num_regions=num_regions, shards_per_region=shards_per_region,
+                clients_per_region=clients_per_region, duration_ms=duration_ms,
+                seed=seed,
+            ))
+            row = result.summary.as_row()
+            row["crt_ratio"] = ratio
+            series[system].append(row)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 7: TPC-A, zipf conflict-rate sweep
+# ----------------------------------------------------------------------
+def fig7_conflict_sweep(
+    thetas: Sequence[float] = (0.5, 0.7, 0.9, 0.99),
+    systems: Sequence[str] = ("dast", "janus", "tapir", "slog"),
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {s: [] for s in systems}
+    for system in systems:
+        for theta in thetas:
+            factory = lambda topo, t=theta: TpcaWorkload(topo, seed=seed, theta=t, crt_ratio=0.1)
+            result = run_trial(Trial(
+                system, factory,
+                num_regions=num_regions, shards_per_region=shards_per_region,
+                clients_per_region=clients_per_region, duration_ms=duration_ms,
+                seed=seed,
+            ))
+            row = result.summary.as_row()
+            row["theta"] = theta
+            series[system].append(row)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 8: scalability with the number of regions
+# ----------------------------------------------------------------------
+def fig8_region_scalability(
+    region_counts: Sequence[int] = (2, 4, 8),
+    systems: Sequence[str] = ("dast", "janus", "tapir", "slog"),
+    shards_per_region: int = 1,
+    clients_per_region: int = 6,
+    duration_ms: float = 5000.0,
+    seed: int = 1,
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {s: [] for s in systems}
+    for system in systems:
+        for regions in region_counts:
+            result = run_trial(Trial(
+                system, _tpcc,
+                num_regions=regions, shards_per_region=shards_per_region,
+                clients_per_region=clients_per_region, duration_ms=duration_ms,
+                seed=seed,
+            ))
+            row = result.summary.as_row()
+            row["regions"] = regions
+            series[system].append(row)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 9a: uniform cross-region RTT jitter +/- x
+# ----------------------------------------------------------------------
+def fig9a_rtt_jitter(
+    jitters: Sequence[float] = (0.0, 10.0, 30.0, 50.0),
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    rows = []
+    for jitter in jitters:
+        def hooks(system, recorder, j=jitter):
+            system.network.jitter = j
+
+        result = run_trial(Trial(
+            "dast", _tpcc,
+            num_regions=num_regions, shards_per_region=shards_per_region,
+            clients_per_region=clients_per_region, duration_ms=duration_ms,
+            seed=seed,
+        ), hooks=hooks)
+        row = result.summary.as_row()
+        row["jitter_ms"] = jitter
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9b: abrupt RTT steps over time (100 -> 150 -> 100 -> 50 -> 100)
+# ----------------------------------------------------------------------
+def fig9b_rtt_steps(
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    phase_ms: float = 3000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    duration = 5 * phase_ms
+
+    def hooks(system, recorder):
+        sim = system.sim
+        base = system.network.cross_region_rtt
+        sim.schedule(1 * phase_ms, system.network.set_cross_region_rtt, base * 1.5)
+        sim.schedule(2 * phase_ms, system.network.set_cross_region_rtt, base)
+        sim.schedule(3 * phase_ms, system.network.set_cross_region_rtt, base * 0.5)
+        sim.schedule(4 * phase_ms, system.network.set_cross_region_rtt, base)
+
+    result = run_trial(Trial(
+        "dast", _tpcc,
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        clients_per_region=clients_per_region, duration_ms=duration,
+        warmup_ms=500.0, cooldown_ms=200.0, seed=seed,
+    ), hooks=hooks)
+    return result.recorder.timeseries(bucket_ms=phase_ms / 4)
+
+
+# ----------------------------------------------------------------------
+# Figure 10a: 200 ms clock-skew step injected at runtime
+# ----------------------------------------------------------------------
+def fig10a_clock_skew_timeline(
+    skew_ms: float = 200.0,
+    inject_at_ms: float = 4000.0,
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 10000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    def hooks(system, recorder):
+        def inject():
+            # Advance the second region's manager system clock (Fig 10a:
+            # "we advanced the system clock of the manager node in the
+            # second region by 200ms and shut down its NTP process").
+            mgr = system.managers[system.topology.regions[1]]
+            system.clock_sources[mgr.host].adjust(skew_ms)
+
+        system.sim.schedule(inject_at_ms, inject)
+
+    result = run_trial(Trial(
+        "dast", _tpcc,
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        clients_per_region=clients_per_region, duration_ms=duration_ms,
+        warmup_ms=500.0, cooldown_ms=200.0, seed=seed,
+    ), hooks=hooks)
+    return result.recorder.timeseries(bucket_ms=500.0)
+
+
+# ----------------------------------------------------------------------
+# Figure 10b: constant skew + asymmetric one-way delay
+# ----------------------------------------------------------------------
+def fig10b_asymmetric_delay(
+    forward_fractions: Sequence[float] = (0.5, 0.6, 0.7),
+    skew_ms: float = 200.0,
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    rows = []
+    for fraction in forward_fractions:
+        def hooks(system, recorder, f=fraction):
+            system.network.forward_fraction = f
+            second = system.topology.regions[1]
+            for host, source in system.clock_sources.items():
+                if host.startswith(second + "."):
+                    source.adjust(skew_ms)
+
+        result = run_trial(Trial(
+            "dast", _tpcc,
+            num_regions=num_regions, shards_per_region=shards_per_region,
+            clients_per_region=clients_per_region, duration_ms=duration_ms,
+            seed=seed,
+        ), hooks=hooks)
+        row = result.summary.as_row()
+        row["forward_fraction"] = fraction
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations: stretchable clock / anticipation / calibration
+# ----------------------------------------------------------------------
+def ablation_sweep(
+    num_regions: int = 2,
+    shards_per_region: int = 2,
+    clients_per_region: int = 8,
+    duration_ms: float = 6000.0,
+    seed: int = 1,
+) -> List[Dict[str, float]]:
+    variants = [
+        ("full", None),
+        ("no-stretch", {"stretch": False}),
+        ("no-anticipation", {"anticipation": False}),
+        ("no-calibration", {"calibration": False}),
+    ]
+    rows = []
+    for name, variant in variants:
+        result = run_trial(Trial(
+            "dast", _tpcc,
+            num_regions=num_regions, shards_per_region=shards_per_region,
+            clients_per_region=clients_per_region, duration_ms=duration_ms,
+            seed=seed, variant=variant,
+        ))
+        row = result.summary.as_row()
+        row["variant"] = name
+        row["stretches"] = result.system.total_stretches()
+        rows.append(row)
+    return rows

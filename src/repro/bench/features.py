@@ -1,0 +1,38 @@
+"""Table 1: the qualitative comparison matrix of DAST vs. existing systems.
+
+The rows are derived from machine-checkable feature flags declared by the
+implementations in this repository (for the four systems we built) plus the
+paper's published analysis for systems we did not build.  The benchmark
+`benchmarks/test_table1_features.py` cross-checks the implemented systems'
+flags against measured behaviour (e.g. R2 ⇔ zero conflict aborts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["FEATURE_MATRIX", "IMPLEMENTED", "feature_rows"]
+
+# serializable / R1 (IRTs not blocked by CRTs) / R2 (no conflict aborts of
+# CRTs) / R3 (scalable to many regions)
+FEATURE_MATRIX: Dict[str, Dict[str, bool]] = {
+    "dast": {"serializable": True, "r1": True, "r2": True, "r3": True},
+    "tapir": {"serializable": True, "r1": True, "r2": False, "r3": True},
+    "carousel": {"serializable": True, "r1": False, "r2": False, "r3": True},
+    "calvin": {"serializable": True, "r1": False, "r2": True, "r3": False},
+    "spanner": {"serializable": True, "r1": False, "r2": True, "r3": False},
+    "janus": {"serializable": True, "r1": False, "r2": True, "r3": True},
+    "slog": {"serializable": True, "r1": False, "r2": True, "r3": False},
+    "ocean-vista": {"serializable": True, "r1": False, "r2": True, "r3": False},
+}
+
+IMPLEMENTED = ("dast", "tapir", "janus", "slog")
+
+
+def feature_rows() -> List[Dict[str, object]]:
+    rows = []
+    for system, flags in FEATURE_MATRIX.items():
+        row = {"system": system, "implemented": system in IMPLEMENTED}
+        row.update(flags)
+        rows.append(row)
+    return rows

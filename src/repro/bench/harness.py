@@ -1,0 +1,117 @@
+"""Experiment harness: build a system, drive clients, reduce to paper rows.
+
+One :class:`Trial` = one (system, workload, topology, duration) run with a
+warm-up/cool-down window, exactly mirroring §6's methodology ("we ran each
+experiment for 30 seconds and collected the result in the middle 15s").
+Durations here are virtual milliseconds, scaled down for simulation speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.baselines.janus import JanusSystem
+from repro.baselines.slog import SlogSystem
+from repro.baselines.tapir import TapirSystem
+from repro.bench.metrics import LatencyRecorder, Summary
+from repro.config import TimingConfig, Topology, TopologyConfig
+from repro.core.system import DastSystem
+from repro.workloads.base import Workload
+from repro.workloads.client import ClosedLoopClient, spawn_clients
+
+__all__ = ["SYSTEMS", "Trial", "TrialResult", "run_trial"]
+
+SYSTEMS: Dict[str, Type] = {
+    "dast": DastSystem,
+    "janus": JanusSystem,
+    "tapir": TapirSystem,
+    "slog": SlogSystem,
+}
+
+
+class Trial:
+    """Specification of one experiment trial."""
+
+    def __init__(
+        self,
+        system: str,
+        workload_factory: Callable[[Topology], Workload],
+        num_regions: int = 2,
+        shards_per_region: int = 2,
+        replication: int = 3,
+        clients_per_region: int = 8,
+        duration_ms: float = 8000.0,
+        warmup_ms: float = 1500.0,
+        cooldown_ms: float = 500.0,
+        seed: int = 1,
+        timing: Optional[TimingConfig] = None,
+        clock_skew: float = 0.0,
+        variant: Optional[dict] = None,
+    ):
+        self.system = system
+        self.workload_factory = workload_factory
+        self.num_regions = num_regions
+        self.shards_per_region = shards_per_region
+        self.replication = replication
+        self.clients_per_region = clients_per_region
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.cooldown_ms = cooldown_ms
+        self.seed = seed
+        self.timing = timing or TimingConfig()
+        self.clock_skew = clock_skew
+        self.variant = variant  # DAST ablation flags (ignored by baselines)
+
+
+class TrialResult:
+    """What a trial produces: the recorder, the system, and the summary."""
+
+    def __init__(self, trial: Trial, system, recorder: LatencyRecorder,
+                 clients: List[ClosedLoopClient]):
+        self.trial = trial
+        self.system = system
+        self.recorder = recorder
+        self.clients = clients
+        self.summary: Summary = recorder.summarize(trial.system)
+
+    def drain(self, extra_ms: float = 4000.0) -> None:
+        """Stop clients and let in-flight transactions finish (for audits)."""
+        for client in self.clients:
+            client.stop()
+        orderer = getattr(self.system, "orderer", None)
+        if orderer is not None:
+            orderer.stop()
+        self.system.run(until=self.system.sim.now + extra_ms)
+
+
+def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
+    """Execute one trial; ``hooks(system, recorder)`` runs after start (for
+    fault/anomaly injection schedules)."""
+    config = TopologyConfig(
+        num_regions=trial.num_regions,
+        shards_per_region=trial.shards_per_region,
+        replication=trial.replication,
+        clients_per_region=trial.clients_per_region,
+        seed=trial.seed,
+        timing=trial.timing,
+    )
+    topology = Topology(config)
+    workload = trial.workload_factory(topology)
+    system_cls = SYSTEMS[trial.system]
+    kwargs = {}
+    if trial.system == "dast" and trial.variant:
+        kwargs["variant"] = trial.variant
+    system = system_cls(
+        topology, workload.schemas(), workload.load,
+        seed=trial.seed, clock_skew=trial.clock_skew, **kwargs,
+    )
+    recorder = LatencyRecorder(
+        warm_start=trial.warmup_ms,
+        warm_end=trial.duration_ms - trial.cooldown_ms,
+    )
+    system.start()
+    clients = spawn_clients(system, workload, recorder.record)
+    if hooks is not None:
+        hooks(system, recorder)
+    system.run(until=trial.duration_ms)
+    return TrialResult(trial, system, recorder, clients)

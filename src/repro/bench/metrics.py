@@ -1,0 +1,162 @@
+"""Measurement: latency percentiles split by IRT/CRT, throughput, CDFs.
+
+Follows the paper's methodology (§6): client-side latency including
+retries, measured inside a warm window (the paper uses the middle 15 s of a
+30 s run), with 99th-percentile tail latency as the headline metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.txn.result import TxnResult
+
+__all__ = ["LatencyRecorder", "percentile", "Summary"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile; 0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+    return ordered[k]
+
+
+class Summary:
+    """One experiment trial's headline numbers."""
+
+    def __init__(self, system: str, window: float):
+        self.system = system
+        self.window = window
+        self.throughput = 0.0
+        self.irt_median = 0.0
+        self.irt_p99 = 0.0
+        self.crt_median = 0.0
+        self.crt_p99 = 0.0
+        self.abort_rate = 0.0
+        self.committed = 0
+        self.aborted = 0
+        self.mean_retries = 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "system": self.system,
+            "throughput_tps": round(self.throughput, 1),
+            "irt_p50_ms": round(self.irt_median, 2),
+            "irt_p99_ms": round(self.irt_p99, 2),
+            "crt_p50_ms": round(self.crt_median, 2),
+            "crt_p99_ms": round(self.crt_p99, 2),
+            "abort_rate": round(self.abort_rate, 4),
+            "mean_retries": round(self.mean_retries, 3),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary({self.system}: {self.throughput:.0f} tps, "
+            f"IRT p50/p99 {self.irt_median:.1f}/{self.irt_p99:.1f} ms, "
+            f"CRT p50/p99 {self.crt_median:.1f}/{self.crt_p99:.1f} ms)"
+        )
+
+
+class LatencyRecorder:
+    """Collects TxnResults and reduces them to paper-style metrics."""
+
+    def __init__(self, warm_start: float = 0.0, warm_end: float = float("inf")):
+        self.warm_start = warm_start
+        self.warm_end = warm_end
+        self.results: List[TxnResult] = []
+        self.all_count = 0
+
+    def record(self, result: TxnResult) -> None:
+        self.all_count += 1
+        if self.warm_start <= result.finish_time <= self.warm_end:
+            self.results.append(result)
+
+    # ------------------------------------------------------------------
+    def _committed(self, crt: Optional[bool] = None) -> List[TxnResult]:
+        out = []
+        for r in self.results:
+            if not r.committed and r.abort_reason != "":
+                # Conditional aborts still count as completions (TPC-C
+                # new-order rollbacks are part of the workload).
+                pass
+            if crt is not None and r.is_crt != crt:
+                continue
+            out.append(r)
+        return out
+
+    def latencies(self, crt: Optional[bool] = None) -> List[float]:
+        return [r.latency for r in self._committed(crt)]
+
+    def summarize(self, system: str = "") -> Summary:
+        window = min(self.warm_end, max((r.finish_time for r in self.results), default=0.0))
+        window -= self.warm_start
+        window = max(window, 1e-9)
+        summary = Summary(system, window)
+        summary.committed = sum(1 for r in self.results if r.committed)
+        summary.aborted = sum(1 for r in self.results if not r.committed)
+        total = summary.committed + summary.aborted
+        summary.throughput = total / (window / 1000.0)
+        irts = self.latencies(crt=False)
+        crts = self.latencies(crt=True)
+        summary.irt_median = percentile(irts, 50)
+        summary.irt_p99 = percentile(irts, 99)
+        summary.crt_median = percentile(crts, 50)
+        summary.crt_p99 = percentile(crts, 99)
+        summary.abort_rate = (summary.aborted / total) if total else 0.0
+        summary.mean_retries = (
+            sum(r.retries for r in self.results) / total if total else 0.0
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    def cdf(self, crt: Optional[bool] = None, points: int = 50) -> List[Tuple[float, float]]:
+        """(latency_ms, cumulative fraction) pairs for CDF plots (Fig 5d)."""
+        values = sorted(self.latencies(crt))
+        if not values:
+            return []
+        step = max(1, len(values) // points)
+        out = []
+        for i in range(0, len(values), step):
+            out.append((values[i], (i + 1) / len(values)))
+        out.append((values[-1], 1.0))
+        return out
+
+    def timeseries(self, bucket_ms: float = 500.0) -> List[Dict[str, float]]:
+        """Per-bucket throughput and median latency (Figs 9b, 10a)."""
+        if not self.results:
+            return []
+        buckets: Dict[int, List[TxnResult]] = {}
+        for r in self.results:
+            buckets.setdefault(int(r.finish_time // bucket_ms), []).append(r)
+        series = []
+        for b in sorted(buckets):
+            rs = buckets[b]
+            irts = [r.latency for r in rs if not r.is_crt]
+            crts = [r.latency for r in rs if r.is_crt]
+            series.append(
+                {
+                    "t_ms": b * bucket_ms,
+                    "throughput_tps": len(rs) / (bucket_ms / 1000.0),
+                    "irt_p50_ms": percentile(irts, 50),
+                    "irt_p99_ms": percentile(irts, 99),
+                    "crt_p50_ms": percentile(crts, 50),
+                    "crt_p99_ms": percentile(crts, 99),
+                }
+            )
+        return series
+
+    def phase_breakdown(self, with_dependency: Optional[bool] = None) -> Dict[str, float]:
+        """Mean CRT phase durations (Tables 3 and 4)."""
+        rows = [r for r in self.results if r.is_crt and r.phases]
+        if with_dependency is not None:
+            rows = [r for r in rows if bool(r.phases.get("has_dep")) == with_dependency]
+        if not rows:
+            return {}
+        keys = ["local_prepare", "remote_prepare", "wait_exec", "wait_input", "wait_output"]
+        out = {k: sum(r.phases.get(k, 0.0) for r in rows) / len(rows) for k in keys}
+        out["total"] = sum(r.latency for r in rows) / len(rows)
+        out["count"] = float(len(rows))
+        return out

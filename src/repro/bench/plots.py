@@ -1,0 +1,83 @@
+"""ASCII plotting for timelines and CDFs — terminal-friendly figures.
+
+Used by the examples and the experiment CLI to render Fig 5d-style CDFs
+and Fig 9b/10a-style timelines without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["sparkline", "ascii_plot", "ascii_cdf"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a series (empty string for no data)."""
+    values = [v for v in values if v == v]  # drop NaNs
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _TICKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_TICKS) - 1))
+        out.append(_TICKS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    ``series`` maps a label to (x, y) points; each series is drawn with its
+    label's first character.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, pts in sorted(series.items()):
+        mark = label[0]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y_val:10.1f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11}{x_lo:<10.1f}{x_label:^{max(0, width - 20)}}{x_hi:>10.1f}")
+    if y_label:
+        lines.insert(0, f"[{y_label}]")
+    legend = "  ".join(f"{label[0]}={label}" for label in sorted(series))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(values: Sequence[float], width: int = 60, label: str = "") -> str:
+    """Cumulative distribution rendered as rows of percent -> bar + value."""
+    if not values:
+        return "(no data)"
+    ordered = sorted(values)
+    lines = [f"CDF{' of ' + label if label else ''} ({len(ordered)} samples)"]
+    for pct in (10, 25, 50, 75, 90, 95, 99, 100):
+        idx = min(len(ordered) - 1, max(0, int(len(ordered) * pct / 100) - 1))
+        value = ordered[idx]
+        bar = "#" * int(width * pct / 100)
+        lines.append(f"  p{pct:<3} {bar:<{width}} {value:10.1f}")
+    return "\n".join(lines)

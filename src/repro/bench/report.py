@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] = ()) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else sorted({k for r in rows for k in r})
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), max((len(line[i]) for line in cells), default=0))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_series(series: Dict[str, List[Dict]], columns: Sequence[str] = ()) -> str:
+    """Render a {system: rows} mapping as stacked labelled tables."""
+    chunks = []
+    for system in sorted(series):
+        chunks.append(f"== {system} ==")
+        chunks.append(format_table(series[system], columns))
+    return "\n".join(chunks)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, (list, tuple)):
+        return f"[{len(value)} pts]"
+    return str(value)

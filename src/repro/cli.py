@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro run|experiment|audit``.
+
+Examples::
+
+    python -m repro run --system dast --workload tpcc --regions 3
+    python -m repro run --system slog --workload payment --crt-ratio 0.4
+    python -m repro experiment fig2 table3
+    python -m repro audit --regions 2 --duration-ms 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments as exp
+from repro.bench.auditor import audit_dast_run
+from repro.bench.harness import SYSTEMS, Trial, run_trial
+from repro.bench.report import format_series, format_table
+from repro.workloads.tpca import TpcaWorkload
+from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+
+EXPERIMENTS = {
+    "table1": lambda a: format_table(__import__("repro.bench.features", fromlist=["feature_rows"]).feature_rows()),
+    "fig2": lambda a: format_table(exp.fig2_tail_latency()),
+    "table2": lambda a: format_table(
+        [{"txn_type": t, **v} for t, v in exp.table2_transaction_mix().items()]
+    ),
+    "fig5": lambda a: format_series(exp.fig5_client_sweep()),
+    "table3": lambda a: format_table(
+        [{"case": k, **v} for k, v in exp.table3_crt_breakdown().items() if v]
+    ),
+    "fig6": lambda a: format_series(exp.fig6_crt_ratio_sweep()),
+    "table4": lambda a: format_table(
+        [{"case": k, **v} for k, v in exp.table4_payment_breakdown().items() if v]
+    ),
+    "fig7": lambda a: format_series(exp.fig7_conflict_sweep()),
+    "fig8": lambda a: format_series(exp.fig8_region_scalability()),
+    "fig9a": lambda a: format_table(exp.fig9a_rtt_jitter()),
+    "fig9b": lambda a: format_table(exp.fig9b_rtt_steps()),
+    "fig10a": lambda a: format_table(exp.fig10a_clock_skew_timeline()),
+    "fig10b": lambda a: format_table(exp.fig10b_asymmetric_delay()),
+    "ablations": lambda a: format_table(exp.ablation_sweep()),
+}
+
+
+def _workload_factory(args):
+    if args.workload == "tpcc":
+        return lambda topo: TpccWorkload(topo)
+    if args.workload == "tpca":
+        return lambda topo: TpcaWorkload(topo, theta=args.theta, crt_ratio=args.crt_ratio)
+    return lambda topo: PaymentOnlyWorkload(topo, crt_ratio=args.crt_ratio)
+
+
+def _build_trial(args) -> Trial:
+    return Trial(
+        args.system,
+        _workload_factory(args),
+        num_regions=args.regions,
+        shards_per_region=args.shards_per_region,
+        clients_per_region=args.clients,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args) -> int:
+    result = run_trial(_build_trial(args))
+    print(format_table([result.summary.as_row()]))
+    if args.breakdown and args.system == "dast":
+        for label, dep in (("without value deps", False), ("with value deps", True)):
+            breakdown = result.recorder.phase_breakdown(with_dependency=dep)
+            if breakdown:
+                print(f"{label}: " + ", ".join(
+                    f"{k}={v:.1f}" for k, v in breakdown.items()
+                ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    unknown = [n for n in args.names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    for name in args.names:
+        print(f"=== {name} ===")
+        print(EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+def cmd_audit(args) -> int:
+    args.system = "dast"
+    result = run_trial(_build_trial(args))
+    result.drain()
+    report = audit_dast_run(result.system)
+    print(format_table([result.summary.as_row()]))
+    print(report)
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAST (EuroSys 2021) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trial_args(p):
+        p.add_argument("--workload", choices=["tpcc", "tpca", "payment"], default="tpcc")
+        p.add_argument("--regions", type=int, default=2)
+        p.add_argument("--shards-per-region", type=int, default=2)
+        p.add_argument("--clients", type=int, default=8)
+        p.add_argument("--duration-ms", type=float, default=6000.0)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--theta", type=float, default=0.5, help="TPC-A zipf coefficient")
+        p.add_argument("--crt-ratio", type=float, default=0.1)
+
+    run_p = sub.add_parser("run", help="run one trial and print its summary")
+    run_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
+    run_p.add_argument("--breakdown", action="store_true",
+                       help="also print the CRT phase breakdown (DAST)")
+    add_trial_args(run_p)
+    run_p.set_defaults(fn=cmd_run)
+
+    exp_p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    exp_p.add_argument("names", nargs="+", metavar="NAME",
+                       help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    exp_p.set_defaults(fn=cmd_experiment)
+
+    audit_p = sub.add_parser("audit", help="run DAST, drain, verify serializability")
+    add_trial_args(audit_p)
+    audit_p.set_defaults(fn=cmd_audit)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

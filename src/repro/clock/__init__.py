@@ -1,0 +1,6 @@
+"""Hybrid timestamps and the stretchable dclock."""
+
+from repro.clock.dclock import DClock
+from repro.clock.hlc import Timestamp, ZERO_TS
+
+__all__ = ["DClock", "Timestamp", "ZERO_TS"]

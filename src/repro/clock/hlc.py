@@ -1,0 +1,43 @@
+"""Hybrid timestamps for DAST's stretchable clock.
+
+A :class:`Timestamp` has the paper's three fields (§3.2): ``time`` (the
+physical part, ms), ``frac`` (the logical part used to stretch granularity)
+and ``nid`` (a unique node id for total-order tie-breaking).  Timestamps are
+ordered lexicographically by ``(time, frac, nid)`` — so ``199.(1)`` (time
+199, frac 1) sorts *before* an anticipated CRT timestamp at time 200, which
+is exactly how a stretched IRT slots ahead of a pending CRT (Fig 1b).
+
+The paper writes the tuple as ``(time, nid, frac)``; we order ``frac`` before
+``nid`` so that successive stretched timestamps from different nodes
+interleave by logical position first.  Any total order with ``time`` as the
+major key and unique tie-breaking satisfies the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Timestamp", "ZERO_TS"]
+
+
+class Timestamp(NamedTuple):
+    """Totally-ordered hybrid timestamp ``(time, frac, nid)``."""
+
+    time: float
+    frac: int
+    nid: int
+
+    def next_frac(self, nid: int) -> "Timestamp":
+        """The smallest useful timestamp above ``self`` with a frozen time."""
+        return Timestamp(self.time, self.frac + 1, nid)
+
+    def with_nid(self, nid: int) -> "Timestamp":
+        return Timestamp(self.time, self.frac, nid)
+
+    def __str__(self) -> str:  # compact rendering for logs/debugging
+        if self.frac:
+            return f"{self.time:.3f}.({self.frac})@{self.nid}"
+        return f"{self.time:.3f}@{self.nid}"
+
+
+ZERO_TS = Timestamp(0.0, 0, -1)

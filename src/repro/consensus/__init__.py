@@ -1,0 +1,6 @@
+"""Replication substrates: quorum tracking and a compact SMR service."""
+
+from repro.consensus.quorum import QuorumTracker
+from repro.consensus.smr import SmrCluster, SmrReplica
+
+__all__ = ["QuorumTracker", "SmrCluster", "SmrReplica"]

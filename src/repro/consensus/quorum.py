@@ -1,0 +1,35 @@
+"""Quorum-collection helper for fan-out request/ack patterns."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["QuorumTracker"]
+
+
+class QuorumTracker:
+    """Tracks per-group ACK counts and fires once every group has quorum.
+
+    Used by coordinators that need "majority ACKs from *each* participating
+    shard": one group per shard, each with its own quorum size.
+    """
+
+    def __init__(self, sim: Simulator, quorums: Dict[str, int]):
+        self.event: Event = sim.event()
+        self._needed = dict(quorums)
+        self._seen: Dict[str, Set[str]] = {g: set() for g in quorums}
+
+    def ack(self, group: str, member: str) -> None:
+        if self.event.triggered or group not in self._seen:
+            return
+        self._seen[group].add(member)
+        if all(len(self._seen[g]) >= n for g, n in self._needed.items()):
+            self.event.succeed(None)
+
+    def satisfied(self) -> bool:
+        return self.event.triggered
+
+    def progress(self) -> Dict[str, int]:
+        return {g: len(s) for g, s in self._seen.items()}

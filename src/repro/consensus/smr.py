@@ -1,0 +1,182 @@
+"""A compact leader-based SMR (state-machine replication) service.
+
+DAST replicates each region's manager state that is *off* the transaction
+critical path — the current view and 2PC progress of view installation —
+through an SMR service (§4.4, citing Raft).  This module provides that
+substrate: a replicated key-value log with leader-forwarded writes, majority
+commit, and explicit term-based leader turnover.
+
+It is intentionally simpler than full Raft (no log repair under leader churn
+mid-append; elections are deterministic round-robin over live replicas),
+which is sufficient here: DAST only stores small, idempotent registers in it
+and the evaluation never partitions a region's interior.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, RpcTimeout
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import Network
+from repro.sim.rpc import Endpoint, RpcRemoteError
+
+__all__ = ["SmrReplica", "SmrCluster"]
+
+
+class SmrReplica:
+    """One replica of the replicated register store."""
+
+    def __init__(self, sim: Simulator, network: Network, host: str, region: str,
+                 peers: List[str], service_time: float = 0.0):
+        self.sim = sim
+        self.host = host
+        self.peers = [p for p in peers if p != host]
+        self.endpoint = Endpoint(sim, network, host, region, service_time=service_time)
+        self.term = 0
+        self.leader: Optional[str] = None
+        self.log: List[Tuple[int, str, Any]] = []  # (term, key, value)
+        self.commit_index = -1
+        self.state: Dict[str, Any] = {}
+        self.endpoint.register("smr_put", self.on_put)
+        self.endpoint.register("smr_get", self.on_get)
+        self.endpoint.register("smr_append", self.on_append)
+        self.endpoint.register("smr_elect", self.on_elect)
+
+    @property
+    def quorum(self) -> int:
+        return (len(self.peers) + 1) // 2 + 1
+
+    # -- client-facing ---------------------------------------------------
+    def on_put(self, src: str, payload: dict):
+        if self.leader != self.host:
+            raise ProtocolError(f"{self.host}: not the leader (leader={self.leader})")
+        key, value = payload["key"], payload["value"]
+        entry_index = len(self.log)
+        self.log.append((self.term, key, value))
+        acks = [1]  # ourselves
+        done = self.sim.event()
+
+        def collect(ev: Event) -> None:
+            if ev.ok and ev.value and ev.value.get("ok"):
+                acks[0] += 1
+                if acks[0] >= self.quorum and not done.triggered:
+                    done.succeed(None)
+
+        msg = {
+            "term": self.term,
+            "index": entry_index,
+            "entry": (self.term, key, value),
+            "commit_index": self.commit_index,
+        }
+        for peer in self.peers:
+            self.endpoint.call(peer, "smr_append", msg, timeout=50.0).add_callback(collect)
+
+        def proc():
+            yield done
+            self.commit_index = max(self.commit_index, entry_index)
+            self._apply()
+            return {"ok": True, "index": entry_index}
+
+        return proc()
+
+    def on_get(self, src: str, payload: dict):
+        return {"value": self.state.get(payload["key"]), "leader": self.leader,
+                "term": self.term}
+
+    # -- replication -------------------------------------------------------
+    def on_append(self, src: str, payload: dict):
+        if payload["term"] < self.term:
+            return {"ok": False, "term": self.term}
+        self.term = payload["term"]
+        self.leader = src
+        index = payload["index"]
+        # Fill or overwrite at the given index (leader's log is authoritative).
+        while len(self.log) < index:
+            self.log.append((self.term, "__gap__", None))
+        if len(self.log) == index:
+            self.log.append(payload["entry"])
+        else:
+            self.log[index] = payload["entry"]
+        self.commit_index = max(self.commit_index, payload["commit_index"])
+        self._apply()
+        return {"ok": True, "term": self.term}
+
+    def on_elect(self, src: str, payload: dict):
+        if payload["term"] <= self.term and self.leader is not None:
+            if payload["term"] < self.term:
+                return {"ok": False, "term": self.term}
+        self.term = payload["term"]
+        self.leader = payload["leader"]
+        return {"ok": True, "term": self.term}
+
+    def _apply(self) -> None:
+        for i in range(self.commit_index + 1):
+            term, key, value = self.log[i]
+            if key != "__gap__":
+                self.state[key] = value
+
+
+class SmrCluster:
+    """Builds one region's replica group and offers a client interface."""
+
+    def __init__(self, sim: Simulator, network: Network, region: str,
+                 num_replicas: int = 3, service_time: float = 0.0):
+        self.sim = sim
+        self.region = region
+        hosts = [f"{region}.smr{i}" for i in range(num_replicas)]
+        self.replicas = [
+            SmrReplica(sim, network, h, region, hosts, service_time) for h in hosts
+        ]
+        self.network = network
+        # Bootstrap: replica 0 leads term 1.
+        for rep in self.replicas:
+            rep.term = 1
+            rep.leader = hosts[0]
+
+    @property
+    def leader(self) -> SmrReplica:
+        for rep in self.replicas:
+            if rep.leader == rep.host and not self.network.is_down(rep.host):
+                return rep
+        raise ProtocolError(f"{self.region}: no live SMR leader")
+
+    def elect(self) -> SmrReplica:
+        """Deterministically promote the next live replica."""
+        live = [r for r in self.replicas if not self.network.is_down(r.host)]
+        if not live:
+            raise ProtocolError(f"{self.region}: all SMR replicas down")
+        new_leader = live[0]
+        term = max(r.term for r in self.replicas) + 1
+        for rep in live:
+            rep.term = term
+            rep.leader = new_leader.host
+
+        return new_leader
+
+    # -- convenience client calls (from an arbitrary endpoint) -----------
+    def put_from(self, endpoint: Endpoint, key: str, value: Any):
+        """Generator: replicate ``key=value`` with majority durability."""
+
+        def proc():
+            while True:
+                try:
+                    leader = self.leader
+                except ProtocolError:
+                    leader = self.elect()
+                try:
+                    resp = yield endpoint.call(
+                        leader.host, "smr_put", {"key": key, "value": value}, timeout=100.0
+                    )
+                    return resp
+                except (RpcTimeout, RpcRemoteError):
+                    self.elect()
+
+        return proc()
+
+    def get_from(self, endpoint: Endpoint, key: str):
+        def proc():
+            resp = yield endpoint.call(self.leader.host, "smr_get", {"key": key}, timeout=100.0)
+            return resp["value"]
+
+        return proc()

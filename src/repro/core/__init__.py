@@ -1,0 +1,19 @@
+"""DAST: the paper's primary contribution (2DA + stretchable clock + PCT)."""
+
+from repro.core.failure_detector import FailureDetector
+from repro.core.manager import DastManager, RttEstimator
+from repro.core.node import DastNode
+from repro.core.records import ReadyQueue, TxnRecord, TxnStatus, WaitQueue
+from repro.core.system import DastSystem
+
+__all__ = [
+    "DastManager",
+    "DastNode",
+    "DastSystem",
+    "FailureDetector",
+    "ReadyQueue",
+    "RttEstimator",
+    "TxnRecord",
+    "TxnStatus",
+    "WaitQueue",
+]

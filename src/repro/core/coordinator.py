@@ -1,0 +1,340 @@
+"""Coordinator-side logic of DAST (Algorithms 1 and 2).
+
+In DAST every node can act as a coordinator: the node a client submits to
+coordinates that transaction.  This mixin holds the coordination state
+machine; the node base class (``repro.core.node``) provides messaging,
+queues, the dclock, and execution.
+
+IRT (Algorithm 1): assign the latest timestamp via ``CreateTs`` (the
+stretchable dclock), collect majority ACKs per participating shard, commit.
+
+CRT (Algorithm 2, "2DA"): replicate locally for failover retrieval, send
+``prep-remote`` to every participating region's manager, collect per-shard
+majority ACKs carrying anticipated timestamps, commit at the maximum
+anticipated timestamp.  No conflict ever aborts the CRT (R2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.clock.hlc import Timestamp
+from repro.txn.model import Transaction
+from repro.txn.result import TxnResult
+
+__all__ = ["CoordState", "CoordinatorMixin"]
+
+
+class CoordState:
+    """Coordinator bookkeeping for one in-flight transaction."""
+
+    def __init__(self, txn: Transaction, client: str, is_crt: bool):
+        self.txn = txn
+        self.client = client
+        self.is_crt = is_crt
+        self.ts: Optional[Timestamp] = None  # IRT ts / CRT srcTs
+        self.commit_ts: Optional[Timestamp] = None
+        self.acks: Dict[str, Set[str]] = {s: set() for s in txn.shard_ids}
+        self.anticipated: Dict[str, Timestamp] = {}  # region -> anticipated ts
+        self.exec_done: Dict[str, dict] = {}  # shard -> first exec report
+        self.prepared_event = None  # set by the coordinator process
+        self.done_event = None
+        self.replied = False
+        # Phase stamps (virtual ms).
+        self.t_submit = 0.0
+        self.t_local_prepared = 0.0
+        self.t_prepared = 0.0
+        self.t_commit_sent = 0.0
+        self.t_replied = 0.0
+
+    def all_prepared(self, quorum_of) -> bool:
+        return all(len(self.acks[s]) >= quorum_of(s) for s in self.txn.shard_ids)
+
+    def all_executed(self) -> bool:
+        return all(s in self.exec_done for s in self.txn.shard_ids)
+
+
+class CoordinatorMixin:
+    """Requires the host class to provide node state; see DastNode."""
+
+    # ------------------------------------------------------------------
+    # Entry point: a client submitted a transaction to this node
+    # ------------------------------------------------------------------
+    def on_submit(self, src: str, txn: Transaction):
+        txn.home_region = self.region
+        regions = sorted({self.catalog.region_of_shard(s) for s in txn.shard_ids})
+        txn.participating_regions = tuple(regions)
+        is_crt = len(regions) > 1 or regions[0] != self.region
+        state = CoordState(txn, src, is_crt)
+        state.t_submit = self.sim.now
+        self.coordinating[txn.txn_id] = state
+        if is_crt:
+            return self._coordinate_crt(state)
+        return self._coordinate_irt(state)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: IRT
+    # ------------------------------------------------------------------
+    def _coordinate_irt(self, state: CoordState):
+        txn = state.txn
+        ts = self.dclock.tick()
+        state.ts = ts
+        state.t_local_prepared = self.sim.now
+        state.prepared_event = self.sim.event()
+        participants = self._participants_of(txn)
+        # Insert our own record synchronously: nothing this node does later
+        # may execute past ts without seeing this transaction.
+        if self.host in participants:
+            self._prepare_local_irt(txn, ts)
+            self._record_ack(state, self.host, shard=self.shard_id)
+        for node in participants:
+            if node == self.host:
+                continue
+            self._reliable(
+                node,
+                "irt_prepare",
+                {"txn": txn, "ts": ts, "coord": self.host, "vid": self.vid},
+                obligation_ts=ts,
+                on_ack=lambda v, st=state, n=node: self._record_ack(
+                    st, n, shard=(v or {}).get("shard")
+                ),
+            )
+        yield state.prepared_event
+        state.t_prepared = self.sim.now
+        state.commit_ts = ts
+        self._commit_local(txn.txn_id, ts)
+        state.t_commit_sent = self.sim.now
+        for node in participants:
+            if node == self.host:
+                continue
+            self._reliable(node, "irt_commit", {"txn_id": txn.txn_id, "ts": ts, "vid": self.vid})
+        state.done_event = self.sim.event()
+        if not state.all_executed():
+            yield state.done_event
+        return self._finish(state)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: CRT (2DA)
+    # ------------------------------------------------------------------
+    def _coordinate_crt(self, state: CoordState):
+        txn = state.txn
+        self.stats.inc("crt_started")
+        # Phase 0: replicate the CRT inside the home region so the manager
+        # can retrieve coordination progress if this node crashes (§4.4).
+        home_shards = [
+            s for s in txn.shard_ids if self.catalog.region_of_shard(s) == self.region
+        ]
+        if home_shards:
+            yield self._replicate_home(txn, home_shards, "crt_locallog")
+        state.t_local_prepared = self.sim.now
+
+        # Phase 1: decentralized anticipation via each region's manager.
+        src_ts = self.dclock.tick()
+        state.ts = src_ts
+        state.prepared_event = self.sim.event()
+        # Note: if we participate, our own ACK arrives via our region's
+        # manager dispatch like any other participant's.
+        for region in txn.participating_regions:
+            self._reliable(
+                self.managers[region],
+                "prep_remote",
+                {"txn": txn, "src_ts": src_ts, "coord": self.host, "vid": self.vid,
+                 "phys": self.dclock.physical()},
+                timeout=self._cross_timeout(),
+            )
+        yield state.prepared_event
+        state.t_prepared = self.sim.now
+
+        # Phase 2: commit strictly above the max anticipated timestamp, on a
+        # fresh `.time` coordinate: the coordinator-nid lane plus a local
+        # monotone guard keeps commit timestamps globally unique in time, so
+        # no clock frozen at another CRT's floor can deadlock against this
+        # one (see the lane comment in DastManager.on_prep_remote).
+        max_anticipated = max(list(state.anticipated.values()) + [self.dclock.tick()])
+        commit_time = max_anticipated.time + (self.nid + 1) * 1e-7
+        last_commit = getattr(self, "_last_commit_time", 0.0)
+        if commit_time <= last_commit:
+            commit_time = last_commit + 1e-7
+        self._last_commit_time = commit_time
+        commit_ts = Timestamp(commit_time, max_anticipated.frac, self.nid)
+        state.commit_ts = commit_ts
+        # Replicate the commit decision locally (async, off the critical path).
+        if home_shards:
+            for shard in home_shards:
+                for node in self.catalog.replicas_of(shard):
+                    if node != self.host:
+                        self.endpoint.send(
+                            node, "crt_commitlog", {"txn_id": txn.txn_id, "commit_ts": commit_ts}
+                        )
+        state.t_commit_sent = self.sim.now
+        commit_msg = {
+            "txn_id": txn.txn_id,
+            "txn": txn,
+            "coord": self.host,
+            "commit_ts": commit_ts,
+            "phys_tag": self.dclock.physical(),
+        }
+        for node in self._participants_of(txn):
+            if node == self.host:
+                self.on_crt_commit(self.host, commit_msg)
+            else:
+                self._reliable(node, "crt_commit", commit_msg, timeout=self._cross_timeout())
+        state.done_event = self.sim.event()
+        if not state.all_executed():
+            yield state.done_event
+        return self._finish(state)
+
+    def _replicate_home(self, txn: Transaction, home_shards: List[str], method: str):
+        """Majority-replicate ``txn`` to home-region participating shards."""
+        event = self.sim.event()
+        pending = {s: set() for s in home_shards}
+        done = [False]
+
+        def on_ack(shard: str, node: str) -> None:
+            if done[0]:
+                return
+            pending[shard].add(node)
+            if all(len(pending[s]) >= self._quorum(s) for s in home_shards):
+                done[0] = True
+                event.succeed(None)
+
+        for shard in home_shards:
+            for node in self.catalog.replicas_of(shard):
+                if node == self.host:
+                    self.on_crt_locallog(self.host, {"txn": txn, "coord": self.host})
+                    on_ack(shard, self.host)
+                else:
+                    self._reliable(
+                        node,
+                        method,
+                        {"txn": txn, "coord": self.host},
+                        on_ack=lambda _v, s=shard, n=node: on_ack(s, n),
+                    )
+        return event
+
+    # ------------------------------------------------------------------
+    # ACK and exec-done collection
+    # ------------------------------------------------------------------
+    def _record_ack(self, state: CoordState, node: str, shard: Optional[str] = None,
+                    anticipated: Optional[Timestamp] = None, region: Optional[str] = None) -> None:
+        if shard is None:
+            # Fall back to the catalog (dynamically added replicas are not
+            # in the static topology's node->shard map).
+            shards = self.catalog.shards_on_node(node)
+            shard = shards[0] if shards else None
+        if shard is None:
+            return
+        if shard in state.acks:
+            state.acks[shard].add(node)
+        if anticipated is not None and region is not None:
+            prev = state.anticipated.get(region)
+            if prev is None or anticipated > prev:
+                state.anticipated[region] = anticipated
+        if (
+            state.prepared_event is not None
+            and not state.prepared_event.triggered
+            and state.all_prepared(self._quorum)
+            and (not state.is_crt or set(state.anticipated) >= set(state.txn.participating_regions))
+        ):
+            state.prepared_event.succeed(None)
+
+    def on_crt_ack(self, src: str, payload: dict) -> None:
+        """A participant acknowledged ``prep-crt`` (sent directly to us)."""
+        state = self.coordinating.get(payload["txn_id"])
+        if state is None:
+            return
+        # Cross-region clock calibration (§4.3): chase the sender's clock.
+        # Tags are *physical* readings — a stretched logical value may sit at
+        # a far-future anticipated timestamp and would drag clocks ahead.
+        tag = payload.get("phys_tag")
+        if tag is not None and payload["region"] != self.region:
+            # Zero slack to avoid the jitter ratchet; see on_crt_commit.
+            self.dclock.calibrate_to_time(tag, slack=0.0)
+        self._record_ack(
+            state,
+            payload["node"],
+            shard=payload["shard"],
+            anticipated=payload["anticipated_ts"],
+            region=payload["region"],
+        )
+
+    def on_exec_done(self, src: str, payload: dict) -> None:
+        state = self.coordinating.get(payload["txn_id"])
+        if state is None or state.replied:
+            return
+        shard = payload["shard"]
+        if shard not in state.exec_done:
+            state.exec_done[shard] = payload
+        if state.done_event is not None and not state.done_event.triggered and state.all_executed():
+            state.done_event.succeed(None)
+
+    # ------------------------------------------------------------------
+    # Reply to the client
+    # ------------------------------------------------------------------
+    def _finish(self, state: CoordState) -> TxnResult:
+        state.replied = True
+        state.t_replied = self.sim.now
+        outputs: Dict[str, Any] = {}
+        aborted = False
+        reason = ""
+        for report in state.exec_done.values():
+            outputs.update(report.get("outputs", {}))
+            if report.get("aborted"):
+                aborted = True
+                reason = report.get("reason", "conditional abort")
+        result = TxnResult(
+            state.txn.txn_id,
+            state.txn.txn_type,
+            committed=not aborted,
+            is_crt=state.is_crt,
+            outputs=outputs,
+            abort_reason=reason,
+            phases=self._phases_of(state),
+        )
+        self.stats.inc("crt_committed" if state.is_crt else "irt_committed")
+        self.coordinating.pop(state.txn.txn_id, None)
+        return result
+
+    def _phases_of(self, state: CoordState) -> Dict[str, float]:
+        phases = {
+            "local_prepare": state.t_local_prepared - state.t_submit,
+            "remote_prepare": max(0.0, state.t_prepared - state.t_local_prepared),
+            "has_dep": 1.0 if state.txn.has_value_dependency() else 0.0,
+        }
+        # Critical path: the last shard to report execution.  The post-commit
+        # wait splits into waiting for this transaction's own pushed inputs
+        # (``wait_input``) and the residual readyQ/clock wait (``wait_exec``),
+        # mirroring Table 3's phase semantics.
+        last = max(state.exec_done.values(), key=lambda r: r["phases"][3], default=None)
+        if last is not None:
+            t_committed, t_order, t_input, t_executed = last["phases"]
+            wait_total = max(0.0, t_executed - t_committed)
+            wait_input = min(wait_total, max(0.0, t_input - t_committed))
+            wait_exec = wait_total - wait_input
+            tail = state.t_replied - state.t_commit_sent
+            phases["wait_exec"] = wait_exec
+            phases["wait_input"] = wait_input
+            phases["wait_output"] = max(0.0, tail - wait_exec - wait_input)
+        return phases
+
+    # ------------------------------------------------------------------
+    # Helpers provided for both algorithms
+    # ------------------------------------------------------------------
+    def _participants_of(self, txn: Transaction) -> List[str]:
+        out: List[str] = []
+        for shard in txn.shard_ids:
+            out.extend(self.catalog.replicas_of(shard))
+        return sorted(set(out))
+
+    def _quorum(self, shard: str) -> int:
+        return self.catalog.shard(shard).quorum_size
+
+    def _cross_timeout(self) -> float:
+        return max(4 * self.timing.cross_region_rtt, 100.0)
+
+    def _rtt_guess(self, region: str) -> float:
+        return (
+            self.timing.intra_region_rtt
+            if region == self.region
+            else self.timing.cross_region_rtt
+        )

@@ -1,0 +1,446 @@
+"""The DAST region manager (§4.3, §4.4).
+
+Each region has one active manager that
+
+* **anticipates** a future timestamp for every CRT touching the region,
+  based on an estimated RTT to the coordinator's region, and dispatches the
+  CRT to the participating nodes in its region (2DA phase 1);
+* occupies an entry in every node's PCT ``max_ts`` array: its clock report
+  is floored below the smallest *pending* (anticipated, not yet resolved)
+  CRT timestamp, closing the dispatch-window race in Lemma 1;
+* drives **fast failover** (removing suspected nodes, Algorithm 3) and
+  **asynchronous recovery** (adding replicas back, Algorithm 4);
+* replicates its off-critical-path state (view id and membership) to the
+  region's SMR service; its dclock and pending-CRT list are deliberately
+  *not* replicated — the takeover protocol reconstructs safe bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.clock.dclock import DClock
+from repro.clock.hlc import Timestamp, ZERO_TS
+from repro.config import TimingConfig, Topology
+from repro.consensus.smr import SmrCluster
+from repro.errors import RpcTimeout
+from repro.sim.clocks import ClockSource
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rpc import Endpoint, RpcRemoteError
+from repro.storage.catalog import Catalog
+from repro.util import Stats
+
+__all__ = ["DastManager", "RttEstimator"]
+
+
+class RttEstimator:
+    """EWMA round-trip estimate per peer region (the paper's "average RTT of
+    recent communication"), seeded with a configured default."""
+
+    def __init__(self, default_rtt: float, alpha: float = 0.3):
+        self.default_rtt = default_rtt
+        self.alpha = alpha
+        self._estimates: Dict[str, float] = {}
+        self._minimums: Dict[str, float] = {}
+
+    def update(self, region: str, sample: float) -> None:
+        sample = max(0.1, sample)
+        current = self._estimates.get(region)
+        if current is None:
+            self._estimates[region] = sample
+        else:
+            self._estimates[region] = (1 - self.alpha) * current + self.alpha * sample
+        if sample < self._minimums.get(region, float("inf")):
+            self._minimums[region] = sample
+
+    def estimate(self, region: str) -> float:
+        return self._estimates.get(region, self.default_rtt)
+
+    def min_estimate(self, region: str) -> float:
+        """Queue-free base RTT, for clock calibration.
+
+        Calibrating with the EWMA estimate is unstable: queueing inflates
+        samples, the inflated slack pushes the clock ahead of real time,
+        which inflates the next samples further.  The running minimum
+        tracks the propagation delay and cannot self-inflate; undershoot
+        merely makes calibration a no-op (the offset never decreases).
+        """
+        return self._minimums.get(region, self.default_rtt)
+
+
+class _PendingCrt:
+    __slots__ = ("txn", "coord", "anticipated", "created_at")
+
+    def __init__(self, txn, coord: str, anticipated: Timestamp, created_at: float):
+        self.txn = txn
+        self.coord = coord
+        self.anticipated = anticipated
+        self.created_at = created_at
+
+
+class DastManager:
+    """One region's (active or standby) manager."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        topology: Topology,
+        catalog: Catalog,
+        timing: TimingConfig,
+        host: str,
+        region: str,
+        clock_source: ClockSource,
+        nid: int,
+        smr: Optional[SmrCluster] = None,
+        active: bool = True,
+    ):
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.catalog = catalog
+        self.timing = timing
+        self.host = host
+        self.region = region
+        self.nid = nid
+        self.smr = smr
+        self.active = active
+        self.vid = 0
+        self.endpoint = Endpoint(sim, network, host, region, service_time=timing.service_time)
+        self.pending: Dict[str, _PendingCrt] = {}
+        self.rtt = RttEstimator(default_rtt=timing.cross_region_rtt)
+        self.dclock = DClock(clock_source, nid, floor_fn=self._pending_floor)
+        self.members: List[str] = topology.nodes_in_region(region)
+        self.removed: Set[str] = set()
+        self.stats = Stats()
+        self._last_anticipated = ZERO_TS
+        # Ablation switch: with anticipation off, CRTs are bound to the
+        # manager's current time instead of one estimated RTT in the future
+        # (the §3.2 strawman).
+        self.anticipation_enabled = True
+        self.tracer = None  # optional repro.sim.trace.Tracer
+        self._running = False
+        ep = self.endpoint
+        ep.register("prep_remote", self.on_prep_remote)
+        ep.register("crt_update", self.on_crt_update)
+        ep.register("crt_executed", self.on_crt_executed, cheap=True)
+        ep.register("abort_crt", self.on_abort_crt)
+        ep.register("pct_report", self.on_pct_report, cheap=True)
+        ep.register("suspect", self.on_suspect)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.spawn(self._report_loop(), name=f"{self.host}.report")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _report_loop(self):
+        while self._running:
+            yield self.sim.timeout(self.timing.pct_interval)
+            if not self.active:
+                continue
+            value = self.dclock.tick()
+            floor = self._pending_floor()
+            if floor is not None and value >= floor:
+                # Enforce the anticipation promise on reports even if the
+                # clock overshot a late-arriving pending entry.
+                value = Timestamp(floor.time, floor.frac, -(1 << 60))
+            for node in self.members:
+                self.endpoint.send(node, "pct_report", {"value": value})
+            self._gc_pending()
+
+    def _pending_floor(self) -> Optional[Timestamp]:
+        if not self.pending:
+            return None
+        return min(p.anticipated for p in self.pending.values())
+
+    def _gc_pending(self) -> None:
+        """Drop pending entries long past their anticipated time.
+
+        Safe once participants certainly hold their own waitQ floors (they
+        do within one intra-region delivery of the dispatch); generously
+        waiting several cross-region RTTs costs nothing.
+        """
+        horizon = self.dclock.physical() - 10 * self.timing.cross_region_rtt
+        stale = [tid for tid, p in self.pending.items() if p.anticipated.time < horizon]
+        for tid in stale:
+            self.pending.pop(tid, None)
+            self.stats.inc("pending_gc")
+
+    # ------------------------------------------------------------------
+    # 2DA phase 1: anticipate and dispatch (Algorithm 2, lines 10-15)
+    # ------------------------------------------------------------------
+    def on_prep_remote(self, src: str, payload: dict):
+        txn = payload["txn"]
+        src_ts: Timestamp = payload["src_ts"]
+        coord = payload["coord"]
+        src_region = self.topology.region_of_node(coord)
+        entry = self.pending.get(txn.txn_id)
+        if entry is None:
+            # updateEstimatedRtt: one-way delay observed via physical clock
+            # tags, doubled.  Clock skew pollutes this deliberately — that is
+            # the Fig 10 behaviour.
+            phys_tag = payload.get("phys", src_ts.time)
+            sample = 2.0 * (self.dclock.physical() - phys_tag)
+            if src_region != self.region:
+                self.rtt.update(src_region, sample)
+                # Cross-region calibration (§4.3), with the queue-free
+                # minimum RTT: see RttEstimator.min_estimate.
+                self.dclock.calibrate_to_time(
+                    phys_tag, slack=self.rtt.min_estimate(src_region) / 2.0
+                )
+            if self.anticipation_enabled:
+                anticipated_time = (
+                    self.dclock.physical()
+                    + self.rtt.estimate(src_region)
+                    + self.timing.anticipation_margin
+                )
+            else:
+                anticipated_time = self.dclock.physical()
+            # Unique sub-microsecond "lane" per issuing entity: no two
+            # distinct CRT timestamps may share a `.time` coordinate, or a
+            # clock frozen below one CRT's floor could never pass another
+            # CRT that happens to sit at the same physical time (a cross-
+            # region execution deadlock).
+            anticipated_time += (self.nid + 1) * 1e-7
+            if anticipated_time <= self._last_anticipated.time:
+                anticipated_time = self._last_anticipated.time + 1e-3
+            anticipated = Timestamp(anticipated_time, 0, self.nid)
+            self._last_anticipated = anticipated
+            entry = _PendingCrt(txn, coord, anticipated, self.sim.now)
+            self.pending[txn.txn_id] = entry
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, self.host, "anticipate",
+                                 txn=txn.txn_id, ts=str(anticipated), coord=coord)
+            self.stats.inc("crt_anticipated")
+        # Dispatch (idempotently re-dispatch on coordinator retry).
+        for node in self._local_participants(txn):
+            self.endpoint.send(
+                node,
+                "prep_crt",
+                {
+                    "txn": txn,
+                    "anticipated_ts": entry.anticipated,
+                    "coord": coord,
+                    "vid": self.vid,
+                    "clock_tag": self.dclock.peek(),
+                },
+            )
+        return {"anticipated_ts": entry.anticipated}
+
+    def _local_participants(self, txn) -> List[str]:
+        nodes: List[str] = []
+        for shard in txn.shard_ids:
+            if self.catalog.region_of_shard(shard) == self.region:
+                nodes.extend(self.catalog.replicas_of(shard))
+        return sorted(set(nodes))
+
+    # ------------------------------------------------------------------
+    # Pending resolution
+    # ------------------------------------------------------------------
+    def on_crt_update(self, src: str, payload: dict):
+        self.pending.pop(payload["txn_id"], None)
+        return {"node": self.host}
+
+    def on_crt_executed(self, src: str, payload: dict) -> None:
+        self.pending.pop(payload["txn_id"], None)
+
+    def on_abort_crt(self, src: str, payload: dict):
+        self.pending.pop(payload["txn_id"], None)
+        return {"node": self.host}
+
+    def on_pct_report(self, src: str, payload: dict) -> None:
+        # Managers use node reports only to keep their clock calibrated.
+        self.dclock.observe(payload["value"])
+        self.dclock.calibrate_to_time(payload["value"].time)
+
+    # ------------------------------------------------------------------
+    # Fast failover: removing suspected nodes (Algorithm 3)
+    # ------------------------------------------------------------------
+    def on_suspect(self, src: str, payload: dict):
+        node = payload["node"]
+        if node in self.removed or node not in self.members:
+            return {"ok": True}
+        return self.remove_nodes([node])
+
+    def remove_nodes(self, to_remove: List[str]):
+        """Generator: run the 2PC that installs a view without ``to_remove``."""
+        to_remove = list(to_remove)
+
+        def proc():
+            self.removed |= set(to_remove)
+            self.members = [m for m in self.members if m not in set(to_remove)]
+            self.vid += 1
+            pend_irts: Dict[str, dict] = {}
+            pend_crts: Dict[str, dict] = {}
+            remaining = list(self.members)
+            for node in remaining:
+                while True:
+                    try:
+                        reply = yield self.endpoint.call(
+                            node,
+                            "remove_prep",
+                            {"vid": self.vid, "to_remove": to_remove},
+                            timeout=4 * self.timing.intra_region_rtt,
+                        )
+                        break
+                    except (RpcTimeout, RpcRemoteError):
+                        if self.network.is_down(node):
+                            # Cascading failure: recurse per Algorithm 3 L18.
+                            yield self.sim.spawn(self.remove_nodes([node]))
+                            reply = None
+                            break
+                if reply is None:
+                    continue
+                for entry in reply["pend_irts"]:
+                    pend_irts[entry["txn_id"]] = entry
+                for entry in reply["pend_crts"]:
+                    prev = pend_crts.get(entry["txn_id"])
+                    if prev is None or (entry["committed"] and not prev["committed"]):
+                        pend_crts[entry["txn_id"]] = entry
+            # Policy (§4.4): commit IRTs seen by >= 1 node; abort CRTs unless
+            # some node already saw their commit decision.
+            commit_irts = list(pend_irts.values())
+            abort_crts = [e for e in pend_crts.values() if not e["committed"]]
+            commit_crts = [e for e in pend_crts.values() if e["committed"]]
+            if self.smr is not None:
+                yield self.sim.spawn(
+                    self.smr.put_from(
+                        self.endpoint,
+                        "view",
+                        {"vid": self.vid, "members": list(self.members), "manager": self.host},
+                    )
+                )
+            msg = {
+                "vid": self.vid,
+                "removed": to_remove,
+                "members": list(self.members),
+                "commit_irts": commit_irts,
+                "abort_crts": abort_crts,
+                "commit_crts": commit_crts,
+            }
+            for node in self.members:
+                self.endpoint.send(node, "remove_commit", msg)
+            # Tell remote participants (and their managers) about aborts.
+            for entry in abort_crts:
+                txn = entry["txn"]
+                for shard in txn.shard_ids:
+                    region = self.catalog.region_of_shard(shard)
+                    if region == self.region:
+                        continue
+                    self.endpoint.send(
+                        self.managers_of(region), "abort_crt", {"txn_id": entry["txn_id"]}
+                    )
+                    for node in self.catalog.replicas_of(shard):
+                        self.endpoint.send(node, "abort_crt", {"txn_id": entry["txn_id"]})
+            self.stats.inc("views_installed")
+            return {
+                "ok": True,
+                "vid": self.vid,
+                "committed_irts": len(commit_irts),
+                "aborted_crts": len(abort_crts),
+            }
+
+        return proc()
+
+    def managers_of(self, region: str) -> str:
+        directory = getattr(self, "managers", None)
+        if directory:
+            return directory.get(region, self.topology.manager_of(region))
+        return self.topology.manager_of(region)
+
+    # ------------------------------------------------------------------
+    # Asynchronous recovery: adding a replica (Algorithm 4)
+    # ------------------------------------------------------------------
+    def add_replica(self, new_node: str, shard_id: str, donor: Optional[str] = None):
+        """Generator: checkpoint-transfer then fake-CRT view install."""
+
+        def proc():
+            source = donor or self.catalog.replicas_of(shard_id)[0]
+            reply = yield self.endpoint.call(
+                source,
+                "transfer_ckpt",
+                {"node": new_node, "shard": shard_id},
+                timeout=20 * self.timing.intra_region_rtt,
+            )
+            ts_ckpt = reply
+            # Anticipate when the new view will be installed; conservative
+            # slack is fine — admission is off the critical path.
+            ts_ins = Timestamp(
+                self.dclock.physical() + 4 * self.timing.intra_region_rtt + 10.0, 0, self.nid
+            )
+            if self.smr is not None:
+                yield self.sim.spawn(
+                    self.smr.put_from(
+                        self.endpoint,
+                        f"add:{new_node}",
+                        {"ts_ins": ts_ins, "shard": shard_id},
+                    )
+                )
+            self.vid += 1
+            targets = list(self.members)
+            if new_node not in targets:
+                targets.append(new_node)
+            for node in targets:
+                yield self.endpoint.call(
+                    node,
+                    "add_prep",
+                    {"vid": self.vid, "node": new_node, "ts_ins": ts_ins},
+                    timeout=4 * self.timing.intra_region_rtt,
+                )
+            self.members = targets
+            msg = {
+                "vid": self.vid,
+                "node": new_node,
+                "ts_ins": ts_ins,
+                "members": list(self.members),
+                "shard": shard_id,
+            }
+            for node in targets:
+                self.endpoint.send(node, "add_commit", msg)
+            self.stats.inc("replicas_added")
+            return {"ok": True, "ts_ins": ts_ins, "ts_ckpt": ts_ckpt}
+
+        return proc()
+
+    # ------------------------------------------------------------------
+    # Manager takeover (standby -> active)
+    # ------------------------------------------------------------------
+    def takeover(self):
+        """Generator: become the active manager after the old one failed."""
+
+        def proc():
+            self.vid += 1
+            max_seen = ZERO_TS
+            for node in self.members:
+                try:
+                    reply = yield self.endpoint.call(
+                        node, "mgr_takeover", {"vid": self.vid},
+                        timeout=4 * self.timing.intra_region_rtt,
+                    )
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+                for key in ("mgr_max_ts", "my_clock"):
+                    if reply[key] > max_seen:
+                        max_seen = reply[key]
+            # Monotonicity of anticipated timestamps across failovers (§4.5).
+            self.dclock.jump_to(max_seen)
+            self._last_anticipated = max(self._last_anticipated, max_seen)
+            self.active = True
+            if self.smr is not None:
+                yield self.sim.spawn(
+                    self.smr.put_from(
+                        self.endpoint,
+                        "view",
+                        {"vid": self.vid, "members": list(self.members), "manager": self.host},
+                    )
+                )
+            self.start()
+            return {"ok": True, "vid": self.vid, "clock": self.dclock.peek()}
+
+        return proc()

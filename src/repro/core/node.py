@@ -1,0 +1,804 @@
+"""A DAST edge node: one shard replica + coordinator role (§4.2, §4.3).
+
+The node owns:
+
+* a **stretchable dclock** whose floor is the minimum of its waitQ,
+* the **readyQ/waitQ** pair of Algorithm 1/2,
+* the **PCT** state: ``max_ts`` per intra-region member (peers + manager),
+  advanced by periodic clock reports,
+* an **obligation ledger**: while a message that a peer must see before its
+  ``max_ts`` passes some timestamp is unacknowledged, reports to that peer
+  are capped just below that timestamp.  This implements the paper's
+  "delivered notification timestamp" (``notifiedTs``) mechanism and is what
+  makes Lemma 1 hold under message loss and reordering.
+
+Execution is strictly in timestamp order: the readyQ head runs only when it
+is committed, every member's clock has passed its timestamp, and its
+cross-shard inputs have arrived (the push mechanism of §4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.clock.dclock import DClock
+from repro.clock.hlc import Timestamp, ZERO_TS
+from repro.config import TimingConfig, Topology
+from repro.core.coordinator import CoordinatorMixin
+from repro.core.records import ReadyQueue, TxnRecord, TxnStatus, WaitQueue
+from repro.errors import RpcTimeout
+from repro.sim.clocks import ClockSource
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rpc import Endpoint, RpcRemoteError
+from repro.storage.catalog import Catalog
+from repro.storage.shard import Shard
+from repro.txn.executor import execute_on_shard
+from repro.util import Stats
+
+__all__ = ["DastNode"]
+
+_CAP_NID = -(1 << 60)
+
+
+def _just_below(ts: Timestamp) -> Timestamp:
+    """The largest reportable value strictly below ``ts``."""
+    return Timestamp(ts.time, ts.frac, _CAP_NID)
+
+
+class DastNode(CoordinatorMixin):
+    """One edge server: shard replica, PCT participant, coordinator."""
+
+    _obl_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        topology: Topology,
+        catalog: Catalog,
+        timing: TimingConfig,
+        host: str,
+        shard: Shard,
+        clock_source: ClockSource,
+        nid: int,
+        managers: Dict[str, str],
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.catalog = catalog
+        self.timing = timing
+        self.host = host
+        self.region = topology.region_of_node(host)
+        self.shard = shard
+        self.shard_id = shard.shard_id
+        self.nid = nid
+        self.managers = managers  # region -> manager host
+        self.manager = managers[self.region]
+        self.vid = 0
+        self.endpoint = Endpoint(sim, network, host, self.region, service_time=timing.service_time)
+
+        self.wait_q = WaitQueue()
+        self.ready_q = ReadyQueue()
+        self.records: Dict[str, TxnRecord] = {}
+        self.crt_log: Dict[str, dict] = {}  # failover-retrieval log (§4.4)
+        self.executed_log: List = []  # (ts, txn_id) in execution order
+        self.dclock = DClock(clock_source, nid, floor_fn=self.wait_q.min)
+
+        self.members: List[str] = topology.nodes_in_region(self.region)
+        self.removed: Set[str] = set()
+        self.max_ts: Dict[str, Timestamp] = {}
+        self._obligations: Dict[str, Dict[int, Timestamp]] = {}
+        self.coordinating: Dict[str, Any] = {}
+        self._early_commits: Dict[str, Timestamp] = {}
+        self.stats = Stats()
+        self.tracer = None  # optional repro.sim.trace.Tracer
+        self._running = False
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        ep = self.endpoint
+        ep.register("submit", self._guard(self.on_submit))
+        ep.register("irt_prepare", self._guard(self.on_irt_prepare))
+        ep.register("irt_commit", self._guard(self.on_irt_commit))
+        ep.register("crt_locallog", self._guard(self.on_crt_locallog))
+        ep.register("crt_commitlog", self._guard(self.on_crt_commitlog))
+        ep.register("prep_crt", self._guard(self.on_prep_crt))
+        ep.register("crt_ack", self._guard(self.on_crt_ack))
+        ep.register("crt_commit", self._guard(self.on_crt_commit))
+        ep.register("crt_announce", self._guard(self.on_crt_announce), )
+        ep.register("crt_update", self._guard(self.on_crt_update))
+        ep.register("crt_executed", self._guard(self.on_crt_executed), cheap=True)
+        ep.register("crt_input_ready", self._guard(self.on_crt_input_ready))
+        ep.register("send_output", self._guard(self.on_send_output))
+        ep.register("exec_done", self._guard(self.on_exec_done))
+        ep.register("pct_report", self._guard(self.on_pct_report), cheap=True)
+        ep.register("abort_crt", self._guard(self.on_abort_crt))
+        ep.register("remove_prep", self.on_remove_prep)
+        ep.register("remove_commit", self.on_remove_commit)
+        ep.register("mgr_takeover", self.on_mgr_takeover)
+        ep.register("transfer_ckpt", self.on_transfer_ckpt)
+        ep.register("install_ckpt", self.on_install_ckpt)
+        ep.register("add_prep", self.on_add_prep)
+        ep.register("add_commit", self.on_add_commit)
+        ep.register("replica_catchup", self.on_replica_catchup)
+        ep.register("ping", lambda src, payload: {"node": self.host}, cheap=True)
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.host, kind, **fields)
+
+    def _guard(self, handler: Callable) -> Callable:
+        """Drop messages from nodes removed by a view change (§4.4)."""
+
+        def guarded(src: str, payload):
+            if src in self.removed:
+                return None
+            return handler(src, payload)
+
+        return guarded
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.spawn(self._report_loop(), name=f"{self.host}.pct")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # PCT: clock reports and execution gating
+    # ------------------------------------------------------------------
+    def _report_loop(self):
+        while self._running:
+            yield self.sim.timeout(self.timing.pct_interval)
+            self._send_reports()
+
+    def _send_reports(self) -> None:
+        value = self.dclock.tick()
+        # The promise, enforced unconditionally: never report at or above
+        # the waitQ floor.  Even if the local clock overshot a floor that
+        # arrived late (possible under heavy skew — an anticipation can land
+        # below an already-parked clock), the *reported* value stays below
+        # it, so no peer executes past an unresolved CRT.
+        wait_floor = self.wait_q.min()
+        if wait_floor is not None and value >= wait_floor:
+            value = _just_below(wait_floor)
+        targets = [m for m in self.members if m != self.host]
+        targets.append(self.manager)
+        for dst in targets:
+            capped = value
+            pending = self._obligations.get(dst)
+            if pending:
+                floor = min(pending.values())
+                if capped >= floor:
+                    capped = _just_below(floor)
+            self.endpoint.send(dst, "pct_report", {"value": capped})
+        self._try_execute()
+
+    def on_pct_report(self, src: str, payload: dict) -> None:
+        value: Timestamp = payload["value"]
+        if value > self.max_ts.get(src, ZERO_TS):
+            self.max_ts[src] = value
+        # Intra-region dclock calibration (§4.2): chase the fastest clock —
+        # both the logical position (observe) and the physical offset
+        # (calibrate).  The offset chase is what lets a region catch up to
+        # a skew-advanced manager so CRT latency recovers (Fig 10a).
+        # Reported times are always <= the sender's physical reading, so
+        # chasing them cannot ratchet past the fastest real clock.
+        self.dclock.observe(value)
+        self.dclock.calibrate_to_time(value.time)
+        self._try_execute()
+
+    def _clocks_passed(self, ts: Timestamp) -> bool:
+        if self.dclock.peek() <= ts:
+            self.dclock.tick()
+            if self.dclock.peek() <= ts:
+                return False
+        for member in self.members:
+            if member == self.host:
+                continue
+            if self.max_ts.get(member, ZERO_TS) <= ts:
+                return False
+        return self.max_ts.get(self.manager, ZERO_TS) > ts
+
+    def _try_execute(self) -> None:
+        while True:
+            rec = self.ready_q.head()
+            if rec is None:
+                return
+            if rec.status == TxnStatus.ABORTED:
+                self.ready_q.pop()
+                continue
+            if rec.status != TxnStatus.COMMITTED:
+                return
+            floor = self.wait_q.min()
+            if floor is not None and rec.ts >= floor:
+                # An unresolved CRT may still commit below rec.ts: executing
+                # past it would break the promise.  With stretching enabled
+                # the frozen clocks enforce this implicitly; the explicit
+                # check keeps safety independent of the ablation switches.
+                return
+            if not self._clocks_passed(rec.ts):
+                return
+            if not rec.t_order_ready:
+                rec.t_order_ready = self.sim.now
+            if not rec.input_ready():
+                return  # strict timestamp order: wait for pushed inputs
+            self.ready_q.pop()
+            self._execute(rec)
+
+    def _execute(self, rec: TxnRecord) -> None:
+        rec.status = TxnStatus.EXECUTED
+        rec.t_executed = self.sim.now
+        self._trace("execute", txn=rec.txn_id, ts=str(rec.ts), crt=rec.is_crt)
+        if not rec.t_input_ready:
+            rec.t_input_ready = rec.t_order_ready
+        if rec.txn_id in self.wait_q:
+            self.wait_q.remove(rec.txn_id)
+        txn = rec.txn
+        outcome = execute_on_shard(txn, self.shard_id, self.shard, rec.inputs)
+        self.executed_log.append((rec.ts, rec.txn_id))
+        self.stats.inc("executed")
+        # Push produced values to consumer shards (the §4.1 push mechanism).
+        pushes: Dict[str, Dict[str, Any]] = {}
+        for var, value in outcome.outputs.items():
+            for consumer_shard in txn.consumers_of(var):
+                pushes.setdefault(consumer_shard, {})[var] = value
+        for consumer_shard, values in pushes.items():
+            for node in self.catalog.replicas_of(consumer_shard):
+                if node == self.host:
+                    continue
+                self.endpoint.send(node, "send_output", {"txn_id": rec.txn_id, "values": values})
+        # Report execution to the coordinator (client output collection).
+        self.endpoint.send(
+            rec.coordinator,
+            "exec_done",
+            {
+                "txn_id": rec.txn_id,
+                "shard": self.shard_id,
+                "node": self.host,
+                "outputs": outcome.outputs,
+                "aborted": outcome.aborted,
+                "reason": outcome.abort_reason,
+                "phases": (rec.t_committed, rec.t_order_ready, rec.t_input_ready, rec.t_executed),
+            },
+        )
+        if rec.is_crt:
+            # Let non-participants drop their waitQ floor for this CRT.
+            for peer in self.members:
+                if peer != self.host:
+                    self.endpoint.send(peer, "crt_executed", {"txn_id": rec.txn_id})
+            self.endpoint.send(self.manager, "crt_executed", {"txn_id": rec.txn_id})
+        self._try_execute()
+
+    # ------------------------------------------------------------------
+    # Record plumbing
+    # ------------------------------------------------------------------
+    def _record(self, txn, is_crt: bool, coordinator: str, status: str) -> TxnRecord:
+        rec = self.records.get(txn.txn_id)
+        if rec is None or isinstance(rec, _AnnouncedStub):
+            real = TxnRecord(txn, is_crt, coordinator, status=status)
+            if rec is not None:
+                real.inputs.update(rec.inputs)  # outputs that arrived early
+                if rec.status == TxnStatus.ABORTED:
+                    real.status = TxnStatus.ABORTED
+            self.records[txn.txn_id] = real
+            return real
+        return rec
+
+    def _i_participate(self, txn) -> bool:
+        return self.shard_id in txn.shard_ids
+
+    # ------------------------------------------------------------------
+    # IRT handlers (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _prepare_local_irt(self, txn, ts: Timestamp) -> None:
+        """Synchronous self-prepare used by the coordinator path."""
+        rec = self._record(txn, is_crt=False, coordinator=self.host, status=TxnStatus.PREPARED)
+        if rec.status in (TxnStatus.EXECUTED, TxnStatus.ABORTED):
+            return
+        rec.participates = True
+        rec.needed = txn.external_needs(self.shard_id)
+        rec.t_prepared = self.sim.now
+        if rec.txn_id not in self.ready_q:
+            self.ready_q.insert(ts, rec)
+
+    def on_irt_prepare(self, src: str, payload: dict):
+        txn, ts = payload["txn"], payload["ts"]
+        rec = self._record(txn, is_crt=False, coordinator=payload["coord"], status=TxnStatus.PREPARED)
+        if rec.status == TxnStatus.ABORTED:
+            return None
+        self._trace("irt_prepare", txn=txn.txn_id, ts=str(ts), coord=payload["coord"])
+        rec.participates = True
+        rec.needed = txn.external_needs(self.shard_id)
+        rec.t_prepared = self.sim.now
+        if rec.txn_id not in self.ready_q and rec.status != TxnStatus.EXECUTED:
+            self.ready_q.insert(ts, rec)
+        early_ts = self._early_commits.pop(txn.txn_id, None)
+        if early_ts is not None and rec.status == TxnStatus.PREPARED:
+            rec.status = TxnStatus.COMMITTED
+            rec.t_committed = self.sim.now
+            self._try_execute()
+        return {"node": self.host, "shard": self.shard_id}
+
+    def on_irt_commit(self, src: str, payload: dict):
+        txn_id, ts = payload["txn_id"], payload["ts"]
+        rec = self.records.get(txn_id)
+        if rec is None or isinstance(rec, _AnnouncedStub):
+            # Commit overtook the prepare (reordered network): the prepare
+            # carries the transaction body, so stash the commit decision and
+            # apply it when the (retried) prepare arrives.
+            self._early_commits[txn_id] = ts
+            return {"node": self.host}
+        if rec.status in (TxnStatus.PREPARED, TxnStatus.ANNOUNCED):
+            rec.status = TxnStatus.COMMITTED
+            rec.t_committed = self.sim.now
+            if txn_id not in self.ready_q:
+                self.ready_q.insert(ts, rec)
+            self._try_execute()
+        return {"node": self.host}
+
+    # ------------------------------------------------------------------
+    # CRT handlers (Algorithm 2)
+    # ------------------------------------------------------------------
+    def on_crt_locallog(self, src: str, payload: dict):
+        txn = payload["txn"]
+        self.crt_log[txn.txn_id] = {"txn": txn, "coord": payload["coord"], "commit_ts": None}
+        return {"node": self.host}
+
+    def on_crt_commitlog(self, src: str, payload: dict) -> None:
+        entry = self.crt_log.get(payload["txn_id"])
+        if entry is not None:
+            entry["commit_ts"] = payload["commit_ts"]
+
+    def on_prep_crt(self, src: str, payload: dict) -> None:
+        txn = payload["txn"]
+        anticipated: Timestamp = payload["anticipated_ts"]
+        coord = payload["coord"]
+        rec = self._record(txn, is_crt=True, coordinator=coord, status=TxnStatus.PREPARED)
+        if rec.status in (TxnStatus.ANNOUNCED, TxnStatus.PREPARED):
+            rec.status = TxnStatus.PREPARED
+            rec.participates = True
+            rec.needed = txn.external_needs(self.shard_id)
+            rec.anticipated_ts = anticipated
+            rec.t_prepared = self.sim.now
+            self._trace("crt_prepare", txn=txn.txn_id, anticipated=str(anticipated))
+            self.wait_q.insert(txn.txn_id, anticipated)
+            # Tell every intra-region node so their dclocks stretch too
+            # (§4.3, "a subtlety").
+            for peer in self.members:
+                if peer != self.host:
+                    self.endpoint.send(
+                        peer, "crt_announce",
+                        {"txn_id": txn.txn_id, "anticipated_ts": anticipated},
+                    )
+        # ACK straight to the coordinator with our region's anticipation.
+        self.endpoint.send(
+            coord,
+            "crt_ack",
+            {
+                "txn_id": txn.txn_id,
+                "node": self.host,
+                "shard": self.shard_id,
+                "anticipated_ts": rec.anticipated_ts or anticipated,
+                "region": self.region,
+                "phys_tag": self.dclock.physical(),
+            },
+        )
+
+    def on_crt_announce(self, src: str, payload: dict) -> None:
+        txn_id = payload["txn_id"]
+        rec = self.records.get(txn_id)
+        if rec is not None and rec.status != TxnStatus.ANNOUNCED:
+            return  # we already know more than the announcement
+        if rec is None:
+            self.records[txn_id] = _announced_stub(txn_id, payload["anticipated_ts"])
+        if txn_id not in self.wait_q:
+            self.wait_q.insert(txn_id, payload["anticipated_ts"])
+
+    def on_crt_commit(self, src: str, payload: dict):
+        txn_id = payload["txn_id"]
+        commit_ts: Timestamp = payload["commit_ts"]
+        txn = payload.get("txn")
+        rec = self.records.get(txn_id)
+        if rec is None or isinstance(rec, _AnnouncedStub):
+            if txn is None:
+                return {"node": self.host}  # cannot adopt without the body yet
+            inputs = rec.inputs if isinstance(rec, _AnnouncedStub) else {}
+            rec = TxnRecord(txn, is_crt=True, coordinator=payload.get("coord", src))
+            rec.inputs.update(inputs)
+            self.records[txn_id] = rec
+        if rec.status in (TxnStatus.COMMITTED, TxnStatus.EXECUTED, TxnStatus.ABORTED):
+            return {"node": self.host}
+        tag = payload.get("phys_tag")
+        src_region = self.topology.region_of_node(src) if "." in src else self.region
+        if tag is not None and src_region != self.region:
+            # Zero slack: lift clocks that lag the sender, never push ahead.
+            # A half-RTT slack ratchets offsets upward under jitter (the
+            # offset can only grow, so every over-estimate accumulates).
+            self.dclock.calibrate_to_time(tag, slack=0.0)
+        self._adopt_commit(rec, commit_ts)
+        return {"node": self.host}
+
+    def _adopt_commit(self, rec: TxnRecord, commit_ts: Timestamp) -> None:
+        """Atomically move a CRT from prepared/announced to committed."""
+        self._trace("crt_commit", txn=rec.txn_id, ts=str(commit_ts))
+        rec.status = TxnStatus.COMMITTED
+        rec.t_committed = self.sim.now
+        rec.participates = self._i_participate(rec.txn)
+        self.wait_q.remove(rec.txn_id)
+        if rec.participates:
+            rec.needed = rec.txn.external_needs(self.shard_id)
+            if rec.txn_id not in self.ready_q:
+                self.ready_q.insert(commit_ts, rec)
+            if rec.input_ready():
+                rec.t_input_ready = self.sim.now
+            else:
+                # Committed but waiting for inputs: keep the floor at the
+                # commit timestamp so later IRTs slot below it (R1).
+                self.wait_q.insert(rec.txn_id, commit_ts)
+        # Relay the committed CRT to all intra-region nodes + manager: this
+        # is the notification Lemma 1's proof relies on.
+        if not getattr(rec, "_relayed", False):
+            rec._relayed = True
+            update = {
+                "txn_id": rec.txn_id,
+                "txn": rec.txn,
+                "coord": rec.coordinator,
+                "commit_ts": commit_ts,
+                "input_ready": rec.input_ready(),
+            }
+            for peer in self.members:
+                if peer != self.host:
+                    self._reliable(peer, "crt_update", update, obligation_ts=commit_ts)
+            self._reliable(self.manager, "crt_update", update, obligation_ts=commit_ts)
+        self._try_execute()
+
+    def on_crt_update(self, src: str, payload: dict):
+        txn_id = payload["txn_id"]
+        commit_ts = payload["commit_ts"]
+        rec = self.records.get(txn_id)
+        if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status in (
+            TxnStatus.COMMITTED,
+            TxnStatus.EXECUTED,
+            TxnStatus.ABORTED,
+        ):
+            return {"node": self.host}
+        txn = payload["txn"]
+        if self.shard_id in txn.shard_ids:
+            # We participate: adopt the commit exactly as if crt_commit came.
+            inputs = rec.inputs if isinstance(rec, _AnnouncedStub) else (rec.inputs if rec else {})
+            real = rec if (rec is not None and not isinstance(rec, _AnnouncedStub)) else TxnRecord(
+                txn, is_crt=True, coordinator=payload["coord"]
+            )
+            real.inputs.update(inputs)
+            self.records[txn_id] = real
+            self._adopt_commit(real, commit_ts)
+        else:
+            # Non-participant: only our waitQ floor needs maintenance.
+            if rec is None:
+                rec = _announced_stub(txn_id, commit_ts)
+                self.records[txn_id] = rec
+            rec.status = TxnStatus.COMMITTED
+            if payload["input_ready"]:
+                self.wait_q.remove(txn_id)
+            else:
+                self.wait_q.update(txn_id, commit_ts)
+            self._try_execute()
+        return {"node": self.host}
+
+    def on_crt_executed(self, src: str, payload: dict) -> None:
+        txn_id = payload["txn_id"]
+        rec = self.records.get(txn_id)
+        if rec is not None and isinstance(rec, _AnnouncedStub):
+            rec.status = TxnStatus.EXECUTED
+        self.wait_q.remove(txn_id)
+        self._try_execute()
+
+    def on_send_output(self, src: str, payload: dict) -> None:
+        txn_id = payload["txn_id"]
+        rec = self.records.get(txn_id)
+        if rec is None:
+            rec = _announced_stub(txn_id, None)
+            self.records[txn_id] = rec
+        for var, value in payload["values"].items():
+            rec.inputs.setdefault(var, value)
+        if (
+            not isinstance(rec, _AnnouncedStub)
+            and rec.status == TxnStatus.COMMITTED
+            and rec.input_ready()
+        ):
+            if not rec.t_input_ready:
+                rec.t_input_ready = self.sim.now
+            self.wait_q.remove(txn_id)
+            # Tell non-participants (whose waitQ still floors their clocks
+            # at this CRT's commit timestamp) that the wait is over —
+            # without this the frozen clocks would block the CRT itself.
+            self._announce_input_ready(rec)
+            self._try_execute()
+
+    def _announce_input_ready(self, rec: TxnRecord) -> None:
+        if getattr(rec, "_input_announced", False):
+            return
+        rec._input_announced = True
+        for peer in self.members:
+            if peer != self.host:
+                self._reliable(peer, "crt_input_ready", {"txn_id": rec.txn_id})
+
+    def on_crt_input_ready(self, src: str, payload: dict):
+        txn_id = payload["txn_id"]
+        rec = self.records.get(txn_id)
+        if rec is None or isinstance(rec, _AnnouncedStub) or not rec.participates:
+            # Only the non-participant floor entry must go; participants
+            # drop theirs when their own inputs complete.
+            self.wait_q.remove(txn_id)
+            self._try_execute()
+        return {"node": self.host}
+
+    def on_abort_crt(self, src: str, payload: dict):
+        txn_id = payload["txn_id"]
+        rec = self.records.get(txn_id)
+        if rec is None:
+            rec = _announced_stub(txn_id, None)
+            rec.status = TxnStatus.ABORTED
+            self.records[txn_id] = rec
+        elif rec.status not in (TxnStatus.COMMITTED, TxnStatus.EXECUTED):
+            rec.status = TxnStatus.ABORTED
+            self._trace("crt_abort", txn=txn_id)
+            self.stats.inc("crt_aborted_failover")
+        self.wait_q.remove(txn_id)
+        self._try_execute()
+        return {"node": self.host}
+
+    # ------------------------------------------------------------------
+    # Commit helper used by the coordinator mixin
+    # ------------------------------------------------------------------
+    def _commit_local(self, txn_id: str, ts: Timestamp) -> None:
+        rec = self.records.get(txn_id)
+        if rec is not None and rec.status == TxnStatus.PREPARED:
+            rec.status = TxnStatus.COMMITTED
+            rec.t_committed = self.sim.now
+            self._try_execute()
+
+    # ------------------------------------------------------------------
+    # Reliable delivery with obligation caps
+    # ------------------------------------------------------------------
+    def _reliable(
+        self,
+        dst: str,
+        method: str,
+        payload: dict,
+        obligation_ts: Optional[Timestamp] = None,
+        timeout: Optional[float] = None,
+        on_ack: Optional[Callable] = None,
+        max_tries: int = 0,
+    ) -> None:
+        obl_id = next(self._obl_ids)
+        if obligation_ts is not None:
+            self._obligations.setdefault(dst, {})[obl_id] = obligation_ts
+        timeout = timeout or max(4 * self.timing.intra_region_rtt, 10.0)
+
+        def proc():
+            tries = 0
+            try:
+                while True:
+                    try:
+                        value = yield self.endpoint.call(dst, method, payload, timeout=timeout)
+                        if on_ack is not None:
+                            on_ack(value)
+                        return
+                    except (RpcTimeout, RpcRemoteError):
+                        tries += 1
+                        self.stats.inc("retransmissions")
+                        if max_tries and tries >= max_tries:
+                            self.stats.inc("delivery_gaveup")
+                            return
+                        if dst in self.removed:
+                            return
+            finally:
+                pending = self._obligations.get(dst)
+                if pending is not None:
+                    pending.pop(obl_id, None)
+
+        self.sim.spawn(proc(), name=f"{self.host}.reliable.{method}")
+
+    # ------------------------------------------------------------------
+    # Failover: node removal (Algorithm 3)
+    # ------------------------------------------------------------------
+    def on_remove_prep(self, src: str, payload: dict):
+        to_remove = set(payload["to_remove"])
+        pend_irts, pend_crts = [], []
+        for rec in self.records.values():
+            if isinstance(rec, _AnnouncedStub):
+                continue
+            if rec.coordinator in to_remove and rec.status == TxnStatus.PREPARED:
+                if rec.is_crt:
+                    pend_crts.append(
+                        {"txn_id": rec.txn_id, "txn": rec.txn, "committed": False, "commit_ts": None}
+                    )
+                else:
+                    pend_irts.append({"txn_id": rec.txn_id, "ts": rec.ts})
+        for txn_id, entry in self.crt_log.items():
+            coord = entry["coord"]
+            if coord in to_remove:
+                rec = self.records.get(txn_id)
+                committed = rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status in (
+                    TxnStatus.COMMITTED, TxnStatus.EXECUTED,
+                )
+                pend_crts.append(
+                    {
+                        "txn_id": txn_id,
+                        "txn": entry["txn"],
+                        "committed": committed or entry["commit_ts"] is not None,
+                        "commit_ts": entry["commit_ts"] or (rec.ts if committed else None),
+                    }
+                )
+        return {"node": self.host, "pend_irts": pend_irts, "pend_crts": pend_crts}
+
+    def on_remove_commit(self, src: str, payload: dict):
+        self.vid = payload["vid"]
+        removed = set(payload["removed"])
+        self.removed |= removed
+        self.members = [m for m in self.members if m not in removed]
+        for node in removed:
+            self.max_ts.pop(node, None)
+            self._obligations.pop(node, None)
+            for shard_id in self.catalog.shards_on_node(node):
+                self.catalog.remove_replica(shard_id, node)
+        # Commit orphaned IRTs seen by at least one node (low latency policy).
+        for entry in payload["commit_irts"]:
+            rec = self.records.get(entry["txn_id"])
+            if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status == TxnStatus.PREPARED:
+                rec.status = TxnStatus.COMMITTED
+                rec.t_committed = self.sim.now
+        # Abort orphaned CRTs (cross-region status retrieval is too costly).
+        for entry in payload["abort_crts"]:
+            self.on_abort_crt(src, {"txn_id": entry["txn_id"]})
+        for entry in payload.get("commit_crts", []):
+            rec = self.records.get(entry["txn_id"])
+            if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status == TxnStatus.PREPARED:
+                self._adopt_commit(rec, entry["commit_ts"])
+        self._try_execute()
+        return {"node": self.host}
+
+    # ------------------------------------------------------------------
+    # Failover: manager takeover (§4.4)
+    # ------------------------------------------------------------------
+    def on_mgr_takeover(self, src: str, payload: dict):
+        old_manager = self.manager
+        self.manager = src
+        self.vid = payload["vid"]
+        old_ts = self.max_ts.pop(old_manager, ZERO_TS)
+        self.max_ts.setdefault(src, old_ts)
+        return {"node": self.host, "mgr_max_ts": old_ts, "my_clock": self.dclock.peek()}
+
+    # ------------------------------------------------------------------
+    # Recovery: adding a replica (Algorithm 4)
+    # ------------------------------------------------------------------
+    def on_transfer_ckpt(self, src: str, payload: dict):
+        new_node = payload["node"]
+        ts_ckpt = self.executed_log[-1][0] if self.executed_log else self.dclock.peek()
+        snapshot = self.shard.snapshot()
+        # Remember what the checkpoint covers: after the view installs we
+        # redeliver everything newer (the paper's notifiedTs[n] = ts_ckpt).
+        self._ckpt_donor_state = {"node": new_node, "ts_ckpt": ts_ckpt}
+
+        def proc():
+            yield self.endpoint.call(
+                new_node,
+                "install_ckpt",
+                {"snapshot": snapshot, "ts_ckpt": ts_ckpt, "shard": self.shard_id},
+                timeout=4 * self.timing.intra_region_rtt,
+            )
+            return ts_ckpt
+
+        return proc()
+
+    def _send_catchup(self, new_node: str, ts_ckpt: Timestamp) -> None:
+        """Redeliver post-checkpoint relevant transactions to a new replica.
+
+        Covers executed/committed transactions the checkpoint missed and
+        in-flight prepared ones whose commits may race the view install.
+        """
+        entries = []
+        for rec in self.records.values():
+            if isinstance(rec, _AnnouncedStub) or rec.ts is None:
+                continue
+            if self.shard_id not in rec.txn.shard_ids:
+                continue
+            if rec.status == TxnStatus.ABORTED:
+                continue
+            if rec.status == TxnStatus.EXECUTED and rec.ts <= ts_ckpt:
+                continue  # already inside the checkpoint
+            entries.append({
+                "txn": rec.txn,
+                "ts": rec.ts,
+                "status": rec.status,
+                "is_crt": rec.is_crt,
+                "coord": rec.coordinator,
+                "inputs": dict(rec.inputs),
+                "anticipated_ts": rec.anticipated_ts,
+            })
+        if entries:
+            self._reliable(new_node, "replica_catchup", {"entries": entries})
+
+    def on_replica_catchup(self, src: str, payload: dict):
+        for entry in payload["entries"]:
+            txn = entry["txn"]
+            rec = self._record(txn, entry["is_crt"], entry["coord"],
+                               status=TxnStatus.PREPARED)
+            rec.inputs.update(entry["inputs"])
+            rec.participates = True
+            rec.needed = txn.external_needs(self.shard_id)
+            status = entry["status"]
+            if status in (TxnStatus.COMMITTED, TxnStatus.EXECUTED):
+                if rec.status not in (TxnStatus.COMMITTED, TxnStatus.EXECUTED):
+                    self._adopt_commit(rec, entry["ts"])
+            elif rec.status == TxnStatus.PREPARED and rec.txn_id not in self.ready_q:
+                if entry["is_crt"]:
+                    if entry["anticipated_ts"] is not None:
+                        rec.anticipated_ts = entry["anticipated_ts"]
+                        self.wait_q.insert(rec.txn_id, entry["anticipated_ts"])
+                else:
+                    self.ready_q.insert(entry["ts"], rec)
+        self._try_execute()
+        return {"node": self.host}
+
+    def on_install_ckpt(self, src: str, payload: dict):
+        self.shard.restore(payload["snapshot"])
+        return {"node": self.host, "ts_ckpt": payload["ts_ckpt"]}
+
+    def on_add_prep(self, src: str, payload: dict):
+        # The "fake CRT" accessing all nodes: freeze clocks below ts_ins.
+        self.wait_q.insert(f"add:{payload['node']}", payload["ts_ins"])
+        return {"node": self.host}
+
+    def on_add_commit(self, src: str, payload: dict):
+        new_node = payload["node"]
+        ts_ins: Timestamp = payload["ts_ins"]
+        self.vid = payload["vid"]
+        self.wait_q.remove(f"add:{new_node}")
+        self.removed.discard(new_node)
+        if new_node == self.host:
+            # We are the new replica: jump our clock past the install point.
+            self.dclock.jump_to(ts_ins)
+            self.members = payload["members"]
+            for shard_id in [payload["shard"]]:
+                self.catalog.add_replica(shard_id, new_node)
+        else:
+            if new_node not in self.members:
+                self.members.append(new_node)
+            self.catalog.add_replica(payload["shard"], new_node)
+            self.max_ts[new_node] = ts_ins
+            donor_state = getattr(self, "_ckpt_donor_state", None)
+            if donor_state and donor_state["node"] == new_node:
+                # Redeliver now and once more after the dust settles, in
+                # case a commit raced the catalog update.
+                self._send_catchup(new_node, donor_state["ts_ckpt"])
+                def later():
+                    yield self.sim.timeout(10 * self.timing.intra_region_rtt)
+                    self._send_catchup(new_node, donor_state["ts_ckpt"])
+                self.sim.spawn(later(), name=f"{self.host}.catchup2")
+        self._try_execute()
+        return {"node": self.host}
+
+
+class _AnnouncedStub:
+    """Minimal record for CRTs known only by id (announce / early output)."""
+
+    def __init__(self, txn_id: str):
+        self.txn_id = txn_id
+        self.status = TxnStatus.ANNOUNCED
+        self.inputs: Dict[str, Any] = {}
+        self.is_crt = True
+        self.coordinator = ""
+
+
+def _announced_stub(txn_id: str, _ts) -> _AnnouncedStub:
+    return _AnnouncedStub(txn_id)

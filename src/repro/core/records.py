@@ -1,0 +1,156 @@
+"""Per-node transaction bookkeeping for DAST: records, readyQ, waitQ.
+
+Each node keeps two timestamp-ordered queues (§4.2):
+
+* **readyQ** — received IRTs (prepared or committed) and *committed* CRTs;
+  the PCT check walks it in timestamp order.
+* **waitQ** — constraints on the dclock: prepared CRTs at their anticipated
+  timestamps, committed CRTs still waiting for remote inputs at their commit
+  timestamps, plus special failover entries (the fake CRT of Algorithm 4).
+  The minimum of the waitQ is the dclock's stretch floor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.clock.hlc import Timestamp
+from repro.txn.model import Transaction
+
+__all__ = ["TxnStatus", "TxnRecord", "ReadyQueue", "WaitQueue"]
+
+
+class TxnStatus:
+    """Lifecycle states of a transaction record at one node."""
+
+    ANNOUNCED = "announced"  # CRT known via intra-region notification only
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    EXECUTED = "executed"
+    ABORTED = "aborted"
+
+
+class TxnRecord:
+    """One node's view of one relevant transaction."""
+
+    def __init__(
+        self,
+        txn: Transaction,
+        is_crt: bool,
+        coordinator: str,
+        status: str = TxnStatus.PREPARED,
+    ):
+        self.txn = txn
+        self.is_crt = is_crt
+        self.coordinator = coordinator
+        self.status = status
+        self.ts: Optional[Timestamp] = None  # ordering timestamp (IRT ts / CRT commit ts)
+        self.anticipated_ts: Optional[Timestamp] = None  # CRT phase-1 timestamp
+        self.participates = False  # does this node host a participating shard?
+        self.inputs: Dict[str, Any] = {}
+        self.needed: FrozenSet[str] = frozenset()
+        # Phase instrumentation (virtual ms), used for Tables 3 and 4.
+        self.t_prepared = 0.0
+        self.t_committed = 0.0
+        self.t_order_ready = 0.0  # head-of-queue and all clocks passed
+        self.t_input_ready = 0.0
+        self.t_executed = 0.0
+
+    @property
+    def txn_id(self) -> str:
+        return self.txn.txn_id
+
+    def input_ready(self) -> bool:
+        return self.needed <= frozenset(self.inputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"TxnRecord({self.txn_id}, {self.status}, ts={self.ts}, "
+            f"anticipated={self.anticipated_ts})"
+        )
+
+
+class ReadyQueue:
+    """Min-heap of records by ordering timestamp with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Timestamp, int, TxnRecord]] = []
+        self._seq = itertools.count()
+        self._members: Dict[str, TxnRecord] = {}
+
+    def insert(self, ts: Timestamp, record: TxnRecord) -> None:
+        record.ts = ts
+        self._members[record.txn_id] = record
+        heapq.heappush(self._heap, (ts, next(self._seq), record))
+
+    def head(self) -> Optional[TxnRecord]:
+        while self._heap:
+            ts, _seq, record = self._heap[0]
+            live = self._members.get(record.txn_id)
+            if live is record and record.ts == ts:
+                return record
+            heapq.heappop(self._heap)  # stale (removed or re-keyed) entry
+        return None
+
+    def pop(self) -> TxnRecord:
+        record = self.head()
+        if record is None:
+            raise IndexError("pop from empty ReadyQueue")
+        heapq.heappop(self._heap)
+        del self._members[record.txn_id]
+        return record
+
+    def remove(self, txn_id: str) -> Optional[TxnRecord]:
+        return self._members.pop(txn_id, None)
+
+    def get(self, txn_id: str) -> Optional[TxnRecord]:
+        return self._members.get(txn_id)
+
+    def __contains__(self, txn_id: str) -> bool:
+        return txn_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def records(self) -> List[TxnRecord]:
+        return sorted(self._members.values(), key=lambda r: r.ts)
+
+
+class WaitQueue:
+    """Timestamp floor constraints keyed by a constraint id (txn id or tag)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Timestamp, int, str]] = []
+        self._seq = itertools.count()
+        self._entries: Dict[str, Timestamp] = {}
+
+    def insert(self, key: str, ts: Timestamp) -> None:
+        self._entries[key] = ts
+        heapq.heappush(self._heap, (ts, next(self._seq), key))
+
+    def remove(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def update(self, key: str, ts: Timestamp) -> None:
+        """Atomically re-key an entry (CRT commit: anticipated -> commit ts)."""
+        self.insert(key, ts)
+
+    def min(self) -> Optional[Timestamp]:
+        while self._heap:
+            ts, _seq, key = self._heap[0]
+            current = self._entries.get(key)
+            if current is not None and current == ts:
+                return ts
+            heapq.heappop(self._heap)
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Dict[str, Timestamp]:
+        return dict(self._entries)

@@ -1,0 +1,246 @@
+"""Top-level assembly of a DAST deployment on the simulated edge network.
+
+``DastSystem`` wires regions, nodes (one shard replica each), managers (one
+active + one standby per region), the per-region SMR service, and loads the
+workload's data into every replica.  It exposes the client-facing ``submit``
+API shared by all systems under test, plus fault-injection hooks used by the
+failover tests and robustness benchmarks (Figs 9-10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import Topology
+from repro.consensus.smr import SmrCluster
+from repro.core.failure_detector import FailureDetector
+from repro.core.manager import DastManager
+from repro.core.node import DastNode
+from repro.errors import ConfigError
+from repro.sim.clocks import ClockSource
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.rpc import Endpoint
+from repro.storage.catalog import Catalog
+from repro.storage.shard import Shard
+from repro.storage.table import TableSchema
+from repro.txn.model import Transaction
+from repro.util import Stats
+
+__all__ = ["DastSystem"]
+
+
+class DastSystem:
+    """A complete DAST deployment ready to accept transactions."""
+
+    name = "dast"
+
+    def __init__(
+        self,
+        topology: Topology,
+        schemas: Sequence[TableSchema],
+        loader: Callable[[Shard, int], None],
+        seed: int = 1,
+        clock_skew: float = 0.0,
+        with_smr: bool = False,
+        with_failure_detector: bool = False,
+        variant: Optional[Dict[str, bool]] = None,
+    ):
+        # Ablation variant flags: {"stretch": bool, "calibration": bool,
+        # "anticipation": bool}; all default True (full DAST).
+        self.variant = {"stretch": True, "calibration": True, "anticipation": True}
+        self.variant.update(variant or {})
+        self.with_failure_detector = with_failure_detector
+        self.failure_detectors: Dict[str, "FailureDetector"] = {}
+        self.topology = topology
+        self.timing = topology.config.timing
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.sim,
+            self.rng,
+            intra_region_rtt=self.timing.intra_region_rtt,
+            cross_region_rtt=self.timing.cross_region_rtt,
+            drop_probability=self.timing.drop_probability,
+        )
+        self.catalog = Catalog(self._partition)
+        self._shard_of_key: Dict[str, str] = {}
+        self.schemas = list(schemas)
+        self.loader = loader
+        self.stats = Stats()
+        self.submitted: Dict[str, Transaction] = {}
+
+        skew_rng = self.rng.stream("clock-skew")
+        nid = 0
+        self.clock_sources: Dict[str, ClockSource] = {}
+        self.nodes: Dict[str, DastNode] = {}
+        self.managers: Dict[str, DastManager] = {}
+        self.standby_managers: Dict[str, DastManager] = {}
+        self.smr_clusters: Dict[str, SmrCluster] = {}
+        # Shared manager directory: updated on takeover so remote
+        # coordinators find the active manager (models a directory service).
+        self.manager_directory: Dict[str, str] = {
+            region: topology.manager_of(region) for region in topology.regions
+        }
+        for region in topology.regions:
+            for shard_id in topology.shards_in_region(region):
+                self.catalog.add_shard(shard_id, region, topology.replicas_of(shard_id))
+        for region in topology.regions:
+            if with_smr:
+                self.smr_clusters[region] = SmrCluster(self.sim, self.network, region)
+            for node_host in topology.nodes_in_region(region):
+                shard_id = topology.shard_of_node(node_host)
+                shard = Shard(shard_id, self.schemas)
+                self.loader(shard, topology.shard_index(shard_id))
+                source = self._clock_source(node_host, clock_skew, skew_rng)
+                node = DastNode(
+                    self.sim, self.network, topology, self.catalog, self.timing,
+                    node_host, shard, source, nid, self.manager_directory,
+                )
+                node.dclock.stretch_enabled = self.variant["stretch"]
+                node.dclock.calibration_enabled = self.variant["calibration"]
+                self.nodes[node_host] = node
+                nid += 1
+            for mgr_host, active in (
+                (topology.manager_of(region), True),
+                (topology.manager_backup_of(region), False),
+            ):
+                source = self._clock_source(mgr_host, clock_skew, skew_rng)
+                manager = DastManager(
+                    self.sim, self.network, topology, self.catalog, self.timing,
+                    mgr_host, region, source, nid,
+                    smr=self.smr_clusters.get(region), active=active,
+                )
+                manager.managers = self.manager_directory
+                manager.dclock.calibration_enabled = self.variant["calibration"]
+                manager.anticipation_enabled = self.variant["anticipation"]
+                nid += 1
+                if active:
+                    self.managers[region] = manager
+                else:
+                    self.standby_managers[region] = manager
+        self.client_endpoints: Dict[str, Endpoint] = {}
+        for client in topology.all_clients():
+            region = client.split(".", 1)[0]
+            self.client_endpoints[client] = Endpoint(self.sim, self.network, client, region)
+
+    def _clock_source(self, host: str, skew: float, rng) -> ClockSource:
+        offset = rng.uniform(-skew, skew) if skew else 0.0
+        source = ClockSource(self.sim, offset=offset)
+        self.clock_sources[host] = source
+        return source
+
+    def _partition(self, table: str, key) -> str:
+        # The workload maps keys to global shard indexes via its own logic;
+        # systems see shard ids directly on the transaction's pieces, so this
+        # partition function is only used for ad-hoc catalog lookups.
+        raise ConfigError("DAST resolves shards from transaction pieces, not the catalog")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+        for manager in self.managers.values():
+            manager.start()
+            if self.with_failure_detector and manager.region not in self.failure_detectors:
+                detector = FailureDetector(manager)
+                detector.start()
+                self.failure_detectors[manager.region] = detector
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, client: str, node_host: str, txn: Transaction,
+               timeout: Optional[float] = None) -> Event:
+        """Submit ``txn`` from ``client`` to coordinator ``node_host``.
+
+        Returns an event resolving to a :class:`TxnResult` (or failing with
+        :class:`RpcTimeout` if the coordinator crashed mid-flight).
+        """
+        endpoint = self.client_endpoints.get(client)
+        if endpoint is None:
+            region = client.split(".", 1)[0]
+            endpoint = Endpoint(self.sim, self.network, client, region)
+            self.client_endpoints[client] = endpoint
+        self.submitted[txn.txn_id] = txn
+        return endpoint.call(node_host, "submit", txn, timeout=timeout)
+
+    def home_nodes(self, region: str) -> List[str]:
+        return self.topology.nodes_in_region(region)
+
+    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000):
+        """Attach a :class:`repro.sim.trace.Tracer` to every node/manager.
+
+        Returns the tracer; tracing is off unless this is called.
+        """
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer(kinds=kinds, hosts=hosts, capacity=capacity)
+        for node in self.nodes.values():
+            node.tracer = tracer
+        for manager in list(self.managers.values()) + list(self.standby_managers.values()):
+            manager.tracer = tracer
+        self.tracer = tracer
+        return tracer
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash_node(self, node_host: str, report: bool = True) -> None:
+        """Crash a data node; optionally report it to its region's manager."""
+        self.network.crash_host(node_host)
+        self.nodes[node_host].stop()
+        if report:
+            region = self.topology.region_of_node(node_host)
+            manager = self.managers[region]
+            self.sim.spawn(manager.remove_nodes([node_host]), name=f"remove.{node_host}")
+
+    def fail_manager(self, region: str) -> DastManager:
+        """Crash the active manager and promote the standby via SMR + 2PC."""
+        old = self.managers[region]
+        old.stop()
+        self.network.crash_host(old.host)
+        if region in self.smr_clusters:
+            self.smr_clusters[region].elect()
+        standby = self.standby_managers[region]
+        self.manager_directory[region] = standby.host
+        self.managers[region] = standby
+        self.sim.spawn(standby.takeover(), name=f"takeover.{region}")
+        return standby
+
+    def add_replica(self, region: str, new_host: str, shard_id: str) -> Event:
+        """Add ``new_host`` as a fresh replica of ``shard_id`` (Algorithm 4)."""
+        source = self._clock_source(new_host, 0.0, self.rng.stream("clock-skew"))
+        shard = Shard(shard_id, self.schemas)  # empty until checkpoint install
+        node = DastNode(
+            self.sim, self.network, self.topology, self.catalog, self.timing,
+            new_host, shard, source, nid=1000 + len(self.nodes), managers=self.manager_directory,
+        )
+        # A re-added host may have been crashed before: revive its address.
+        self.network.restart_host(new_host)
+        self.nodes[new_host] = node
+        node.start()
+        manager = self.managers[region]
+        return self.sim.spawn(manager.add_replica(new_host, shard_id), name=f"add.{new_host}")
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and benchmarks
+    # ------------------------------------------------------------------
+    def replicas_digest(self, shard_id: str) -> List[str]:
+        return [
+            self.nodes[host].shard.digest()
+            for host in self.catalog.replicas_of(shard_id)
+            if host in self.nodes
+        ]
+
+    def total_stretches(self) -> int:
+        return sum(n.dclock.stretch_count for n in self.nodes.values())
+
+    def executed_counts(self) -> Dict[str, int]:
+        return {h: len(n.executed_log) for h, n in self.nodes.items()}

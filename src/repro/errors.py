@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered (partition, drop, unknown host)."""
+
+
+class RpcTimeout(NetworkError):
+    """An RPC did not receive a response within its deadline."""
+
+
+class StorageError(ReproError):
+    """Schema violation or illegal access in the storage engine."""
+
+
+class UnknownTableError(StorageError):
+    """A table name was not found in a shard's catalog."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert attempted with a primary key that already exists."""
+
+
+class MissingRowError(StorageError):
+    """Read/update referenced a primary key that does not exist."""
+
+
+class TransactionError(ReproError):
+    """Violation of the stored-procedure transaction model."""
+
+
+class CyclicDependencyError(TransactionError):
+    """A transaction declared cyclic cross-shard value dependencies."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised through to clients when a transaction aborts.
+
+    ``reason`` distinguishes conditional (user-level) aborts from
+    system-induced aborts (conflicts in deferred-update systems, failovers).
+    """
+
+    def __init__(self, txn_id: str, reason: str):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation reached a state it never should."""
+
+
+class ConfigError(ReproError):
+    """An experiment or topology configuration is invalid."""

@@ -1,0 +1,60 @@
+"""Per-node virtual physical clocks.
+
+Each node reads wall-clock time from a :class:`ClockSource` that maps the
+simulator's virtual time through a configurable offset and drift rate.  The
+evaluation in the paper (§6.3, Fig 10) injects a 200 ms skew into one
+region's manager at runtime and disables NTP; :meth:`ClockSource.adjust`
+reproduces exactly that.
+
+DAST never relies on these clocks for correctness — they only feed the
+``time`` field of the hybrid dclock to make anticipation useful.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+__all__ = ["ClockSource"]
+
+
+class ClockSource:
+    """``now() = base + (sim.now - epoch) * (1 + drift) + offset``.
+
+    ``drift`` is a dimensionless rate error (e.g. ``1e-5`` = 10 ppm);
+    ``offset`` is in milliseconds.  Changing either at runtime re-anchors the
+    mapping at the current instant so the reading never jumps except through
+    an explicit :meth:`adjust`.
+    """
+
+    def __init__(self, sim: Simulator, offset: float = 0.0, drift: float = 0.0):
+        if drift <= -1.0:
+            raise ConfigError(f"drift {drift} would make the clock run backwards")
+        self.sim = sim
+        self._offset = offset
+        self._drift = drift
+        self._epoch = sim.now
+        self._base = 0.0
+
+    def now(self) -> float:
+        """Current physical-clock reading in milliseconds."""
+        return self._base + (self.sim.now - self._epoch) * (1.0 + self._drift) + self._offset
+
+    def adjust(self, delta_ms: float) -> None:
+        """Step the clock by ``delta_ms`` (positive = jump forward).
+
+        This models an operator advancing the system clock (Fig 10a) or an
+        NTP step.  The reading changes discontinuously by exactly ``delta``.
+        """
+        self._offset += delta_ms
+
+    def set_drift(self, drift: float) -> None:
+        """Change the drift rate without stepping the current reading."""
+        if drift <= -1.0:
+            raise ConfigError(f"drift {drift} would make the clock run backwards")
+        self._rebase()
+        self._drift = drift
+
+    def _rebase(self) -> None:
+        self._base = self.now() - self._offset
+        self._epoch = self.sim.now

@@ -1,0 +1,293 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free cousin of SimPy: the simulator owns a binary heap of
+scheduled callbacks and a virtual clock in **milliseconds**.  Protocol code is
+written as generator coroutines ("processes") that ``yield`` :class:`Event`
+objects to suspend until the event triggers.
+
+Example::
+
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(5.0)
+        return "done"
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == "done"
+    assert sim.now == 5.0
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(FIFO), so runs are reproducible given seeded randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once with either a
+    value (:meth:`succeed`) or an exception (:meth:`fail`).  Triggering a
+    second time is an error — protocols that may race to complete an event
+    should guard with :attr:`triggered`.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "ok", "value", "_exc")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Fire on the next scheduler tick to preserve run-to-completion
+            # semantics for the caller.
+            self.sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"Event.fail expects an exception, got {exc!r}")
+        self._trigger(False, None, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.call_soon(fn, self)
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        sim.schedule(delay, self.succeed, value)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the uncaught exception.
+    Other processes may therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        sim.call_soon(self._resume, None)
+
+    def _resume(self, trigger: Optional[Event]) -> None:
+        if self.triggered:
+            return  # interrupted or already finished
+        try:
+            if trigger is None:
+                target = self._gen.send(None)
+            elif trigger.ok:
+                target = self._gen.send(trigger.value)
+            else:
+                target = self._gen.throw(trigger.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(SimulationError(f"process {self.name} yielded non-event {target!r}"))
+            return
+        target.add_callback(self._resume)
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Cancel the process.
+
+        The process event fails with ``exc`` (default
+        :class:`ProcessInterrupted`); the underlying generator is closed so
+        its ``finally`` blocks run.
+        """
+        if self.triggered:
+            return
+        self._gen.close()
+        self.fail(exc if exc is not None else ProcessInterrupted(self.name))
+
+
+class ProcessInterrupted(SimulationError):
+    """A process was cancelled via :meth:`Process.interrupt`."""
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered.
+
+    Succeeds with the list of child values (in input order).  Fails with the
+    first child failure.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_child_callback(i))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(ev: Event) -> None:
+            if self.triggered:
+                return
+            if not ev.ok:
+                self.fail(ev.exception)
+                return
+            self._values[index] = ev.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return on_child
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers (success or failure)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed(ev.value)
+        else:
+            self.fail(ev.exception)
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = itertools.count()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` virtual milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current instant, after the running callback."""
+        self.schedule(0.0, fn, *args)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback; return False when idle."""
+        if not self._heap:
+            return False
+        t, _seq, fn, args = heapq.heappop(self._heap)
+        if t < self.now:
+            raise SimulationError("scheduler heap corrupted: time went backwards")
+        self.now = t
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or virtual time reaches ``until``.
+
+        Returns the final virtual time.  When ``until`` is given, the clock
+        is advanced to exactly ``until`` even if the heap drained earlier, so
+        repeated ``run(until=...)`` calls observe monotonic time.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the running callback returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,197 @@
+"""Simulated wide-area network between edge nodes.
+
+The model matches the paper's testbed (§6): nodes grouped into regions, a
+small intra-region RTT (default 5 ms) and a large cross-region RTT (default
+100 ms) shaped with ``tc``.  On top of the base RTTs the model supports:
+
+* **jitter** — uniform ``±x`` ms on the cross-region RTT (Fig 9a),
+* **runtime RTT changes** — abrupt steps for network-spike timelines (Fig 9b),
+* **asymmetric one-way delay** — a forward fraction of the RTT (Fig 10b),
+* **partitions** — ordered host pairs or region pairs that silently drop,
+* **random drops** — spontaneous loss with a seeded stream.
+
+Delivery preserves no ordering guarantees beyond what the delays imply, i.e.
+messages can arrive reordered, exactly like the asynchronous network DAST
+assumes (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigError, NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Network", "NetworkStats"]
+
+
+class NetworkStats:
+    """Counters for traffic accounting (used by the scalability analysis)."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.per_host_sent: Dict[str, int] = {}
+        self.per_host_received: Dict[str, int] = {}
+
+    def record_send(self, src: str) -> None:
+        self.messages_sent += 1
+        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
+
+    def record_receive(self, dst: str) -> None:
+        self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+
+class Network:
+    """Routes messages between registered hosts with region-aware delays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        intra_region_rtt: float = 5.0,
+        cross_region_rtt: float = 100.0,
+        drop_probability: float = 0.0,
+    ):
+        if intra_region_rtt < 0 or cross_region_rtt < 0:
+            raise ConfigError("RTTs must be non-negative")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigError("drop probability must be in [0, 1)")
+        self.sim = sim
+        self._rng = rng.stream("network")
+        self.intra_region_rtt = intra_region_rtt
+        self.cross_region_rtt = cross_region_rtt
+        self.drop_probability = drop_probability
+        self.jitter = 0.0  # uniform +/- jitter applied to the cross-region RTT
+        self.intra_jitter = 0.0
+        # Fraction of the cross-region RTT spent on the "forward" direction,
+        # where forward means src region id < dst region id.  0.5 = symmetric.
+        self.forward_fraction = 0.5
+        self._host_region: Dict[str, str] = {}
+        self._handlers: Dict[str, Callable] = {}
+        self._rtt_overrides: Dict[Tuple[str, str], float] = {}
+        self._host_partitions: Set[Tuple[str, str]] = set()
+        self._region_partitions: Set[Tuple[str, str]] = set()
+        self._down_hosts: Set[str] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, host: str, region: str, handler: Callable) -> None:
+        """Attach ``host`` (in ``region``) with a delivery callback.
+
+        ``handler(src, payload)`` is invoked when a message arrives.
+        """
+        if host in self._handlers:
+            raise ConfigError(f"host {host!r} already registered")
+        self._host_region[host] = region
+        self._handlers[host] = handler
+
+    def region_of(self, host: str) -> str:
+        try:
+            return self._host_region[host]
+        except KeyError:
+            raise NetworkError(f"unknown host {host!r}") from None
+
+    # ------------------------------------------------------------------
+    # Fault / anomaly injection
+    # ------------------------------------------------------------------
+    def set_cross_region_rtt(self, rtt: float, r1: Optional[str] = None, r2: Optional[str] = None) -> None:
+        """Change the cross-region RTT; optionally only between two regions."""
+        if rtt < 0:
+            raise ConfigError("RTT must be non-negative")
+        if r1 is None or r2 is None:
+            self.cross_region_rtt = rtt
+        else:
+            self._rtt_overrides[(r1, r2)] = rtt
+            self._rtt_overrides[(r2, r1)] = rtt
+
+    def partition_hosts(self, a: str, b: str) -> None:
+        """Silently drop all traffic between hosts ``a`` and ``b``."""
+        self._host_partitions.add((a, b))
+        self._host_partitions.add((b, a))
+
+    def heal_hosts(self, a: str, b: str) -> None:
+        self._host_partitions.discard((a, b))
+        self._host_partitions.discard((b, a))
+
+    def partition_regions(self, r1: str, r2: str) -> None:
+        """Silently drop all traffic between two regions."""
+        self._region_partitions.add((r1, r2))
+        self._region_partitions.add((r2, r1))
+
+    def heal_regions(self, r1: str, r2: str) -> None:
+        self._region_partitions.discard((r1, r2))
+        self._region_partitions.discard((r2, r1))
+
+    def crash_host(self, host: str) -> None:
+        """The host stops receiving messages (process crash)."""
+        self.region_of(host)  # validate
+        self._down_hosts.add(host)
+
+    def restart_host(self, host: str) -> None:
+        self._down_hosts.discard(host)
+
+    def is_down(self, host: str) -> bool:
+        return host in self._down_hosts
+
+    # ------------------------------------------------------------------
+    # Delay model
+    # ------------------------------------------------------------------
+    def one_way_delay(self, src: str, dst: str) -> float:
+        """Sampled one-way delay for a message from ``src`` to ``dst``."""
+        r_src = self.region_of(src)
+        r_dst = self.region_of(dst)
+        if src == dst:
+            return 0.01  # loopback: negligible but non-zero to keep ordering sane
+        if r_src == r_dst:
+            rtt = self.intra_region_rtt
+            if self.intra_jitter:
+                rtt += self._rng.uniform(-self.intra_jitter, self.intra_jitter)
+            return max(0.01, rtt / 2.0)
+        rtt = self._rtt_overrides.get((r_src, r_dst), self.cross_region_rtt)
+        if self.jitter:
+            rtt += self._rng.uniform(-self.jitter, self.jitter)
+        fraction = self.forward_fraction if r_src < r_dst else (1.0 - self.forward_fraction)
+        return max(0.01, rtt * fraction)
+
+    def _blocked(self, src: str, dst: str) -> bool:
+        if dst in self._down_hosts:
+            return True
+        if (src, dst) in self._host_partitions:
+            return True
+        return (self.region_of(src), self.region_of(dst)) in self._region_partitions
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: object) -> None:
+        """Fire-and-forget delivery of ``payload`` from ``src`` to ``dst``.
+
+        Lost messages (partition, crash, random drop) vanish silently —
+        reliability is the sender's problem, as on a real network.
+        """
+        if dst not in self._handlers:
+            raise NetworkError(f"unknown destination host {dst!r}")
+        self.stats.record_send(src)
+        if self._blocked(src, dst) or (
+            self.drop_probability and self._rng.random() < self.drop_probability
+        ):
+            self.stats.record_drop()
+            return
+        delay = self.one_way_delay(src, dst)
+        self.sim.schedule(delay, self._deliver, src, dst, payload)
+
+    def _deliver(self, src: str, dst: str, payload: object) -> None:
+        # Re-check at delivery time: the destination may have crashed or a
+        # partition may have formed while the message was in flight.
+        if self._blocked(src, dst):
+            self.stats.record_drop()
+            return
+        self.stats.record_receive(dst)
+        self._handlers[dst](src, payload)

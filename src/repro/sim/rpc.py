@@ -1,0 +1,167 @@
+"""Asynchronous RPC endpoints on top of the simulated network.
+
+Mirrors the paper's implementation (§5): "all of DAST's protocol messages are
+implemented with asynchronous RPC calls", with each node running one thread
+for I/O.  Here each :class:`Endpoint` serializes message *processing* through
+a single virtual CPU with a configurable per-message service time — that
+service time is what makes throughput saturate as client counts grow, which
+the evaluation (Fig 5, Fig 8) depends on.
+
+Handlers are registered per method name and may be plain functions (returning
+the response directly) or generator coroutines (spawned as kernel processes;
+their return value is the response).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError, RpcTimeout
+from repro.sim.kernel import Event, Process, Simulator
+from repro.sim.network import Network
+
+__all__ = ["Endpoint", "RpcRemoteError"]
+
+_REQ = "req"
+_RESP = "resp"
+_ONEWAY = "oneway"
+
+
+class RpcRemoteError(ProtocolError):
+    """The remote handler raised; the error text travels back to the caller."""
+
+
+class Endpoint:
+    """One RPC endpoint per simulated host."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: str,
+        region: str,
+        service_time: float = 0.0,
+    ):
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.region = region
+        self.service_time = service_time
+        self._busy_until = 0.0
+        self._cheap: set = set()
+        self._handlers: Dict[str, Callable] = {}
+        self._pending: Dict[int, Tuple[Event, Optional[Event]]] = {}
+        network.register(host, region, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def register(self, method: str, handler: Callable, cheap: bool = False) -> None:
+        """Register ``handler(src, payload)`` for ``method``.
+
+        ``cheap`` methods bypass the CPU service-time queue — used for
+        control-plane traffic (clock reports) that a real implementation
+        piggybacks on other messages at negligible cost.
+        """
+        if method in self._handlers:
+            raise ProtocolError(f"{self.host}: handler for {method!r} already registered")
+        self._handlers[method] = handler
+        if cheap:
+            self._cheap.add(method)
+
+    def charge(self, cost: float) -> None:
+        """Consume ``cost`` ms of this node's CPU (sender-side work such as
+        a leader fanning a batch out to many followers)."""
+        self._busy_until = max(self.sim.now, self._busy_until) + cost
+
+    def _on_message(self, src: str, envelope: tuple) -> None:
+        if envelope[0] == _ONEWAY and envelope[1] in self._cheap:
+            self._process(src, envelope)
+            return
+        # Serialize processing through the node's single CPU.
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.service_time
+        self.sim.schedule(self._busy_until - self.sim.now, self._process, src, envelope)
+
+    def _process(self, src: str, envelope: tuple) -> None:
+        kind = envelope[0]
+        if kind == _REQ:
+            _, rpc_id, method, payload = envelope
+            self._handle_request(src, rpc_id, method, payload)
+        elif kind == _ONEWAY:
+            _, method, payload = envelope
+            self._invoke(method, src, payload)
+        elif kind == _RESP:
+            _, rpc_id, ok, value = envelope
+            self._handle_response(rpc_id, ok, value)
+        else:
+            raise ProtocolError(f"{self.host}: bad envelope kind {kind!r}")
+
+    def _invoke(self, method: str, src: str, payload: Any):
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise ProtocolError(f"{self.host}: no handler for method {method!r}")
+        result = handler(src, payload)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            return self.sim.spawn(result, name=f"{self.host}.{method}")
+        return result
+
+    def _handle_request(self, src: str, rpc_id: int, method: str, payload: Any) -> None:
+        result = self._invoke(method, src, payload)
+        if isinstance(result, Process):
+            result.add_callback(
+                lambda ev: self._reply(src, rpc_id, ev.ok, ev.value if ev.ok else str(ev.exception))
+            )
+        else:
+            self._reply(src, rpc_id, True, result)
+
+    def _reply(self, dst: str, rpc_id: int, ok: bool, value: Any) -> None:
+        self.network.send(self.host, dst, (_RESP, rpc_id, ok, value))
+
+    def _handle_response(self, rpc_id: int, ok: bool, value: Any) -> None:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return  # late response after timeout: drop, like a real client stub
+        event, _timer = entry
+        if event.triggered:
+            return
+        if ok:
+            event.succeed(value)
+        else:
+            event.fail(RpcRemoteError(value))
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call(self, dst: str, method: str, payload: Any, timeout: Optional[float] = None) -> Event:
+        """Send a request; the returned event resolves with the response.
+
+        On ``timeout`` (ms) the event fails with :class:`RpcTimeout` and any
+        late response is discarded.
+        """
+        rpc_id = next(self._ids)
+        event = self.sim.event()
+        self._pending[rpc_id] = (event, None)
+        self.network.send(self.host, dst, (_REQ, rpc_id, method, payload))
+        if timeout is not None:
+            self.sim.schedule(timeout, self._expire, rpc_id, dst, method)
+        return event
+
+    def _expire(self, rpc_id: int, dst: str, method: str) -> None:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return
+        event, _timer = entry
+        if not event.triggered:
+            event.fail(RpcTimeout(f"{self.host}->{dst} {method} timed out"))
+
+    def send(self, dst: str, method: str, payload: Any) -> None:
+        """One-way message; no response, no delivery guarantee."""
+        self.network.send(self.host, dst, (_ONEWAY, method, payload))
+
+    def broadcast(self, dsts, method: str, payload: Any) -> None:
+        for dst in dsts:
+            self.send(dst, method, payload)

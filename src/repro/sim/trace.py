@@ -1,0 +1,105 @@
+"""Structured event tracing for protocol debugging.
+
+A :class:`Tracer` collects ``(time, host, kind, fields)`` events with cheap
+filtering.  DAST nodes/managers emit traces when a tracer is attached to
+the system (``DastSystem.attach_tracer()``); nothing is recorded otherwise.
+
+Typical debugging session::
+
+    tracer = system.attach_tracer(kinds={"execute", "commit"})
+    ... run ...
+    for ev in tracer.query(host="r0.n0", txn="t42"):
+        print(ev)
+    print(tracer.timeline("t42"))    # one transaction's full story
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+class TraceEvent:
+    """One recorded protocol event: (time, host, kind, fields)."""
+
+    __slots__ = ("time", "host", "kind", "fields")
+
+    def __init__(self, time: float, host: str, kind: str, fields: Dict[str, Any]):
+        self.time = time
+        self.host = host
+        self.kind = kind
+        self.fields = fields
+
+    @property
+    def txn_id(self) -> Optional[str]:
+        return self.fields.get("txn")
+
+    def __repr__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:10.3f}] {self.host:<10} {self.kind:<14} {extra}"
+
+
+class Tracer:
+    """Collects trace events, optionally restricted to certain kinds/hosts."""
+
+    def __init__(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        hosts: Optional[Iterable[str]] = None,
+        capacity: int = 200_000,
+    ):
+        self.kinds: Optional[Set[str]] = set(kinds) if kinds else None
+        self.hosts: Optional[Set[str]] = set(hosts) if hosts else None
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, host: str, kind: str, **fields: Any) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.hosts is not None and host not in self.hosts:
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, host, kind, fields))
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: Optional[str] = None,
+        host: Optional[str] = None,
+        txn: Optional[str] = None,
+        since: float = 0.0,
+    ) -> List[TraceEvent]:
+        out = []
+        for ev in self.events:
+            if ev.time < since:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if host is not None and ev.host != host:
+                continue
+            if txn is not None and ev.txn_id != txn:
+                continue
+            out.append(ev)
+        return out
+
+    def timeline(self, txn_id: str) -> str:
+        """A transaction's events across all hosts, rendered as text."""
+        events = self.query(txn=txn_id)
+        if not events:
+            return f"(no events for {txn_id})"
+        return "\n".join(repr(ev) for ev in sorted(events, key=lambda e: e.time))
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

@@ -1,0 +1,8 @@
+"""Deterministic in-memory storage: tables, shards, locks, catalog."""
+
+from repro.storage.catalog import Catalog, ShardInfo
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.shard import Shard
+from repro.storage.table import Table, TableSchema
+
+__all__ = ["Catalog", "LockManager", "LockMode", "Shard", "ShardInfo", "Table", "TableSchema"]

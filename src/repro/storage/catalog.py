@@ -1,0 +1,101 @@
+"""The database catalog: shards, their host regions, and replica placement.
+
+DAST assigns each shard a *host region* — the region whose clients access it
+most (§3.1) — and replicates it 2f+1 times within that region only (partial
+replication).  The catalog is static configuration shared by every system
+under test so comparisons use identical placements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["Catalog", "ShardInfo"]
+
+
+class ShardInfo:
+    """Placement record for one shard."""
+
+    def __init__(self, shard_id: str, region: str, replicas: Sequence[str]):
+        if not replicas:
+            raise ConfigError(f"shard {shard_id}: needs at least one replica")
+        self.shard_id = shard_id
+        self.region = region
+        self.replicas = tuple(replicas)
+
+    @property
+    def quorum_size(self) -> int:
+        return len(self.replicas) // 2 + 1
+
+    def __repr__(self) -> str:
+        return f"ShardInfo({self.shard_id}, region={self.region}, replicas={list(self.replicas)})"
+
+
+class Catalog:
+    """Maps shards to regions/replicas and logical keys to shards."""
+
+    def __init__(self, partition_fn: Callable[[str, Tuple[Any, ...]], str]):
+        """``partition_fn(table, primary_key) -> shard_id``."""
+        self._partition_fn = partition_fn
+        self._shards: Dict[str, ShardInfo] = {}
+        self._by_region: Dict[str, List[str]] = {}
+        self._node_shards: Dict[str, List[str]] = {}
+
+    def add_shard(self, shard_id: str, region: str, replicas: Sequence[str]) -> ShardInfo:
+        if shard_id in self._shards:
+            raise ConfigError(f"shard {shard_id} already placed")
+        info = ShardInfo(shard_id, region, replicas)
+        self._shards[shard_id] = info
+        self._by_region.setdefault(region, []).append(shard_id)
+        for node in replicas:
+            self._node_shards.setdefault(node, []).append(shard_id)
+        return info
+
+    def shard_of(self, table: str, key: Tuple[Any, ...]) -> str:
+        shard_id = self._partition_fn(table, tuple(key))
+        if shard_id not in self._shards:
+            raise ConfigError(f"partition function produced unknown shard {shard_id!r}")
+        return shard_id
+
+    def shard(self, shard_id: str) -> ShardInfo:
+        info = self._shards.get(shard_id)
+        if info is None:
+            raise ConfigError(f"unknown shard {shard_id!r}")
+        return info
+
+    def region_of_shard(self, shard_id: str) -> str:
+        return self.shard(shard_id).region
+
+    def replicas_of(self, shard_id: str) -> Tuple[str, ...]:
+        return self.shard(shard_id).replicas
+
+    def shards_in_region(self, region: str) -> List[str]:
+        return list(self._by_region.get(region, []))
+
+    def shards_on_node(self, node: str) -> List[str]:
+        return list(self._node_shards.get(node, []))
+
+    def all_shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def all_regions(self) -> List[str]:
+        return sorted(self._by_region)
+
+    def remove_replica(self, shard_id: str, node: str) -> None:
+        """Drop a crashed node from a shard's replica set (failover path)."""
+        info = self.shard(shard_id)
+        if node not in info.replicas:
+            return
+        info.replicas = tuple(r for r in info.replicas if r != node)
+        node_list = self._node_shards.get(node, [])
+        if shard_id in node_list:
+            node_list.remove(shard_id)
+
+    def add_replica(self, shard_id: str, node: str) -> None:
+        info = self.shard(shard_id)
+        if node in info.replicas:
+            return
+        info.replicas = info.replicas + (node,)
+        self._node_shards.setdefault(node, []).append(shard_id)

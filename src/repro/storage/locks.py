@@ -1,0 +1,138 @@
+"""A per-key read/write lock manager.
+
+Used by the SLOG baseline for its deterministic two-phase-locking execution:
+lock requests are issued in log order and granted FIFO per key, so all
+replicas converge on the same schedule.  The evaluated SLOG variant releases
+a transaction's locks as soon as its pieces on that shard finish (plain 2PL
+rather than strong strict 2PL, §6 "Baseline"), which :meth:`release`
+supports by being callable per-transaction at any time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["LockManager", "LockMode"]
+
+
+class LockMode:
+    """Lock compatibility modes: shared (read) and exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _KeyState:
+    __slots__ = ("holders", "mode", "waiters")
+
+    def __init__(self) -> None:
+        self.holders: Set[str] = set()
+        self.mode: str = LockMode.SHARED
+        self.waiters: Deque[Tuple[str, str]] = deque()
+
+
+class LockManager:
+    """FIFO read/write locks keyed by arbitrary hashables."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._keys: Dict[Hashable, _KeyState] = {}
+        # txn -> (event, #locks still missing, keys requested)
+        self._pending: Dict[str, List] = {}
+        self._held: Dict[str, Set[Hashable]] = {}
+
+    def request(self, txn_id: str, wants: Dict[Hashable, str]) -> Event:
+        """Atomically enqueue lock requests for all of ``wants``.
+
+        Returns an event that succeeds once *every* requested lock is held.
+        Because SLOG requests locks in deterministic log order and never
+        releases before requesting, FIFO queueing cannot deadlock.
+        """
+        if txn_id in self._pending or txn_id in self._held:
+            raise ProtocolError(f"txn {txn_id} already holds or awaits locks")
+        event = self.sim.event()
+        entry = [event, 0, list(wants)]
+        self._pending[txn_id] = entry
+        self._held[txn_id] = set()
+        for key, mode in sorted(wants.items(), key=lambda kv: repr(kv[0])):
+            state = self._keys.setdefault(key, _KeyState())
+            if self._grantable(state, mode):
+                self._grant(state, txn_id, mode, key)
+            else:
+                entry[1] += 1
+                state.waiters.append((txn_id, mode))
+        if entry[1] == 0:
+            self._finish(txn_id)
+        return event
+
+    def release(self, txn_id: str) -> None:
+        """Release every lock held by ``txn_id`` and wake eligible waiters.
+
+        Keys release in sorted order so waiter wake-ups are deterministic
+        across replicas and runs (set iteration order is hash-seeded).
+        """
+        held = sorted(self._held.pop(txn_id, set()), key=repr)
+        self._pending.pop(txn_id, None)
+        for key in held:
+            state = self._keys[key]
+            state.holders.discard(txn_id)
+            self._promote(state, key)
+            if not state.holders and not state.waiters:
+                del self._keys[key]
+
+    def holders_of(self, key: Hashable) -> Set[str]:
+        state = self._keys.get(key)
+        return set(state.holders) if state else set()
+
+    def waiting_count(self) -> int:
+        return sum(len(s.waiters) for s in self._keys.values())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grantable(state: _KeyState, mode: str) -> bool:
+        if not state.holders:
+            return True
+        return (
+            mode == LockMode.SHARED
+            and state.mode == LockMode.SHARED
+            and not state.waiters  # FIFO fairness: readers queue behind writers
+        )
+
+    def _grant(self, state: _KeyState, txn_id: str, mode: str, key: Hashable) -> None:
+        if not state.holders:
+            state.mode = mode
+        state.holders.add(txn_id)
+        self._held.setdefault(txn_id, set()).add(key)
+
+    def _promote(self, state: _KeyState, key: Hashable) -> None:
+        while state.waiters:
+            txn_id, mode = state.waiters[0]
+            if not self._grantable_ignoring_queue(state, mode):
+                break
+            state.waiters.popleft()
+            self._grant(state, txn_id, mode, key)
+            entry = self._pending.get(txn_id)
+            if entry is None:
+                # Waiter released (aborted) before being granted; undo.
+                state.holders.discard(txn_id)
+                continue
+            entry[1] -= 1
+            if entry[1] == 0:
+                self._finish(txn_id)
+            if state.mode == LockMode.EXCLUSIVE:
+                break
+
+    @staticmethod
+    def _grantable_ignoring_queue(state: _KeyState, mode: str) -> bool:
+        if not state.holders:
+            return True
+        return mode == LockMode.SHARED and state.mode == LockMode.SHARED
+
+    def _finish(self, txn_id: str) -> None:
+        entry = self._pending.pop(txn_id, None)
+        if entry is not None:
+            entry[0].succeed(None)

@@ -1,0 +1,77 @@
+"""A shard: one partition of the database, the unit a piece executes on.
+
+In the paper each edge node hosts one shard replica; pieces of a transaction
+each access exactly one shard and are executed atomically in timestamp order
+(§4.1).  :class:`Shard` is the deterministic state machine those pieces run
+against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import UnknownTableError
+from repro.storage.table import Table, TableSchema
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A named collection of tables plus an executed-operation counter."""
+
+    def __init__(self, shard_id: str, schemas: Iterable[TableSchema]):
+        self.shard_id = shard_id
+        self.tables: Dict[str, Table] = {s.name: Table(s) for s in schemas}
+        self.ops_applied = 0
+
+    def table(self, name: str) -> Table:
+        t = self.tables.get(name)
+        if t is None:
+            raise UnknownTableError(f"shard {self.shard_id}: no table {name!r}")
+        return t
+
+    # Convenience accessors used by stored procedures -------------------
+    def get(self, table: str, key: Tuple[Any, ...]) -> Dict[str, Any]:
+        self.ops_applied += 1
+        return self.table(table).get(key)
+
+    def try_get(self, table: str, key: Tuple[Any, ...]) -> Optional[Dict[str, Any]]:
+        self.ops_applied += 1
+        return self.table(table).try_get(key)
+
+    def update(self, table: str, key: Tuple[Any, ...], changes: Dict[str, Any]) -> None:
+        self.ops_applied += 1
+        self.table(table).update(key, changes)
+
+    def insert(self, table: str, row: Dict[str, Any]) -> None:
+        self.ops_applied += 1
+        self.table(table).insert(row)
+
+    def delete(self, table: str, key: Tuple[Any, ...]) -> None:
+        self.ops_applied += 1
+        self.table(table).delete(key)
+
+    def lookup(self, table: str, index: str, ikey: Tuple[Any, ...]) -> List[Tuple[Any, ...]]:
+        self.ops_applied += 1
+        return self.table(table).lookup(index, ikey)
+
+    def scan_prefix(self, table: str, prefix: Tuple[Any, ...]) -> List[Tuple[Any, ...]]:
+        self.ops_applied += 1
+        return self.table(table).scan_prefix(prefix)
+
+    # Replication support ------------------------------------------------
+    def digest(self) -> str:
+        """Content hash across all tables — replicas must agree."""
+        h = hashlib.sha256()
+        for name in sorted(self.tables):
+            h.update(name.encode())
+            h.update(self.tables[name].digest().encode())
+        return h.hexdigest()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {name: t.snapshot() for name, t in self.tables.items()}
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        for name, table_snapshot in snapshot.items():
+            self.table(name).restore(table_snapshot)

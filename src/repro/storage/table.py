@@ -1,0 +1,167 @@
+"""In-memory tables with primary keys and optional secondary indexes.
+
+Rows are plain dicts validated against a :class:`TableSchema`.  Tables are
+deterministic containers: iteration orders and index lookups are stable, so
+replicas that apply the same operations in the same order reach bit-identical
+state (checked by :meth:`Table.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateKeyError, MissingRowError, StorageError
+
+__all__ = ["TableSchema", "Table"]
+
+Key = Tuple[Any, ...]
+
+
+class TableSchema:
+    """Column names, primary-key columns, and secondary index definitions."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        primary_key: Sequence[str],
+        indexes: Optional[Dict[str, Sequence[str]]] = None,
+    ):
+        if not columns:
+            raise StorageError(f"table {name!r} needs at least one column")
+        missing = [c for c in primary_key if c not in columns]
+        if missing:
+            raise StorageError(f"table {name!r}: primary key columns {missing} not in schema")
+        self.name = name
+        self.columns = tuple(columns)
+        self.primary_key = tuple(primary_key)
+        self.indexes = {iname: tuple(cols) for iname, cols in (indexes or {}).items()}
+        for iname, cols in self.indexes.items():
+            bad = [c for c in cols if c not in columns]
+            if bad:
+                raise StorageError(f"index {iname!r} on {name!r}: unknown columns {bad}")
+
+    def key_of(self, row: Dict[str, Any]) -> Key:
+        return tuple(row[c] for c in self.primary_key)
+
+
+class Table:
+    """One table instance (one shard's slice of the logical table)."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: Dict[Key, Dict[str, Any]] = {}
+        self._indexes: Dict[str, Dict[Key, List[Key]]] = {
+            iname: {} for iname in schema.indexes
+        }
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def insert(self, row: Dict[str, Any]) -> None:
+        unknown = set(row) - set(self.schema.columns)
+        if unknown:
+            raise StorageError(f"{self.schema.name}: unknown columns {sorted(unknown)}")
+        key = self.schema.key_of(row)
+        if key in self._rows:
+            raise DuplicateKeyError(f"{self.schema.name}: duplicate key {key}")
+        stored = dict(row)
+        self._rows[key] = stored
+        for iname, cols in self.schema.indexes.items():
+            ikey = tuple(stored.get(c) for c in cols)
+            self._indexes[iname].setdefault(ikey, []).append(key)
+
+    def get(self, key: Key) -> Dict[str, Any]:
+        """Return a *copy* of the row (callers must write via :meth:`update`)."""
+        row = self._rows.get(tuple(key))
+        if row is None:
+            raise MissingRowError(f"{self.schema.name}: no row with key {tuple(key)}")
+        return dict(row)
+
+    def try_get(self, key: Key) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(tuple(key))
+        return dict(row) if row is not None else None
+
+    def update(self, key: Key, changes: Dict[str, Any]) -> None:
+        key = tuple(key)
+        row = self._rows.get(key)
+        if row is None:
+            raise MissingRowError(f"{self.schema.name}: no row with key {key}")
+        unknown = set(changes) - set(self.schema.columns)
+        if unknown:
+            raise StorageError(f"{self.schema.name}: unknown columns {sorted(unknown)}")
+        touched_pk = set(changes) & set(self.schema.primary_key)
+        if touched_pk:
+            raise StorageError(f"{self.schema.name}: cannot update primary key columns {sorted(touched_pk)}")
+        for iname, cols in self.schema.indexes.items():
+            if set(changes) & set(cols):
+                old_ikey = tuple(row.get(c) for c in cols)
+                bucket = self._indexes[iname].get(old_ikey, [])
+                if key in bucket:
+                    bucket.remove(key)
+                    if not bucket:
+                        del self._indexes[iname][old_ikey]
+        row.update(changes)
+        for iname, cols in self.schema.indexes.items():
+            if set(changes) & set(cols):
+                new_ikey = tuple(row.get(c) for c in cols)
+                self._indexes[iname].setdefault(new_ikey, []).append(key)
+
+    def delete(self, key: Key) -> None:
+        key = tuple(key)
+        row = self._rows.pop(key, None)
+        if row is None:
+            raise MissingRowError(f"{self.schema.name}: no row with key {key}")
+        for iname, cols in self.schema.indexes.items():
+            ikey = tuple(row.get(c) for c in cols)
+            bucket = self._indexes[iname].get(ikey, [])
+            if key in bucket:
+                bucket.remove(key)
+                if not bucket:
+                    del self._indexes[iname][ikey]
+
+    def lookup(self, index: str, ikey: Key) -> List[Key]:
+        """Primary keys of rows whose index columns equal ``ikey``, sorted."""
+        if index not in self._indexes:
+            raise StorageError(f"{self.schema.name}: no index named {index!r}")
+        return sorted(self._indexes[index].get(tuple(ikey), []))
+
+    def scan(self) -> Iterator[Tuple[Key, Dict[str, Any]]]:
+        """Deterministic full scan in primary-key order (copies)."""
+        for key in sorted(self._rows):
+            yield key, dict(self._rows[key])
+
+    def scan_prefix(self, prefix: Iterable[Any]) -> List[Key]:
+        """Sorted primary keys whose leading components equal ``prefix``."""
+        prefix = tuple(prefix)
+        n = len(prefix)
+        return sorted(k for k in self._rows if k[:n] == prefix)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Iterable[Any]) -> bool:
+        return tuple(key) in self._rows
+
+    # ------------------------------------------------------------------
+    # Replica comparison / checkpointing
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Order-independent content hash of all rows."""
+        h = hashlib.sha256()
+        for key in sorted(self._rows, key=repr):
+            h.update(repr(key).encode())
+            row = self._rows[key]
+            h.update(repr(sorted(row.items(), key=lambda kv: kv[0])).encode())
+        return h.hexdigest()
+
+    def snapshot(self) -> Dict[Key, Dict[str, Any]]:
+        return {k: dict(v) for k, v in self._rows.items()}
+
+    def restore(self, snapshot: Dict[Key, Dict[str, Any]]) -> None:
+        self._rows = {}
+        for iname in self._indexes:
+            self._indexes[iname] = {}
+        for row in snapshot.values():
+            self.insert(dict(row))

@@ -1,0 +1,49 @@
+"""The result a client receives for a submitted transaction."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["TxnResult"]
+
+
+class TxnResult:
+    """Outcome + latency phase breakdown, as measured at the client side.
+
+    ``phases`` maps phase names to durations in ms; the DAST phases mirror
+    Table 3 of the paper: ``local_prepare``, ``remote_prepare``, ``wait_exec``,
+    ``wait_input``, ``wait_output``.  Other systems report their own phases
+    (e.g. ``retries`` for Tapir).
+    """
+
+    def __init__(
+        self,
+        txn_id: str,
+        txn_type: str,
+        committed: bool,
+        is_crt: bool,
+        outputs: Optional[Dict[str, Any]] = None,
+        abort_reason: str = "",
+        retries: int = 0,
+        phases: Optional[Dict[str, float]] = None,
+    ):
+        self.txn_id = txn_id
+        self.txn_type = txn_type
+        self.committed = committed
+        self.is_crt = is_crt
+        self.outputs = outputs or {}
+        self.abort_reason = abort_reason
+        self.retries = retries
+        self.phases = phases or {}
+        # Stamped by the client driver.
+        self.submit_time: float = 0.0
+        self.finish_time: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.submit_time
+
+    def __repr__(self) -> str:
+        status = "committed" if self.committed else f"aborted({self.abort_reason})"
+        kind = "CRT" if self.is_crt else "IRT"
+        return f"TxnResult({self.txn_id}, {self.txn_type}, {kind}, {status})"

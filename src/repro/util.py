@@ -1,0 +1,27 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Stats"]
+
+
+class Stats:
+    """A named counter bag used by nodes and systems for telemetry."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def merge(self, other: "Stats") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def __repr__(self) -> str:
+        return f"Stats({self.counters})"

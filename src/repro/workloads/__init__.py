@@ -1,0 +1,20 @@
+"""Workloads: TPC-C (default mix + payment-only), TPC-A, client drivers."""
+
+from repro.workloads.base import ClientBinding, Workload
+from repro.workloads.client import ClosedLoopClient, spawn_clients
+from repro.workloads.tpca import TpcaWorkload
+from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "ClientBinding",
+    "ClosedLoopClient",
+    "PaymentOnlyWorkload",
+    "TpcaWorkload",
+    "TpccWorkload",
+    "Workload",
+    "YcsbWorkload",
+    "ZipfGenerator",
+    "spawn_clients",
+]

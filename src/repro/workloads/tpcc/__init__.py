@@ -1,0 +1,35 @@
+"""TPC-C: schema, loader, five transaction types, mix generators."""
+
+from repro.workloads.tpcc.loader import last_name, load_warehouse
+from repro.workloads.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    INITIAL_ORDERS_PER_DISTRICT,
+    ITEMS,
+    tpcc_schemas,
+)
+from repro.workloads.tpcc.transactions import (
+    build_delivery,
+    build_new_order,
+    build_order_status,
+    build_payment,
+    build_stock_level,
+)
+from repro.workloads.tpcc.workload import PaymentOnlyWorkload, TpccWorkload
+
+__all__ = [
+    "CUSTOMERS_PER_DISTRICT",
+    "DISTRICTS_PER_WAREHOUSE",
+    "INITIAL_ORDERS_PER_DISTRICT",
+    "ITEMS",
+    "PaymentOnlyWorkload",
+    "TpccWorkload",
+    "build_delivery",
+    "build_new_order",
+    "build_order_status",
+    "build_payment",
+    "build_stock_level",
+    "last_name",
+    "load_warehouse",
+    "tpcc_schemas",
+]

@@ -1,0 +1,100 @@
+"""Deterministic TPC-C data population (one warehouse per shard)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.shard import Shard
+from repro.workloads.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    INITIAL_ORDERS_PER_DISTRICT,
+    ITEMS,
+)
+
+__all__ = ["load_warehouse", "last_name"]
+
+_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def last_name(number: int) -> str:
+    """The TPC-C spec's syllable-concatenation last-name generator."""
+    return (
+        _SYLLABLES[(number // 100) % 10]
+        + _SYLLABLES[(number // 10) % 10]
+        + _SYLLABLES[number % 10]
+    )
+
+
+def load_warehouse(shard: Shard, w_id: int) -> None:
+    """Populate one warehouse shard; identical on every replica."""
+    rng = random.Random(424242 + w_id)  # same seed per warehouse on all replicas
+    shard.insert("warehouse", {"w_id": w_id, "w_name": f"W{w_id}", "w_ytd": 300000.0})
+    for i in range(ITEMS):
+        shard.insert(
+            "item",
+            {"i_id": i, "i_name": f"item-{i}", "i_price": 1.0 + (i % 90)},
+        )
+        shard.insert(
+            "stock",
+            {
+                "s_w_id": w_id, "s_i_id": i,
+                "s_quantity": 50 + (i * 7 + w_id) % 50,
+                "s_ytd": 0, "s_order_cnt": 0, "s_remote_cnt": 0,
+            },
+        )
+    for d_id in range(DISTRICTS_PER_WAREHOUSE):
+        shard.insert(
+            "district",
+            {
+                "d_w_id": w_id, "d_id": d_id, "d_name": f"D{w_id}.{d_id}",
+                "d_ytd": 30000.0,
+                "d_next_o_id": INITIAL_ORDERS_PER_DISTRICT,
+            },
+        )
+        for c_id in range(CUSTOMERS_PER_DISTRICT):
+            shard.insert(
+                "customer",
+                {
+                    "c_w_id": w_id, "c_d_id": d_id, "c_id": c_id,
+                    "c_first": f"First{c_id}",
+                    "c_last": last_name(c_id % 50),
+                    "c_credit": "BC" if rng.random() < 0.1 else "GC",
+                    "c_balance": -10.0,
+                    "c_ytd_payment": 10.0,
+                    "c_payment_cnt": 1,
+                    "c_delivery_cnt": 0,
+                    "c_data": "",
+                },
+            )
+        for o_id in range(INITIAL_ORDERS_PER_DISTRICT):
+            c_id = rng.randrange(CUSTOMERS_PER_DISTRICT)
+            ol_cnt = rng.randint(5, 10)
+            shard.insert(
+                "orders",
+                {
+                    "o_w_id": w_id, "o_d_id": d_id, "o_id": o_id,
+                    "o_c_id": c_id,
+                    "o_carrier_id": None,
+                    "o_ol_cnt": ol_cnt,
+                    "o_entry_ts": 0.0,
+                },
+            )
+            shard.insert(
+                "new_order", {"no_w_id": w_id, "no_d_id": d_id, "no_o_id": o_id}
+            )
+            for ol in range(ol_cnt):
+                shard.insert(
+                    "order_line",
+                    {
+                        "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
+                        "ol_number": ol,
+                        "ol_i_id": rng.randrange(ITEMS),
+                        "ol_supply_w_id": w_id,
+                        "ol_quantity": rng.randint(1, 10),
+                        "ol_amount": rng.uniform(1.0, 100.0),
+                        "ol_delivery_ts": None,
+                    },
+                )

@@ -1,0 +1,89 @@
+"""TPC-C schema (reduced cardinality, full table set).
+
+One warehouse per shard, exactly as the paper deploys it ("we horizontally
+partitioned the TPC-C database based on warehouse id, i.e., each shard is a
+warehouse").  The item catalog is read-only and replicated into every shard,
+the standard trick for warehouse-partitioned TPC-C.
+
+Cardinalities are scaled down from the spec (100k items -> 100, 3k customers
+per district -> configurable) — the protocols only see key-access patterns
+and conflict rates, which the knobs preserve.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.storage.table import TableSchema
+
+__all__ = [
+    "tpcc_schemas",
+    "DISTRICTS_PER_WAREHOUSE",
+    "CUSTOMERS_PER_DISTRICT",
+    "ITEMS",
+    "INITIAL_ORDERS_PER_DISTRICT",
+]
+
+DISTRICTS_PER_WAREHOUSE = 4
+CUSTOMERS_PER_DISTRICT = 30
+ITEMS = 100
+INITIAL_ORDERS_PER_DISTRICT = 5
+
+
+def tpcc_schemas() -> List[TableSchema]:
+    return [
+        TableSchema(
+            "warehouse",
+            ["w_id", "w_name", "w_ytd"],
+            ["w_id"],
+        ),
+        TableSchema(
+            "district",
+            ["d_w_id", "d_id", "d_name", "d_ytd", "d_next_o_id"],
+            ["d_w_id", "d_id"],
+        ),
+        TableSchema(
+            "customer",
+            [
+                "c_w_id", "c_d_id", "c_id", "c_first", "c_last", "c_credit",
+                "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt",
+                "c_data",
+            ],
+            ["c_w_id", "c_d_id", "c_id"],
+            indexes={"by_last": ["c_w_id", "c_d_id", "c_last"]},
+        ),
+        TableSchema(
+            "history",
+            ["h_id", "h_c_id", "h_c_w_id", "h_c_d_id", "h_w_id", "h_d_id", "h_amount", "h_data"],
+            ["h_id"],
+        ),
+        TableSchema(
+            "new_order",
+            ["no_w_id", "no_d_id", "no_o_id"],
+            ["no_w_id", "no_d_id", "no_o_id"],
+        ),
+        TableSchema(
+            "orders",
+            ["o_w_id", "o_d_id", "o_id", "o_c_id", "o_carrier_id", "o_ol_cnt", "o_entry_ts"],
+            ["o_w_id", "o_d_id", "o_id"],
+            indexes={"by_customer": ["o_w_id", "o_d_id", "o_c_id"]},
+        ),
+        TableSchema(
+            "order_line",
+            [
+                "ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "ol_i_id",
+                "ol_supply_w_id", "ol_quantity", "ol_amount", "ol_delivery_ts",
+            ],
+            ["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+        ),
+        TableSchema(
+            "item",
+            ["i_id", "i_name", "i_price"],
+            ["i_id"],
+        ),
+        TableSchema(
+            "stock",
+            ["s_w_id", "s_i_id", "s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"],
+            ["s_w_id", "s_i_id"],
+        ),
+    ]

@@ -1,0 +1,192 @@
+"""TPC-C workload generators: the standard mix and the payment-only stress.
+
+Standard mix (Table 2 of the paper): ~44% new-order, ~44% payment, ~4% each
+of order-status, delivery, stock-level.  Remote-warehouse probabilities per
+the spec: ~1% of new-order lines supplied by a remote warehouse, 15% of
+payments for a customer of a remote warehouse — remote warehouses are
+uniform over all other warehouses, so the *cross-region* share follows the
+topology (with many regions nearly every remote pick is cross-region,
+matching Table 2's ~10%/~15% CRT ratios).
+
+``PaymentOnlyWorkload`` pins the transaction type to payment and makes the
+cross-region probability an explicit knob (Fig 6's 1%-99% sweep); customers
+are selected by last name 60% of the time, which is what gives ~60% of CRTs
+a cross-region value dependency (Table 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config import Topology
+from repro.storage.shard import Shard
+from repro.storage.table import TableSchema
+from repro.txn.model import Transaction
+from repro.workloads.base import ClientBinding, Workload
+from repro.workloads.tpcc.loader import last_name, load_warehouse
+from repro.workloads.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEMS,
+    tpcc_schemas,
+)
+from repro.workloads.tpcc.transactions import (
+    build_delivery,
+    build_new_order,
+    build_order_status,
+    build_payment,
+    build_stock_level,
+)
+
+__all__ = ["TpccWorkload", "PaymentOnlyWorkload"]
+
+# Existing last names: customers have c_last = last_name(c_id % 50) with
+# c_id < CUSTOMERS_PER_DISTRICT, so names 0..min(CPD,50)-1 always resolve.
+# Staying inside that range keeps payment-by-name free of cross-shard
+# conditional aborts (the workload-level contract §4.1 requires).
+_NAME_RANGE = min(CUSTOMERS_PER_DISTRICT, 50)
+
+
+class TpccWorkload(Workload):
+    """The standard TPC-C mix (Table 2 ratios, spec remote probabilities)."""
+
+    name = "tpcc"
+
+    MIX = (
+        ("new_order", 0.44),
+        ("payment", 0.44),
+        ("order_status", 0.04),
+        ("delivery", 0.04),
+        ("stock_level", 0.04),
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 1,
+        remote_line_prob: float = 0.01,
+        remote_payment_prob: float = 0.15,
+        by_name_prob: float = 0.60,
+        invalid_item_prob: float = 0.01,
+    ):
+        super().__init__(topology, seed)
+        self.remote_line_prob = remote_line_prob
+        self.remote_payment_prob = remote_payment_prob
+        self.by_name_prob = by_name_prob
+        self.invalid_item_prob = invalid_item_prob
+
+    def schemas(self) -> List[TableSchema]:
+        return tpcc_schemas()
+
+    def load(self, shard: Shard, shard_index: int) -> None:
+        load_warehouse(shard, shard_index)
+
+    # ------------------------------------------------------------------
+    def next_transaction(self, binding: ClientBinding, rng: random.Random) -> Transaction:
+        roll = rng.random()
+        acc = 0.0
+        kind = self.MIX[-1][0]
+        for name, weight in self.MIX:
+            acc += weight
+            if roll < acc:
+                kind = name
+                break
+        w_id = binding.home_shard_index
+        if kind == "new_order":
+            return self._new_order(w_id, rng)
+        if kind == "payment":
+            return self._payment(w_id, rng)
+        if kind == "order_status":
+            return self._order_status(w_id, rng)
+        if kind == "delivery":
+            return build_delivery(self.topology, w_id, carrier_id=rng.randint(1, 10))
+        return build_stock_level(
+            self.topology, w_id, rng.randrange(DISTRICTS_PER_WAREHOUSE),
+            threshold=rng.randint(10, 20),
+        )
+
+    # ------------------------------------------------------------------
+    def _other_warehouse(self, w_id: int, rng: random.Random) -> int:
+        n = self.topology.num_shards
+        if n < 2:
+            return w_id
+        while True:
+            other = rng.randrange(n)
+            if other != w_id:
+                return other
+
+    def _new_order(self, w_id: int, rng: random.Random) -> Transaction:
+        d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c_id = rng.randrange(CUSTOMERS_PER_DISTRICT)
+        ol_cnt = rng.randint(5, 15)
+        lines = []
+        for _ in range(ol_cnt):
+            i_id = rng.randrange(ITEMS)
+            supply = w_id
+            if rng.random() < self.remote_line_prob:
+                supply = self._other_warehouse(w_id, rng)
+            lines.append((i_id, supply, rng.randint(1, 10)))
+        if rng.random() < self.invalid_item_prob:
+            # Spec: ~1% of new-orders reference an unused item and roll back.
+            i_id, supply, qty = lines[-1]
+            lines[-1] = (ITEMS + 10_000, supply, qty)
+        return build_new_order(self.topology, w_id, d_id, c_id, lines)
+
+    def _payment(self, w_id: int, rng: random.Random) -> Transaction:
+        d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c_w_id = w_id
+        if rng.random() < self.remote_payment_prob:
+            c_w_id = self._other_warehouse(w_id, rng)
+        c_d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+        if rng.random() < self.by_name_prob:
+            return build_payment(
+                self.topology, w_id, d_id, c_w_id, c_d_id, amount,
+                c_last=last_name(rng.randrange(_NAME_RANGE)),
+            )
+        return build_payment(
+            self.topology, w_id, d_id, c_w_id, c_d_id, amount,
+            c_id=rng.randrange(CUSTOMERS_PER_DISTRICT),
+        )
+
+    def _order_status(self, w_id: int, rng: random.Random) -> Transaction:
+        d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        if rng.random() < self.by_name_prob:
+            return build_order_status(
+                self.topology, w_id, d_id, c_last=last_name(rng.randrange(_NAME_RANGE))
+            )
+        return build_order_status(
+            self.topology, w_id, d_id, c_id=rng.randrange(CUSTOMERS_PER_DISTRICT)
+        )
+
+
+class PaymentOnlyWorkload(TpccWorkload):
+    """The paper's CRT-ratio stress test (Fig 6, Table 4)."""
+
+    name = "tpcc_payment_only"
+
+    def __init__(self, topology: Topology, seed: int = 1, crt_ratio: float = 0.1,
+                 by_name_prob: float = 0.60):
+        super().__init__(topology, seed, by_name_prob=by_name_prob)
+        self.crt_ratio = crt_ratio
+
+    def next_transaction(self, binding: ClientBinding, rng: random.Random) -> Transaction:
+        w_id = binding.home_shard_index
+        d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c_w_id = w_id
+        if rng.random() < self.crt_ratio:
+            remote = self.remote_shard_index(binding, rng)
+            if remote is not None:
+                c_w_id = remote
+        c_d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+        if rng.random() < self.by_name_prob:
+            return build_payment(
+                self.topology, w_id, d_id, c_w_id, c_d_id, amount,
+                c_last=last_name(rng.randrange(_NAME_RANGE)),
+            )
+        return build_payment(
+            self.topology, w_id, d_id, c_w_id, c_d_id, amount,
+            c_id=rng.randrange(CUSTOMERS_PER_DISTRICT),
+        )

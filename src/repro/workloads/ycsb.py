@@ -1,0 +1,119 @@
+"""YCSB+T-style transactional key-value workload.
+
+The paper's deferred-update baselines (Tapir, Carousel) were originally
+evaluated on YCSB; the paper substitutes TPC-A "as a comparable workload".
+We provide both: this module is the YCSB side — fixed-size read/update
+transactions over a zipf-skewed key space, with knobs for the read ratio,
+operations per transaction, zipf theta, and the cross-region ratio.
+
+Each transaction's operations hit the client's home shard except that, with
+probability ``crt_ratio``, one operation is redirected to a remote-region
+shard (making the transaction a CRT with independent pieces, like TPC-A's
+transfer).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.config import Topology
+from repro.storage.shard import Shard
+from repro.storage.table import TableSchema
+from repro.txn.model import Piece, Transaction
+from repro.workloads.base import ClientBinding, Workload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["YcsbWorkload", "RECORDS_PER_SHARD"]
+
+RECORDS_PER_SHARD = 200
+
+
+def _ops_body(shard_index: int, ops, result_var: str):
+    """One piece running this shard's slice of the transaction's ops."""
+
+    def body(ctx):
+        reads = {}
+        for kind, key, value in ops:
+            if kind == "read":
+                reads[key] = ctx.store.get("usertable", (shard_index, key))["value"]
+            else:
+                ctx.store.update("usertable", (shard_index, key), {"value": value})
+        ctx.put(result_var, reads)
+
+    return body
+
+
+class YcsbWorkload(Workload):
+    """Fixed-size read/update transactions over a zipf-skewed key space."""
+
+    name = "ycsb"
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 1,
+        theta: float = 0.7,
+        read_ratio: float = 0.5,
+        ops_per_txn: int = 4,
+        crt_ratio: float = 0.1,
+    ):
+        super().__init__(topology, seed)
+        self.theta = theta
+        self.read_ratio = read_ratio
+        self.ops_per_txn = ops_per_txn
+        self.crt_ratio = crt_ratio
+        self._zipfs: Dict[int, ZipfGenerator] = {}
+
+    # -- schema & data ---------------------------------------------------
+    def schemas(self) -> List[TableSchema]:
+        return [TableSchema("usertable", ["shard", "key", "value"], ["shard", "key"])]
+
+    def load(self, shard: Shard, shard_index: int) -> None:
+        for key in range(RECORDS_PER_SHARD):
+            shard.insert("usertable", {"shard": shard_index, "key": key, "value": 0})
+
+    # -- generation --------------------------------------------------------
+    def _pick_key(self, shard_index: int) -> int:
+        zipf = self._zipfs.get(shard_index)
+        if zipf is None:
+            zipf = ZipfGenerator(RECORDS_PER_SHARD, self.theta,
+                                 random.Random(self.seed * 31337 + shard_index))
+            self._zipfs[shard_index] = zipf
+        return zipf.sample()
+
+    def next_transaction(self, binding: ClientBinding, rng: random.Random) -> Transaction:
+        home = binding.home_shard_index
+        per_shard: Dict[int, List] = {home: []}
+        remote = None
+        if rng.random() < self.crt_ratio:
+            remote = self.remote_shard_index(binding, rng)
+        for i in range(self.ops_per_txn):
+            target = home
+            if remote is not None and i == self.ops_per_txn - 1:
+                target = remote
+            key = self._pick_key(target)
+            if rng.random() < self.read_ratio:
+                per_shard.setdefault(target, []).append(("read", key, None))
+            else:
+                per_shard.setdefault(target, []).append(
+                    ("update", key, rng.randint(1, 1_000_000))
+                )
+        pieces = []
+        for index, (shard_index, ops) in enumerate(sorted(per_shard.items())):
+            if not ops:
+                continue
+            writes = tuple(
+                ("usertable", shard_index, key)
+                for kind, key, _v in ops if kind == "update"
+            )
+            pieces.append(Piece(
+                index,
+                self.topology.shard_name(shard_index),
+                _ops_body(shard_index, list(ops), f"reads_{shard_index}"),
+                produces=(f"reads_{shard_index}",),
+                lock_keys=writes,
+                name=f"ycsb_s{shard_index}",
+            ))
+        txn_type = "ycsb_crt" if (remote is not None and len(pieces) > 1) else "ycsb"
+        return Transaction(txn_type, pieces)

@@ -1,0 +1,109 @@
+"""Shared fixtures/helpers for protocol-level tests.
+
+Provides a minimal key-value workload so protocol tests can craft precise
+transactions (specific shards, value dependencies, conditional aborts)
+without TPC-C's complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.config import TimingConfig, Topology, TopologyConfig
+from repro.core.system import DastSystem
+from repro.storage.shard import Shard
+from repro.storage.table import TableSchema
+from repro.txn.model import Piece, Transaction
+
+KV_SCHEMA = [TableSchema("kv", ["k", "v"], ["k"])]
+
+
+def load_kv(shard: Shard, shard_index: int) -> None:
+    for i in range(10):
+        shard.insert("kv", {"k": f"s{shard_index}-{i}", "v": 0})
+
+
+def make_topology(regions=2, spr=1, replication=3, clients=2, seed=1,
+                  timing: Optional[TimingConfig] = None) -> Topology:
+    return Topology(TopologyConfig(
+        num_regions=regions, shards_per_region=spr, replication=replication,
+        clients_per_region=clients, seed=seed, timing=timing or TimingConfig(),
+    ))
+
+
+def make_dast(regions=2, spr=1, replication=3, clients=2, seed=1,
+              timing: Optional[TimingConfig] = None, **kwargs) -> DastSystem:
+    topo = make_topology(regions, spr, replication, clients, seed, timing)
+    return DastSystem(topo, KV_SCHEMA, load_kv, seed=seed, **kwargs)
+
+
+def kv_set(shard_index: int, key_index: int, value, piece_index=0,
+           produces=(), needs=()):
+    """A piece that writes kv row ``s<shard>-<key>`` on shard ``s<shard>``."""
+    key = f"s{shard_index}-{key_index}"
+
+    def body(ctx):
+        ctx.store.update("kv", (key,), {"v": value})
+        for var in produces:
+            ctx.put(var, value)
+
+    return Piece(piece_index, f"s{shard_index}", body,
+                 needs=needs, produces=produces,
+                 lock_keys=((("kv", key)),))
+
+
+def kv_read_forward(shard_index: int, key_index: int, var: str, piece_index=0):
+    """A piece that reads a kv value and produces it as ``var``."""
+    key = f"s{shard_index}-{key_index}"
+
+    def body(ctx):
+        ctx.put(var, ctx.store.get("kv", (key,))["v"])
+
+    return Piece(piece_index, f"s{shard_index}", body, produces=(var,),
+                 lock_keys=((("kv", key)),))
+
+
+def kv_apply_input(shard_index: int, key_index: int, var: str, piece_index=1):
+    """A piece that writes the value received through ``var`` (value dep)."""
+    key = f"s{shard_index}-{key_index}"
+
+    def body(ctx):
+        ctx.store.update("kv", (key,), {"v": ctx.inputs[var]})
+
+    return Piece(piece_index, f"s{shard_index}", body, needs=(var,),
+                 lock_keys=((("kv", key)),))
+
+
+def submit_and_run(system, txn, client=None, node=None, until_extra=5000.0):
+    """Submit one transaction, run to completion, return the TxnResult."""
+    region = system.topology.regions[0]
+    client = client or f"{region}.c0"
+    node = node or system.topology.nodes_in_region(region)[0]
+    results = []
+    event = system.submit(client, node, txn, timeout=60000.0)
+    event.add_callback(lambda e: results.append(e))
+    deadline = system.sim.now + until_extra
+    while not results and system.sim.now < deadline:
+        system.run(until=system.sim.now + 100.0)
+    assert results, "transaction did not complete in time"
+    ev = results[0]
+    assert ev.ok, f"submit failed: {ev.exception}"
+    return ev.value
+
+
+@pytest.fixture
+def dast2():
+    """Two regions, one shard each, 3x replicated, started."""
+    system = make_dast(regions=2, spr=1)
+    system.start()
+    return system
+
+
+@pytest.fixture
+def dast2x2():
+    """Two regions, two shards each."""
+    system = make_dast(regions=2, spr=2)
+    system.start()
+    return system

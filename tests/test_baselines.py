@@ -1,0 +1,256 @@
+"""Behavioural tests for the Janus, Tapir, and SLOG baselines."""
+
+import pytest
+
+from repro.baselines.janus import JanusSystem
+from repro.baselines.slog import SlogSystem
+from repro.baselines.tapir import TapirSystem
+from repro.txn.model import Transaction
+from tests.conftest import (
+    KV_SCHEMA,
+    kv_apply_input,
+    kv_read_forward,
+    kv_set,
+    load_kv,
+    make_topology,
+    submit_and_run,
+)
+
+
+def make_system(cls, regions=2, spr=1, clients=2, seed=1):
+    topo = make_topology(regions=regions, spr=spr, clients=clients, seed=seed)
+    system = cls(topo, KV_SCHEMA, load_kv, seed=seed)
+    system.start()
+    return system
+
+
+@pytest.fixture(params=[JanusSystem, TapirSystem, SlogSystem])
+def any_baseline(request):
+    return make_system(request.param)
+
+
+class TestCommonBehaviour:
+    def test_single_shard_write_commits(self, any_baseline):
+        system = any_baseline
+        txn = Transaction("w", [kv_set(0, 1, 42)])
+        result = submit_and_run(system, txn)
+        assert result.committed and not result.is_crt
+        for host in system.catalog.replicas_of("s0"):
+            assert system.nodes[host].shard.get("kv", ("s0-1",))["v"] == 42
+
+    def test_cross_region_write_commits(self, any_baseline):
+        system = any_baseline
+        txn = Transaction("w", [kv_set(0, 2, 5), kv_set(1, 2, 6, piece_index=1)])
+        result = submit_and_run(system, txn)
+        assert result.committed and result.is_crt
+        assert system.nodes["r0.n0"].shard.get("kv", ("s0-2",))["v"] == 5
+        assert system.nodes["r1.n0"].shard.get("kv", ("s1-2",))["v"] == 6
+
+    def test_value_dependency_flows(self, any_baseline):
+        system = any_baseline
+        submit_and_run(system, Transaction("seed", [kv_set(0, 0, 88)]))
+        txn = Transaction("dep", [
+            kv_read_forward(0, 0, "x", piece_index=0),
+            kv_apply_input(1, 0, "x", piece_index=1),
+        ])
+        result = submit_and_run(system, txn)
+        assert result.committed
+        system.run(until=system.sim.now + 1000.0)
+        assert system.nodes["r1.n0"].shard.get("kv", ("s1-0",))["v"] == 88
+
+    def test_replicas_converge(self, any_baseline):
+        system = any_baseline
+        for i in range(5):
+            submit_and_run(system, Transaction("w", [kv_set(0, i % 3, i)]))
+        orderer = getattr(system, "orderer", None)
+        if orderer:
+            orderer.stop()
+        system.run(until=system.sim.now + 2000.0)
+        assert len(set(system.replicas_digest("s0"))) == 1
+
+    def test_conflicting_writers_serialize(self, any_baseline):
+        system = any_baseline
+        results = []
+        for i in range(6):
+            txn = Transaction("w", [kv_set(0, 0, i)])
+            ev = system.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
+            ev.add_callback(lambda e: results.append(e.value))
+        system.run(until=system.sim.now + 10000.0)
+        assert len(results) == 6 and all(r.committed for r in results)
+        values = {
+            system.nodes[h].shard.get("kv", ("s0-0",))["v"]
+            for h in system.catalog.replicas_of("s0")
+        }
+        assert len(values) == 1 and values.pop() in range(6)
+
+
+class TestTapirSpecifics:
+    def test_conflict_causes_retries(self):
+        system = make_system(TapirSystem, regions=1, spr=1, clients=4)
+        results = []
+        for i in range(8):
+            txn = Transaction("w", [kv_set(0, 0, i)])
+            ev = system.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
+            ev.add_callback(lambda e: results.append(e.value))
+        system.run(until=system.sim.now + 20000.0)
+        assert len(results) == 8
+        assert sum(r.retries for r in results) > 0  # OCC aborts happened
+
+    def test_user_abort_not_retried(self):
+        from repro.txn.model import Piece
+
+        system = make_system(TapirSystem)
+
+        def aborting(ctx):
+            ctx.abort("balance too low")
+
+        txn = Transaction("cond", [Piece(0, "s0", aborting)])
+        result = submit_and_run(system, txn)
+        assert not result.committed
+        assert result.abort_reason == "balance too low"
+        assert result.retries == 0
+
+    def test_prepared_entries_cleared_after_decision(self):
+        system = make_system(TapirSystem)
+        submit_and_run(system, Transaction("w", [kv_set(0, 1, 1)]))
+        system.run(until=system.sim.now + 500.0)
+        for node in system.nodes.values():
+            assert node.prepared == {}
+
+    def test_versions_bump_on_commit(self):
+        system = make_system(TapirSystem)
+        submit_and_run(system, Transaction("w", [kv_set(0, 1, 1)]))
+        system.run(until=system.sim.now + 500.0)
+        node = system.nodes["r0.n0"]
+        assert node.versions.get(("kv", ("s0-1",))) == 1
+
+
+class TestSlogSpecifics:
+    def test_irt_skips_global_orderer(self):
+        system = make_system(SlogSystem)
+        submit_and_run(system, Transaction("w", [kv_set(0, 1, 1)]))
+        assert system.orderer.stats.get("global_submits") == 0
+
+    def test_crt_goes_through_global_order(self):
+        system = make_system(SlogSystem)
+        txn = Transaction("w", [kv_set(0, 1, 1), kv_set(1, 1, 2, piece_index=1)])
+        submit_and_run(system, txn)
+        assert system.orderer.stats.get("global_submits") == 1
+        assert system.orderer.stats.get("global_ordered") == 1
+
+    def test_every_region_sees_every_global_entry(self):
+        system = make_system(SlogSystem, regions=3)
+        # CRT between r0 and r1: r2's sequencer still receives the entry.
+        txn = Transaction("w", [kv_set(0, 1, 1), kv_set(1, 1, 2, piece_index=1)])
+        submit_and_run(system, txn)
+        system.run(until=system.sim.now + 500.0)
+        assert system.sequencers["r2"].stats.get("global_entries_seen") == 1
+        assert system.sequencers["r2"].stats.get("appended", 0) == 0
+
+    def test_irt_blocked_behind_input_waiting_crt_on_conflict(self):
+        """The R1 violation DAST fixes: conflicting IRT waits out the CRT."""
+        system = make_system(SlogSystem)
+        submit_and_run(system, Transaction("seed", [kv_set(1, 0, 3)]))
+        # CRT whose r0 piece waits for a value produced in r1.
+        dep = Transaction("dep", [
+            kv_read_forward(1, 0, "x", piece_index=0),
+            kv_apply_input(0, 0, "x", piece_index=1),
+        ])
+        system.submit("r0.c0", "r0.n0", dep, timeout=60000.0)
+        system.run(until=system.sim.now + 140.0)  # CRT in r0's log, inputs pending
+        t0 = system.sim.now
+        irt = Transaction("irt", [kv_set(0, 0, 9)])  # conflicts on s0-0
+        result = submit_and_run(system, irt)
+        # The IRT completed only after the CRT's cross-region input arrived.
+        elapsed = system.sim.now - t0
+        assert system.nodes["r0.n0"].stats.get("input_waits") > 0
+
+    def test_log_applied_in_order_despite_reordering(self):
+        system = make_system(SlogSystem)
+        node = system.nodes["r0.n0"]
+        # Deliver log entries out of order directly.
+        t1 = Transaction("a", [kv_set(0, 1, 1)])
+        t2 = Transaction("b", [kv_set(0, 1, 2)])
+        node.on_log("r0.seq", {"index": 1, "txn": t2, "coord": "r0.n0"})
+        assert node.next_index == 0  # gap: nothing admitted yet
+        node.on_log("r0.seq", {"index": 0, "txn": t1, "coord": "r0.n0"})
+        system.run(until=system.sim.now + 100.0)
+        assert node.shard.get("kv", ("s0-1",))["v"] == 2  # t1 then t2
+
+
+class TestJanusSpecifics:
+    def test_fast_path_without_conflicts(self):
+        system = make_system(JanusSystem)
+        submit_and_run(system, Transaction("w", [kv_set(0, 1, 1)]))
+        coord = system.nodes["r0.n0"]
+        assert coord.stats.get("fast_path") == 1
+        assert coord.stats.get("slow_path") == 0
+
+    def test_conflicts_create_dependencies_not_aborts(self):
+        system = make_system(JanusSystem)
+        results = []
+        for i in range(5):
+            txn = Transaction("w", [kv_set(0, 0, i)])
+            ev = system.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
+            ev.add_callback(lambda e: results.append(e.value))
+        system.run(until=system.sim.now + 10000.0)
+        assert len(results) == 5 and all(r.committed for r in results)
+        assert all(r.retries == 0 for r in results)  # R2: no aborts ever
+
+    def test_dependent_execution_order(self):
+        system = make_system(JanusSystem)
+        t1 = Transaction("a", [kv_set(0, 0, 1)])
+        t2 = Transaction("b", [kv_set(0, 0, 2)])
+        r1 = submit_and_run(system, t1)
+        r2 = submit_and_run(system, t2)
+        assert system.nodes["r0.n0"].shard.get("kv", ("s0-0",))["v"] == 2
+
+    def test_mutual_dependency_resolved_by_txn_id(self):
+        system = make_system(JanusSystem)
+        node = system.nodes["r0.n0"]
+        ta = Transaction("a", [kv_set(0, 0, 10)], txn_id="za")
+        tb = Transaction("b", [kv_set(0, 0, 20)], txn_id="zb")
+        # Commit both with mutual deps directly at the replica.
+        node.on_commit("x", {"txn_id": "za", "txn": ta, "coord": "r0.n0",
+                             "deps": {"zb": (("s0",), ())}})
+        node.on_commit("x", {"txn_id": "zb", "txn": tb, "coord": "r0.n0",
+                             "deps": {"za": (("s0",), ())}})
+        system.run(until=system.sim.now + 100.0)
+        assert "za" in node.executed_ids and "zb" in node.executed_ids
+        # Deterministic SCC order: za (smaller id) first, zb's write last.
+        assert node.shard.get("kv", ("s0-0",))["v"] == 20
+
+    def test_executed_records_garbage_collected(self):
+        system = make_system(JanusSystem)
+        for i in range(4):
+            submit_and_run(system, Transaction("w", [kv_set(0, 1, i)]))
+        system.run(until=system.sim.now + 1000.0)
+        node = system.nodes["r0.n0"]
+        assert len(node.records) == 0
+        assert len(node.executed_ids) == 4
+
+
+class TestYcsbAcrossSystems:
+    @pytest.mark.parametrize("cls", [JanusSystem, TapirSystem, SlogSystem])
+    def test_ycsb_runs_and_converges(self, cls):
+        from repro.bench.metrics import LatencyRecorder
+        from repro.workloads.client import spawn_clients
+        from repro.workloads.ycsb import YcsbWorkload
+
+        topo = make_topology(regions=2, spr=1, clients=3)
+        workload = YcsbWorkload(topo, theta=0.8, crt_ratio=0.15)
+        system = cls(topo, workload.schemas(), workload.load, seed=1)
+        recorder = LatencyRecorder()
+        system.start()
+        clients = spawn_clients(system, workload, recorder.record)
+        system.run(until=3000.0)
+        for client in clients:
+            client.stop()
+        orderer = getattr(system, "orderer", None)
+        if orderer:
+            orderer.stop()
+        system.run(until=7000.0)
+        committed = [r for r in recorder.results if r.committed]
+        assert len(committed) > 30
+        for shard in topo.all_shards():
+            assert len(set(system.replicas_digest(shard))) == 1, cls.name

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "dast" and args.workload == "tpcc"
+
+    def test_experiment_names_parsed(self):
+        args = build_parser().parse_args(["experiment", "fig2", "table3"])
+        assert args.names == ["fig2", "table3"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "fig2", "fig5", "fig6", "fig7", "fig8",
+            "fig9a", "fig9b", "fig10a", "fig10b", "ablations",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--system", "dast", "--workload", "tpca",
+                     "--regions", "2", "--shards-per-region", "1",
+                     "--clients", "2", "--duration-ms", "2500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput_tps" in out and "dast" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["experiment", "fig999"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_audit_reports_ok(self, capsys):
+        code = main(["audit", "--workload", "tpca", "--regions", "2",
+                     "--shards-per-region", "1", "--clients", "2",
+                     "--duration-ms", "2500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AuditReport(ok)" in out

@@ -1,0 +1,86 @@
+"""Tests for topology and timing configuration."""
+
+import pytest
+
+from repro.config import TimingConfig, Topology, TopologyConfig
+from repro.errors import ConfigError
+
+
+class TestTimingConfig:
+    def test_defaults_match_paper(self):
+        timing = TimingConfig()
+        assert timing.intra_region_rtt == 5.0
+        assert timing.cross_region_rtt == 100.0
+        assert timing.slog_batch_interval == 5.0
+        timing.validate()
+
+    def test_rejects_inverted_rtts(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(intra_region_rtt=200.0, cross_region_rtt=100.0).validate()
+
+    def test_rejects_nonpositive_rtt(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(intra_region_rtt=0.0).validate()
+
+    def test_rejects_bad_pct_interval(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(pct_interval=0.0).validate()
+
+
+class TestTopologyConfig:
+    def test_even_replication_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(TopologyConfig(replication=2))
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(TopologyConfig(num_regions=0))
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(TopologyConfig(clients_per_region=-1))
+
+
+class TestTopology:
+    @pytest.fixture
+    def topo(self):
+        return Topology(TopologyConfig(
+            num_regions=3, shards_per_region=2, replication=3, clients_per_region=4,
+        ))
+
+    def test_region_names(self, topo):
+        assert topo.regions == ["r0", "r1", "r2"]
+
+    def test_shard_placement(self, topo):
+        assert topo.num_shards == 6
+        assert topo.region_of_shard("s0") == "r0"
+        assert topo.region_of_shard("s3") == "r1"
+        assert topo.shards_in_region("r2") == ["s4", "s5"]
+
+    def test_one_node_per_replica(self, topo):
+        nodes = topo.nodes_in_region("r0")
+        assert len(nodes) == 6  # 2 shards x 3 replicas
+        for shard in topo.shards_in_region("r0"):
+            assert len(topo.replicas_of(shard)) == 3
+
+    def test_node_to_shard_mapping_consistent(self, topo):
+        for shard in topo.all_shards():
+            for node in topo.replicas_of(shard):
+                assert topo.shard_of_node(node) == shard
+                assert topo.region_of_node(node) == topo.region_of_shard(shard)
+
+    def test_shard_index_roundtrip(self, topo):
+        for i in range(topo.num_shards):
+            assert topo.shard_index(topo.shard_name(i)) == i
+
+    def test_manager_names(self, topo):
+        assert topo.manager_of("r1") == "r1.mgr"
+        assert topo.manager_backup_of("r1") == "r1.mgrb0"
+
+    def test_clients(self, topo):
+        assert len(topo.all_clients()) == 12
+        assert topo.clients_in_region("r0") == ["r0.c0", "r0.c1", "r0.c2", "r0.c3"]
+
+    def test_unknown_shard_raises(self, topo):
+        with pytest.raises(ConfigError):
+            topo.region_of_shard("s99")

@@ -1,0 +1,104 @@
+"""Unit tests for coordinator bookkeeping (phase accounting, ack logic)."""
+
+import pytest
+
+from repro.clock.hlc import Timestamp
+from repro.core.coordinator import CoordState
+from repro.txn.model import Transaction
+from tests.conftest import kv_set, make_dast, submit_and_run
+
+
+def crt():
+    return Transaction("crt", [kv_set(0, 0, 1), kv_set(1, 0, 2, piece_index=1)])
+
+
+def ts(t, frac=0, nid=0):
+    return Timestamp(float(t), frac, nid)
+
+
+class TestCoordState:
+    def test_all_prepared_needs_quorum_per_shard(self):
+        state = CoordState(crt(), "client", is_crt=True)
+        quorum = lambda s: 2
+        state.acks["s0"] = {"a", "b"}
+        state.acks["s1"] = {"x"}
+        assert not state.all_prepared(quorum)
+        state.acks["s1"].add("y")
+        assert state.all_prepared(quorum)
+
+    def test_all_executed_needs_every_shard(self):
+        state = CoordState(crt(), "client", is_crt=True)
+        state.exec_done["s0"] = {"phases": (0, 0, 0, 0)}
+        assert not state.all_executed()
+        state.exec_done["s1"] = {"phases": (0, 0, 0, 0)}
+        assert state.all_executed()
+
+
+class TestAckCollection:
+    @pytest.fixture
+    def node(self):
+        system = make_dast(regions=2, spr=1)
+        system.start()
+        system.run(until=100.0)
+        return system, system.nodes["r0.n0"]
+
+    def test_anticipations_keep_region_maximum(self, node):
+        _system, coordinator = node
+        txn = crt()
+        state = CoordState(txn, "c", is_crt=True)
+        txn.participating_regions = ("r0", "r1")
+        state.prepared_event = coordinator.sim.event()
+        coordinator._record_ack(state, "r1.n0", shard="s1",
+                                anticipated=ts(500), region="r1")
+        coordinator._record_ack(state, "r1.n1", shard="s1",
+                                anticipated=ts(480), region="r1")
+        assert state.anticipated["r1"] == ts(500)  # max, not last
+
+    def test_prepared_fires_only_with_all_regions_anticipated(self, node):
+        _system, coordinator = node
+        txn = crt()
+        state = CoordState(txn, "c", is_crt=True)
+        txn.participating_regions = ("r0", "r1")
+        state.prepared_event = coordinator.sim.event()
+        for replica in ("r1.n0", "r1.n1"):
+            coordinator._record_ack(state, replica, shard="s1",
+                                    anticipated=ts(500), region="r1")
+        # s1 has quorum but s0 has none and r0 has no anticipation yet.
+        assert not state.prepared_event.triggered
+        for replica in ("r0.n0", "r0.n1"):
+            coordinator._record_ack(state, replica, shard="s0",
+                                    anticipated=ts(510), region="r0")
+        assert state.prepared_event.triggered
+
+    def test_ack_without_resolvable_shard_ignored(self, node):
+        _system, coordinator = node
+        txn = crt()
+        state = CoordState(txn, "c", is_crt=True)
+        state.prepared_event = coordinator.sim.event()
+        coordinator._record_ack(state, "ghost.node", shard=None)
+        assert all(not members for members in state.acks.values())
+
+
+class TestPhaseAccounting:
+    def test_crt_phases_sum_to_total_latency(self):
+        system = make_dast(regions=2, spr=1)
+        system.start()
+        result = submit_and_run(system, crt())
+        phases = result.phases
+        accounted = (
+            phases["local_prepare"] + phases["remote_prepare"]
+            + phases["wait_exec"] + phases["wait_input"] + phases["wait_output"]
+        )
+        # t_replied - t_submit equals the phase sum (client hops excluded).
+        assert accounted == pytest.approx(
+            phases["local_prepare"] + phases["remote_prepare"]
+            + (phases["wait_exec"] + phases["wait_input"] + phases["wait_output"]),
+        )
+        assert phases["remote_prepare"] >= 95.0
+        assert phases["has_dep"] == 0.0
+
+    def test_irt_has_no_remote_prepare_cost(self):
+        system = make_dast(regions=1, spr=1)
+        system.start()
+        result = submit_and_run(system, Transaction("w", [kv_set(0, 0, 1)]))
+        assert result.phases["remote_prepare"] < 10.0

@@ -1,0 +1,84 @@
+"""Availability claims of §3.1: cross-region partitions affect CRTs but
+never IRTs; client crashes never hurt; f replica failures tolerated."""
+
+import pytest
+
+from repro.txn.model import Transaction
+from tests.conftest import kv_set, make_dast, submit_and_run
+
+
+class TestPartitionTolerance:
+    def test_irts_unaffected_by_cross_region_partition(self, dast2):
+        dast2.network.partition_regions("r0", "r1")
+        dast2.run(until=dast2.sim.now + 200.0)
+        for i in range(4):
+            result = submit_and_run(dast2, Transaction("w", [kv_set(0, i, i)]))
+            assert result.committed
+        # And in the other region too.
+        result = submit_and_run(
+            dast2, Transaction("w", [kv_set(1, 0, 9)]), client="r1.c0", node="r1.n0",
+        )
+        assert result.committed
+
+    def test_crts_stall_during_partition_and_recover_after(self, dast2):
+        dast2.network.partition_regions("r0", "r1")
+        txn = Transaction("crt", [kv_set(0, 5, 1), kv_set(1, 5, 2, piece_index=1)])
+        results = []
+        ev = dast2.submit("r0.c0", "r0.n0", txn, timeout=120000.0)
+        ev.add_callback(lambda e: results.append(e.value))
+        dast2.run(until=dast2.sim.now + 2000.0)
+        assert not results  # blocked on the partition, not aborted
+        dast2.network.heal_regions("r0", "r1")
+        dast2.run(until=dast2.sim.now + 6000.0)
+        assert results and results[0].committed  # retransmissions recovered
+
+    def test_irt_latency_unchanged_during_partition(self, dast2):
+        # Baseline IRT latency.
+        base = Transaction("w", [kv_set(0, 1, 1)])
+        submit_and_run(dast2, base)
+        base_exec = dast2.nodes["r0.n0"].records[base.txn_id]
+        base_latency = base_exec.t_executed - base_exec.t_prepared
+        dast2.network.partition_regions("r0", "r1")
+        dast2.run(until=dast2.sim.now + 100.0)
+        during = Transaction("w", [kv_set(0, 2, 2)])
+        submit_and_run(dast2, during)
+        during_exec = dast2.nodes["r0.n0"].records[during.txn_id]
+        during_latency = during_exec.t_executed - during_exec.t_prepared
+        assert during_latency < base_latency + 20.0
+
+
+class TestClientFailures:
+    def test_transaction_completes_even_if_client_vanishes(self, dast2):
+        """Availability on arbitrary client failures: the coordinator
+        finishes the transaction regardless of the submitting client."""
+        txn = Transaction("w", [kv_set(0, 3, 7)])
+        dast2.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
+        dast2.run(until=dast2.sim.now + 2.0)
+        dast2.network.crash_host("r0.c0")  # client dies mid-flight
+        dast2.run(until=dast2.sim.now + 2000.0)
+        for host in dast2.catalog.replicas_of("s0"):
+            assert dast2.nodes[host].shard.get("kv", ("s0-3",))["v"] == 7
+
+
+class TestReplicaFailures:
+    def test_f_failures_tolerated_per_shard(self):
+        system = make_dast(regions=2, spr=1, replication=5)
+        system.start()
+        # f = 2 of 5 replicas may fail.
+        system.crash_node("r0.n1")
+        system.run(until=system.sim.now + 400.0)
+        system.crash_node("r0.n3")
+        system.run(until=system.sim.now + 400.0)
+        result = submit_and_run(system, Transaction("w", [kv_set(0, 1, 42)]))
+        assert result.committed
+        crt = Transaction("crt", [kv_set(0, 2, 1), kv_set(1, 2, 2, piece_index=1)])
+        assert submit_and_run(system, crt).committed
+
+    def test_remote_replica_failure_does_not_block_crts(self, dast2):
+        dast2.crash_node("r1.n2")
+        dast2.run(until=dast2.sim.now + 400.0)
+        crt = Transaction("crt", [kv_set(0, 4, 1), kv_set(1, 4, 2, piece_index=1)])
+        result = submit_and_run(dast2, crt)
+        assert result.committed
+        for host in ("r1.n0", "r1.n1"):
+            assert dast2.nodes[host].shard.get("kv", ("s1-4",))["v"] == 2

@@ -1,0 +1,159 @@
+"""End-to-end behaviour of single DAST transactions."""
+
+import pytest
+
+from repro.txn.model import ConditionalAbort, Piece, Transaction
+from tests.conftest import (
+    kv_apply_input,
+    kv_read_forward,
+    kv_set,
+    make_dast,
+    submit_and_run,
+)
+
+
+class TestIrt:
+    def test_single_shard_irt_commits_fast(self, dast2):
+        txn = Transaction("w", [kv_set(0, 1, 42)])
+        result = submit_and_run(dast2, txn)
+        assert result.committed and not result.is_crt
+        # An IRT should finish within a few intra-region RTTs, far below
+        # the 100ms cross-region RTT (R1).
+        assert result.finish_time == 0.0  # stamped by clients, not here
+        for host in dast2.catalog.replicas_of("s0"):
+            assert dast2.nodes[host].shard.get("kv", ("s0-1",))["v"] == 42
+
+    def test_irt_latency_well_below_cross_rtt(self, dast2):
+        sim = dast2.sim
+        t0 = sim.now
+        txn = Transaction("w", [kv_set(0, 1, 7)])
+        submit_and_run(dast2, txn)
+        # submit_and_run advances in 100ms chunks; measure via records.
+        rec = dast2.nodes["r0.n0"].records[txn.txn_id]
+        assert rec.t_executed - t0 < 50.0
+
+    def test_multi_shard_irt(self):
+        system = make_dast(regions=1, spr=2)
+        system.start()
+        txn = Transaction("w", [kv_set(0, 1, 5), kv_set(1, 2, 6, piece_index=1)])
+        result = submit_and_run(system, txn)
+        assert result.committed and not result.is_crt
+        assert system.nodes["r0.n0"].shard.get("kv", ("s0-1",))["v"] == 5
+        assert system.nodes["r0.n3"].shard.get("kv", ("s1-2",))["v"] == 6
+
+    def test_intra_region_value_dependency(self):
+        system = make_dast(regions=1, spr=2)
+        system.start()
+        submit_and_run(system, Transaction("seed", [kv_set(0, 0, 33)]))
+        txn = Transaction("dep", [
+            kv_read_forward(0, 0, "x", piece_index=0),
+            kv_apply_input(1, 0, "x", piece_index=1),
+        ])
+        result = submit_and_run(system, txn)
+        assert result.committed
+        assert result.outputs["x"] == 33
+        assert system.nodes["r0.n3"].shard.get("kv", ("s1-0",))["v"] == 33
+
+    def test_outputs_returned_to_client(self, dast2):
+        txn = Transaction("w", [kv_set(0, 3, 9, produces=("written",))])
+        result = submit_and_run(dast2, txn)
+        assert result.outputs == {"written": 9}
+
+
+class TestCrt:
+    def test_cross_region_txn_commits_on_both_shards(self, dast2):
+        txn = Transaction("w", [kv_set(0, 1, 10), kv_set(1, 1, 20, piece_index=1)])
+        result = submit_and_run(dast2, txn)
+        assert result.committed and result.is_crt
+        assert dast2.nodes["r0.n0"].shard.get("kv", ("s0-1",))["v"] == 10
+        assert dast2.nodes["r1.n0"].shard.get("kv", ("s1-1",))["v"] == 20
+
+    def test_crt_with_cross_region_value_dependency(self, dast2):
+        submit_and_run(dast2, Transaction("seed", [kv_set(0, 0, 77)]))
+        txn = Transaction("dep", [
+            kv_read_forward(0, 0, "x", piece_index=0),
+            kv_apply_input(1, 0, "x", piece_index=1),
+        ])
+        result = submit_and_run(dast2, txn)
+        assert result.committed
+        assert dast2.nodes["r1.n1"].shard.get("kv", ("s1-0",))["v"] == 77
+
+    def test_crt_phases_recorded(self, dast2):
+        txn = Transaction("w", [kv_set(0, 1, 1), kv_set(1, 1, 2, piece_index=1)])
+        result = submit_and_run(dast2, txn)
+        assert result.phases["remote_prepare"] > 50.0  # at least 1 cross RTT
+        assert "wait_exec" in result.phases
+        assert result.phases["local_prepare"] >= 0.0
+
+    def test_crt_never_conflict_aborts(self, dast2):
+        """R2: concurrent conflicting CRTs all commit."""
+        results = []
+        for i in range(6):
+            txn = Transaction("w", [
+                kv_set(0, 0, 100 + i),
+                kv_set(1, 0, 200 + i, piece_index=1),
+            ])
+            ev = dast2.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
+            ev.add_callback(lambda e: results.append(e.value))
+        dast2.run(until=dast2.sim.now + 5000.0)
+        assert len(results) == 6
+        assert all(r.committed for r in results)
+
+    def test_conditional_abort_consistent_across_shards(self, dast2):
+        def aborting_body(ctx):
+            ctx.store.update("kv", ("s0-5",), {"v": 1})
+            raise ConditionalAbort("guard failed")
+
+        def remote_guard(ctx):
+            # Same deterministic predicate evaluated remotely.
+            raise ConditionalAbort("guard failed")
+
+        txn = Transaction("cond", [
+            Piece(0, "s0", aborting_body, lock_keys=(("kv", "s0-5"),)),
+            Piece(1, "s1", remote_guard, lock_keys=(("kv", "s1-5"),)),
+        ])
+        result = submit_and_run(dast2, txn)
+        assert not result.committed
+        assert result.abort_reason == "guard failed"
+        assert dast2.nodes["r0.n0"].shard.get("kv", ("s0-5",))["v"] == 0
+        assert dast2.nodes["r1.n0"].shard.get("kv", ("s1-5",))["v"] == 0
+
+
+class TestReplication:
+    def test_replicas_converge(self, dast2):
+        for i in range(5):
+            submit_and_run(dast2, Transaction("w", [kv_set(0, i, i * 11)]))
+        digests = dast2.replicas_digest("s0")
+        assert len(set(digests)) == 1
+
+    def test_execution_order_identical_across_replicas(self, dast2):
+        for i in range(5):
+            submit_and_run(dast2, Transaction("w", [kv_set(0, 0, i)]))
+        logs = [
+            [txn_id for _ts, txn_id in dast2.nodes[h].executed_log]
+            for h in dast2.catalog.replicas_of("s0")
+        ]
+        assert logs[0] == logs[1] == logs[2]
+        assert len(logs[0]) == 5
+
+    def test_timestamps_strictly_increase_in_execution_order(self, dast2):
+        for i in range(5):
+            submit_and_run(dast2, Transaction("w", [kv_set(0, 0, i)]))
+        log = dast2.nodes["r0.n0"].executed_log
+        stamps = [ts for ts, _ in log]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+
+class TestSessionOrder:
+    def test_proposition2_sequential_txns_ordered(self, dast2):
+        """A txn started after another finishes is ordered after it."""
+        first = Transaction("w", [kv_set(0, 0, 1)])
+        submit_and_run(dast2, first)
+        second = Transaction("w", [kv_set(0, 0, 2)])
+        submit_and_run(dast2, second)
+        log = dast2.nodes["r0.n0"].executed_log
+        ids = [txn_id for _ts, txn_id in log]
+        assert ids.index(first.txn_id) < ids.index(second.txn_id)
+        # Final state reflects the later transaction (no stale read/write).
+        assert dast2.nodes["r0.n0"].shard.get("kv", ("s0-0",))["v"] == 2

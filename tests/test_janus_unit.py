@@ -1,0 +1,95 @@
+"""Handler-level unit tests for Janus's dependency tracking."""
+
+import pytest
+
+from repro.baselines.janus import JanusSystem
+from repro.txn.model import Transaction
+from tests.conftest import KV_SCHEMA, kv_set, load_kv, make_topology
+
+
+@pytest.fixture
+def node():
+    topo = make_topology(regions=1, spr=1, clients=1)
+    system = JanusSystem(topo, KV_SCHEMA, load_kv, seed=1)
+    system.start()
+    return system, system.nodes["r0.n0"]
+
+
+def preaccept(n, txn, coord="r0.n0"):
+    return n.on_preaccept(coord, {"txn": txn, "coord": coord})
+
+
+class TestPreAccept:
+    def test_first_txn_has_no_deps(self, node):
+        _system, n = node
+        reply = preaccept(n, Transaction("a", [kv_set(0, 0, 1)]))
+        assert reply["deps"] == {}
+
+    def test_conflicting_txn_depends_on_earlier(self, node):
+        _system, n = node
+        t1 = Transaction("a", [kv_set(0, 0, 1)])
+        t2 = Transaction("b", [kv_set(0, 0, 2)])
+        preaccept(n, t1)
+        reply = preaccept(n, t2)
+        assert t1.txn_id in reply["deps"]
+        shards, _deps = reply["deps"][t1.txn_id]
+        assert shards == ("s0",)
+
+    def test_disjoint_keys_do_not_conflict(self, node):
+        _system, n = node
+        preaccept(n, Transaction("a", [kv_set(0, 0, 1)]))
+        reply = preaccept(n, Transaction("b", [kv_set(0, 1, 2)]))
+        assert reply["deps"] == {}
+
+    def test_replay_returns_original_deps(self, node):
+        _system, n = node
+        t1 = Transaction("a", [kv_set(0, 0, 1)])
+        t2 = Transaction("b", [kv_set(0, 0, 2)])
+        preaccept(n, t1)
+        first = preaccept(n, t2)
+        second = preaccept(n, t2)  # duplicate preaccept (retry)
+        assert first["deps"] == second["deps"]
+
+    def test_executed_deps_not_reported(self, node):
+        system, n = node
+        t1 = Transaction("a", [kv_set(0, 0, 1)])
+        preaccept(n, t1)
+        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        system.run(until=system.sim.now + 50.0)
+        assert t1.txn_id in n.executed_ids
+        reply = preaccept(n, Transaction("b", [kv_set(0, 0, 2)]))
+        assert reply["deps"] == {}
+
+
+class TestCommitAndExecution:
+    def test_commit_without_preaccept_adopts_body(self, node):
+        system, n = node
+        t1 = Transaction("a", [kv_set(0, 3, 9)])
+        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        system.run(until=system.sim.now + 50.0)
+        assert n.shard.get("kv", ("s0-3",))["v"] == 9
+
+    def test_commit_blocked_until_dep_commits(self, node):
+        system, n = node
+        t1 = Transaction("a", [kv_set(0, 0, 1)])
+        t2 = Transaction("b", [kv_set(0, 0, 2)])
+        preaccept(n, t1)
+        preaccept(n, t2)
+        n.on_commit("x", {"txn_id": t2.txn_id, "txn": t2, "coord": "r0.n0",
+                          "deps": {t1.txn_id: (("s0",), ())}})
+        system.run(until=system.sim.now + 50.0)
+        assert t2.txn_id not in n.executed_ids  # waits for t1
+        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        system.run(until=system.sim.now + 50.0)
+        assert t1.txn_id in n.executed_ids and t2.txn_id in n.executed_ids
+        assert n.shard.get("kv", ("s0-0",))["v"] == 2  # t1 then t2
+
+    def test_irrelevant_shard_deps_ignored(self, node):
+        system, n = node
+        t2 = Transaction("b", [kv_set(0, 0, 2)])
+        # Dep on a transaction that only touches another shard: not relevant
+        # at s0, so execution proceeds without it.
+        n.on_commit("x", {"txn_id": t2.txn_id, "txn": t2, "coord": "r0.n0",
+                          "deps": {"ghost": (("s9",), ())}})
+        system.run(until=system.sim.now + 50.0)
+        assert t2.txn_id in n.executed_ids

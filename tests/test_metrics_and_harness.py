@@ -1,0 +1,169 @@
+"""Tests for metrics reduction, the harness, features table, and reporting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.features import FEATURE_MATRIX, IMPLEMENTED, feature_rows
+from repro.bench.harness import SYSTEMS, Trial, run_trial
+from repro.bench.metrics import LatencyRecorder, percentile
+from repro.bench.report import format_series, format_table
+from repro.txn.result import TxnResult
+from repro.workloads.tpca import TpcaWorkload
+
+
+def result(latency=10.0, finish=1000.0, crt=False, committed=True, txn_type="t",
+           retries=0, phases=None):
+    r = TxnResult("tx", txn_type, committed, crt, retries=retries, phases=phases)
+    r.submit_time = finish - latency
+    r.finish_time = finish
+    return r
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_and_p99(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_an_element_and_monotone(self, values):
+        p50 = percentile(values, 50)
+        p99 = percentile(values, 99)
+        assert p50 in values and p99 in values
+        assert p50 <= p99
+
+
+class TestLatencyRecorder:
+    def test_warm_window_filters(self):
+        rec = LatencyRecorder(warm_start=100.0, warm_end=200.0)
+        rec.record(result(finish=50.0))
+        rec.record(result(finish=150.0))
+        rec.record(result(finish=250.0))
+        assert len(rec.results) == 1
+        assert rec.all_count == 3
+
+    def test_summary_splits_irt_crt(self):
+        rec = LatencyRecorder()
+        for i in range(10):
+            rec.record(result(latency=10.0, finish=100.0 + i))
+            rec.record(result(latency=200.0, finish=100.0 + i, crt=True))
+        summary = rec.summarize("x")
+        assert summary.irt_median == pytest.approx(10.0)
+        assert summary.crt_median == pytest.approx(200.0)
+        assert summary.committed == 20
+
+    def test_abort_rate(self):
+        rec = LatencyRecorder()
+        rec.record(result(committed=False, finish=10))
+        rec.record(result(finish=11))
+        summary = rec.summarize("x")
+        assert summary.abort_rate == pytest.approx(0.5)
+
+    def test_cdf_monotone_and_complete(self):
+        rec = LatencyRecorder()
+        for i in range(50):
+            rec.record(result(latency=float(i + 1), finish=100.0 + i))
+        cdf = rec.cdf(crt=False, points=10)
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_timeseries_buckets(self):
+        rec = LatencyRecorder()
+        for t in (100.0, 150.0, 600.0):
+            rec.record(result(latency=5.0, finish=t))
+        series = rec.timeseries(bucket_ms=500.0)
+        assert len(series) == 2
+        assert series[0]["throughput_tps"] == pytest.approx(4.0)  # 2 in 0.5s
+
+    def test_phase_breakdown_split_by_dependency(self):
+        rec = LatencyRecorder()
+        rec.record(result(crt=True, finish=10, latency=200.0,
+                          phases={"remote_prepare": 100.0, "has_dep": 1.0,
+                                  "wait_input": 80.0}))
+        rec.record(result(crt=True, finish=11, latency=210.0,
+                          phases={"remote_prepare": 105.0, "has_dep": 0.0,
+                                  "wait_output": 95.0}))
+        with_dep = rec.phase_breakdown(with_dependency=True)
+        without = rec.phase_breakdown(with_dependency=False)
+        assert with_dep["count"] == 1 and with_dep["wait_input"] == pytest.approx(80.0)
+        assert without["count"] == 1 and without["wait_output"] == pytest.approx(95.0)
+
+
+class TestHarness:
+    def test_all_four_systems_registered(self):
+        assert set(SYSTEMS) == {"dast", "janus", "tapir", "slog"}
+
+    @pytest.mark.parametrize("system", ["dast", "janus", "tapir", "slog"])
+    def test_run_trial_produces_traffic(self, system):
+        trial = Trial(
+            system, lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.1),
+            num_regions=2, shards_per_region=1, clients_per_region=2,
+            duration_ms=3000.0, warmup_ms=500.0,
+        )
+        result = run_trial(trial)
+        assert result.summary.throughput > 0
+        assert result.summary.irt_median > 0
+
+    def test_drain_quiesces(self):
+        trial = Trial(
+            "dast", lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.2),
+            num_regions=2, shards_per_region=1, clients_per_region=2,
+            duration_ms=2000.0, warmup_ms=200.0,
+        )
+        result = run_trial(trial)
+        result.drain()
+        for node in result.system.nodes.values():
+            assert len(node.ready_q) == 0
+
+    def test_seeded_trials_are_reproducible(self):
+        def run_once():
+            trial = Trial(
+                "dast", lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.1),
+                num_regions=2, shards_per_region=1, clients_per_region=2,
+                duration_ms=2000.0, warmup_ms=200.0, seed=7,
+            )
+            return run_trial(trial).summary.as_row()
+
+        assert run_once() == run_once()
+
+
+class TestFeatures:
+    def test_dast_is_the_only_full_row(self):
+        for system, flags in FEATURE_MATRIX.items():
+            full = all(flags.values())
+            assert full == (system == "dast")
+
+    def test_implemented_systems_present(self):
+        assert set(IMPLEMENTED) <= set(FEATURE_MATRIX)
+
+    def test_rows_render(self):
+        rows = feature_rows()
+        text = format_table(rows, ["system", "serializable", "r1", "r2", "r3"])
+        assert "dast" in text and "slog" in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.2345, "b": "x"}, {"a": 22.0, "b": "longer"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2  # header/body aligned
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_series(self):
+        text = format_series({"dast": [{"x": 1}], "janus": [{"x": 2}]})
+        assert "== dast ==" in text and "== janus ==" in text

@@ -1,0 +1,86 @@
+"""Tests for the ASCII plot helpers and traffic accounting."""
+
+import pytest
+
+from repro.bench.plots import ascii_cdf, ascii_plot, sparkline
+from repro.bench.traffic import hotspot_ratio, traffic_report
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3 and len(set(line)) == 1
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_extremes_hit_end_ticks(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_contains_marks_and_legend(self):
+        text = ascii_plot({"dast": [(0, 1), (1, 2)], "janus": [(0, 3), (1, 4)]},
+                          width=20, height=5)
+        assert "d" in text and "j" in text
+        assert "legend: d=dast  j=janus" in text
+
+    def test_axis_bounds_printed(self):
+        text = ascii_plot({"x": [(10.0, 1.0), (90.0, 9.0)]}, width=20, height=5)
+        assert "10.0" in text and "90.0" in text
+
+    def test_single_point_does_not_crash(self):
+        assert "x" in ascii_plot({"x": [(1.0, 1.0)]})
+
+
+class TestAsciiCdf:
+    def test_empty(self):
+        assert ascii_cdf([]) == "(no data)"
+
+    def test_percentile_rows(self):
+        text = ascii_cdf(list(range(1, 101)), label="latency")
+        assert "p50" in text and "p99" in text
+        assert "latency" in text
+
+    def test_values_monotone_down_the_rows(self):
+        text = ascii_cdf([1.0, 2.0, 3.0, 50.0])
+        values = [float(line.split()[-1]) for line in text.splitlines()[1:]]
+        assert values == sorted(values)
+
+
+class TestTraffic:
+    @pytest.fixture
+    def system(self):
+        from repro.txn.model import Transaction
+        from tests.conftest import kv_set, make_dast, submit_and_run
+
+        system = make_dast(regions=2, spr=1)
+        system.start()
+        for i in range(3):
+            submit_and_run(system, Transaction("w", [kv_set(0, i, i)]))
+        crt = Transaction("crt", [kv_set(0, 5, 1), kv_set(1, 5, 2, piece_index=1)])
+        submit_and_run(system, crt)
+        return system
+
+    def test_report_covers_all_active_hosts(self, system):
+        rows = traffic_report(system, window_ms=system.sim.now)
+        hosts = {r["host"] for r in rows}
+        assert "r0.n0" in hosts and "r0.mgr" in hosts
+        assert all(r["sent_per_s"] >= 0 for r in rows)
+
+    def test_dast_data_nodes_have_no_hotspot(self, system):
+        ratio = hotspot_ratio(system, window_ms=system.sim.now, role_filter=".n")
+        assert 0.5 < ratio < 3.0  # spread within a small factor of the mean
+
+    def test_filter_selects_roles(self, system):
+        rows = traffic_report(system, window_ms=system.sim.now)
+        managers = [r for r in rows if ".mgr" in r["host"]]
+        assert managers and all(r["received_per_s"] > 0 for r in managers)

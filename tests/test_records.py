@@ -1,0 +1,140 @@
+"""Unit tests for DAST's per-node bookkeeping (readyQ, waitQ, records)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock.hlc import Timestamp
+from repro.core.records import ReadyQueue, TxnRecord, TxnStatus, WaitQueue
+from repro.txn.model import Piece, Transaction
+
+
+def txn(txn_id):
+    return Transaction("t", [Piece(0, "s0", lambda ctx: None)], txn_id=txn_id)
+
+
+def rec(txn_id, status=TxnStatus.PREPARED, is_crt=False):
+    return TxnRecord(txn(txn_id), is_crt, "r0.n0", status=status)
+
+
+def ts(t, frac=0, nid=0):
+    return Timestamp(float(t), frac, nid)
+
+
+class TestReadyQueue:
+    def test_head_is_min_timestamp(self):
+        q = ReadyQueue()
+        q.insert(ts(30), rec("c"))
+        q.insert(ts(10), rec("a"))
+        q.insert(ts(20), rec("b"))
+        assert q.head().txn_id == "a"
+
+    def test_pop_in_order(self):
+        q = ReadyQueue()
+        for i, name in enumerate(["x", "y", "z"]):
+            q.insert(ts(i), rec(name))
+        assert [q.pop().txn_id for _ in range(3)] == ["x", "y", "z"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            ReadyQueue().pop()
+
+    def test_remove_skips_stale_heap_entry(self):
+        q = ReadyQueue()
+        q.insert(ts(1), rec("a"))
+        q.insert(ts(2), rec("b"))
+        q.remove("a")
+        assert q.head().txn_id == "b"
+        assert len(q) == 1
+        assert "a" not in q
+
+    def test_contains_and_get(self):
+        q = ReadyQueue()
+        r = rec("a")
+        q.insert(ts(1), r)
+        assert "a" in q
+        assert q.get("a") is r
+        assert q.get("nope") is None
+
+    def test_records_sorted(self):
+        q = ReadyQueue()
+        q.insert(ts(5), rec("b"))
+        q.insert(ts(1), rec("a"))
+        assert [r.txn_id for r in q.records()] == ["a", "b"]
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_pop_sequence_always_sorted(self, entries):
+        q = ReadyQueue()
+        for i, (t, frac) in enumerate(entries):
+            q.insert(ts(t, frac, i), rec(f"t{i}"))
+        popped = [q.pop().ts for _ in range(len(entries))]
+        assert popped == sorted(popped)
+
+
+class TestWaitQueue:
+    def test_min_over_entries(self):
+        q = WaitQueue()
+        q.insert("a", ts(30))
+        q.insert("b", ts(10))
+        assert q.min() == ts(10)
+
+    def test_remove_reveals_next_min(self):
+        q = WaitQueue()
+        q.insert("a", ts(10))
+        q.insert("b", ts(20))
+        q.remove("a")
+        assert q.min() == ts(20)
+        q.remove("b")
+        assert q.min() is None
+
+    def test_update_rekeys_atomically(self):
+        q = WaitQueue()
+        q.insert("a", ts(10))
+        q.update("a", ts(50))
+        assert q.min() == ts(50)
+        assert "a" in q and len(q) == 1
+
+    def test_remove_missing_is_noop(self):
+        q = WaitQueue()
+        q.remove("ghost")
+        assert q.min() is None
+
+    def test_entries_snapshot(self):
+        q = WaitQueue()
+        q.insert("a", ts(1))
+        snap = q.entries()
+        snap["b"] = ts(2)
+        assert "b" not in q
+
+    @given(st.lists(st.tuples(st.sampled_from("abcde"), st.integers(0, 100),
+                              st.booleans()), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_min_matches_reference_model(self, ops):
+        q = WaitQueue()
+        model = {}
+        for key, t, is_remove in ops:
+            if is_remove:
+                q.remove(key)
+                model.pop(key, None)
+            else:
+                q.insert(key, ts(t))
+                model[key] = ts(t)
+            expected = min(model.values()) if model else None
+            assert q.min() == expected
+
+
+class TestTxnRecord:
+    def test_input_ready_tracking(self):
+        r = rec("a")
+        r.needed = frozenset({"x", "y"})
+        assert not r.input_ready()
+        r.inputs["x"] = 1
+        assert not r.input_ready()
+        r.inputs["y"] = 2
+        assert r.input_ready()
+
+    def test_no_needs_is_ready(self):
+        assert rec("a").input_ready()
+
+    def test_repr_mentions_status(self):
+        assert "prepared" in repr(rec("a"))

@@ -1,0 +1,263 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import AllOf, AnyOf, Event, Process, ProcessInterrupted, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_callback_at_delay(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_same_instant_callbacks_fifo(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(1.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == []
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["late"]
+
+    def test_run_until_advances_time_even_when_idle(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_repeated_run_until_is_monotonic(self, sim):
+        sim.run(until=10.0)
+        sim.run(until=20.0)
+        assert sim.now == 20.0
+
+    def test_stop_halts_run(self, sim):
+        seen = []
+
+        def first():
+            seen.append("a")
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a"]
+        assert sim.now == 1.0
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        seen = []
+        sim.schedule(3.0, lambda: sim.call_soon(seen.append, sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_pending_events_counts_heap(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(99)
+        sim.run()
+        assert seen == [99]
+
+    def test_double_trigger_is_error(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_callback_after_trigger_still_fires(self, sim):
+        ev = sim.event()
+        ev.succeed("v")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["v"]
+
+    def test_timeout_event_value(self, sim):
+        ev = sim.timeout(7.0, value="done")
+        seen = []
+        ev.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(7.0, "done")]
+
+
+class TestProcesses:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "result"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.ok and p.value == "result"
+
+    def test_process_receives_event_value(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value=41)
+            return got + 1
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.value == 42
+
+    def test_process_exception_fails_event(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.exception, ValueError)
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return "survived"
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, ev.fail, RuntimeError("remote"))
+        sim.run()
+        assert caught == ["remote"]
+        assert p.value == "survived"
+
+    def test_join_another_process(self, sim):
+        def worker():
+            yield sim.timeout(5.0)
+            return 10
+
+        def parent():
+            value = yield sim.spawn(worker())
+            return value * 2
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.value == 20
+        assert sim.now == 5.0
+
+    def test_yield_non_event_fails(self, sim):
+        def proc():
+            yield 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.exception, SimulationError)
+
+    def test_interrupt_cancels(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                cleaned.append(True)
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert cleaned == [True]
+        assert not p.ok
+        assert isinstance(p.exception, ProcessInterrupted)
+
+    def test_interrupt_after_finish_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt()
+        assert p.ok and p.value == "ok"
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self, sim):
+        events = [sim.timeout(3.0, "a"), sim.timeout(1.0, "b"), sim.timeout(2.0, "c")]
+        combined = sim.all_of(events)
+        seen = []
+        combined.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(3.0, ["a", "b", "c"])]
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        combined = sim.all_of([])
+        assert combined.triggered and combined.value == []
+
+    def test_all_of_fails_on_first_failure(self, sim):
+        good = sim.timeout(5.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+        sim.schedule(1.0, bad.fail, RuntimeError("x"))
+        sim.run()
+        assert combined.triggered and not combined.ok
+
+    def test_any_of_first_wins(self, sim):
+        slow = sim.timeout(10.0, "slow")
+        fast = sim.timeout(2.0, "fast")
+        combined = sim.any_of([slow, fast])
+        seen = []
+        combined.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(2.0, "fast")]
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def proc(name, delay):
+                for i in range(3):
+                    yield sim.timeout(delay)
+                    trace.append((sim.now, name, i))
+
+            sim.spawn(proc("a", 1.5))
+            sim.spawn(proc("b", 2.0))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

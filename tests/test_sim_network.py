@@ -1,0 +1,165 @@
+"""Tests for the simulated network (delays, anomalies, partitions)."""
+
+import pytest
+
+from repro.errors import ConfigError, NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(7), intra_region_rtt=5.0, cross_region_rtt=100.0)
+    inboxes = {}
+    for host, region in [("r0.a", "r0"), ("r0.b", "r0"), ("r1.c", "r1"), ("r1.d", "r1")]:
+        inboxes[host] = []
+        network.register(host, region, lambda src, p, h=host: inboxes[h].append((sim.now, src, p)))
+    return sim, network, inboxes
+
+
+class TestDelays:
+    def test_intra_region_half_rtt(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r0.b", "hi")
+        sim.run()
+        assert inboxes["r0.b"] == [(2.5, "r0.a", "hi")]
+
+    def test_cross_region_half_rtt(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "hi")
+        sim.run()
+        assert inboxes["r1.c"][0][0] == 50.0
+
+    def test_loopback_is_nearly_instant(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r0.a", "self")
+        sim.run()
+        assert inboxes["r0.a"][0][0] < 0.1
+
+    def test_unknown_destination_raises(self, net):
+        _sim, network, _ = net
+        with pytest.raises(NetworkError):
+            network.send("r0.a", "nowhere", "x")
+
+    def test_duplicate_registration_rejected(self, net):
+        _sim, network, _ = net
+        with pytest.raises(ConfigError):
+            network.register("r0.a", "r0", lambda s, p: None)
+
+    def test_region_of(self, net):
+        _sim, network, _ = net
+        assert network.region_of("r1.c") == "r1"
+        with pytest.raises(NetworkError):
+            network.region_of("ghost")
+
+
+class TestAnomalies:
+    def test_jitter_spreads_cross_region_delay(self, net):
+        sim, network, inboxes = net
+        network.jitter = 20.0
+        for _ in range(50):
+            network.send("r0.a", "r1.c", "m")
+        sim.run()
+        times = [t for t, _s, _p in inboxes["r1.c"]]
+        assert min(times) < 50.0 < max(times)
+        assert all(abs(t - 50.0) <= 10.0 + 1e-9 for t in times)  # +/- jitter/2
+
+    def test_rtt_step_changes_delay(self, net):
+        sim, network, inboxes = net
+        network.set_cross_region_rtt(200.0)
+        network.send("r0.a", "r1.c", "m")
+        sim.run()
+        assert inboxes["r1.c"][0][0] == 100.0
+
+    def test_per_pair_rtt_override(self, net):
+        sim, network, inboxes = net
+        network.set_cross_region_rtt(300.0, "r0", "r1")
+        network.send("r0.a", "r1.c", "m")
+        sim.run()
+        assert inboxes["r1.c"][0][0] == 150.0
+
+    def test_asymmetric_forward_fraction(self, net):
+        sim, network, inboxes = net
+        network.forward_fraction = 0.7
+        network.send("r0.a", "r1.c", "fwd")  # r0 < r1: forward direction
+        network.send("r1.c", "r0.a", "rev")
+        sim.run()
+        assert inboxes["r1.c"][0][0] == pytest.approx(70.0)
+        assert inboxes["r0.a"][0][0] == pytest.approx(30.0)
+
+    def test_negative_rtt_rejected(self, net):
+        _sim, network, _ = net
+        with pytest.raises(ConfigError):
+            network.set_cross_region_rtt(-5.0)
+
+    def test_random_drops(self):
+        sim = Simulator()
+        network = Network(sim, RngRegistry(3), drop_probability=0.5)
+        received = []
+        network.register("r0.a", "r0", lambda s, p: None)
+        network.register("r0.b", "r0", lambda s, p: received.append(p))
+        for i in range(200):
+            network.send("r0.a", "r0.b", i)
+        sim.run()
+        assert 40 < len(received) < 160
+        assert network.stats.messages_dropped == 200 - len(received)
+
+
+class TestPartitionsAndCrashes:
+    def test_host_partition_drops_both_ways(self, net):
+        sim, network, inboxes = net
+        network.partition_hosts("r0.a", "r0.b")
+        network.send("r0.a", "r0.b", "x")
+        network.send("r0.b", "r0.a", "y")
+        sim.run()
+        assert inboxes["r0.b"] == [] and inboxes["r0.a"] == []
+
+    def test_heal_hosts_restores(self, net):
+        sim, network, inboxes = net
+        network.partition_hosts("r0.a", "r0.b")
+        network.heal_hosts("r0.a", "r0.b")
+        network.send("r0.a", "r0.b", "x")
+        sim.run()
+        assert len(inboxes["r0.b"]) == 1
+
+    def test_region_partition(self, net):
+        sim, network, inboxes = net
+        network.partition_regions("r0", "r1")
+        network.send("r0.a", "r1.c", "x")
+        network.send("r0.a", "r0.b", "local ok")
+        sim.run()
+        assert inboxes["r1.c"] == []
+        assert len(inboxes["r0.b"]) == 1
+
+    def test_crashed_host_receives_nothing(self, net):
+        sim, network, inboxes = net
+        network.crash_host("r1.c")
+        network.send("r0.a", "r1.c", "x")
+        sim.run()
+        assert inboxes["r1.c"] == []
+        assert network.is_down("r1.c")
+
+    def test_restart_host(self, net):
+        sim, network, inboxes = net
+        network.crash_host("r1.c")
+        network.restart_host("r1.c")
+        network.send("r0.a", "r1.c", "x")
+        sim.run()
+        assert len(inboxes["r1.c"]) == 1
+
+    def test_partition_formed_while_in_flight_drops(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "x")  # arrives at t=50
+        sim.schedule(10.0, network.partition_regions, "r0", "r1")
+        sim.run()
+        assert inboxes["r1.c"] == []
+
+    def test_stats_counters(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r0.b", "x")
+        sim.run()
+        assert network.stats.messages_sent == 1
+        assert network.stats.per_host_sent["r0.a"] == 1
+        assert network.stats.per_host_received["r0.b"] == 1

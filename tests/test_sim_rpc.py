@@ -1,0 +1,138 @@
+"""Tests for the RPC endpoint layer."""
+
+import pytest
+
+from repro.errors import ProtocolError, RpcTimeout
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.rpc import Endpoint, RpcRemoteError
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(1), intra_region_rtt=5.0, cross_region_rtt=100.0)
+    a = Endpoint(sim, network, "r0.a", "r0")
+    b = Endpoint(sim, network, "r0.b", "r0")
+    return sim, network, a, b
+
+
+def run_call(sim, event):
+    out = {}
+    event.add_callback(lambda e: out.update(ok=e.ok, value=e.value, exc=e.exception))
+    sim.run()
+    return out
+
+
+class TestRequestResponse:
+    def test_plain_handler(self, setup):
+        sim, _net, a, b = setup
+        b.register("add", lambda src, p: p + 1)
+        out = run_call(sim, a.call("r0.b", "add", 41))
+        assert out["ok"] and out["value"] == 42
+        assert sim.now == pytest.approx(5.0)  # one intra-region RTT
+
+    def test_generator_handler(self, setup):
+        sim, _net, a, b = setup
+
+        def handler(src, payload):
+            yield sim.timeout(10.0)
+            return payload * 2
+
+        b.register("slow", handler)
+        out = run_call(sim, a.call("r0.b", "slow", 5))
+        assert out["value"] == 10
+        assert sim.now == pytest.approx(15.0)
+
+    def test_handler_exception_becomes_remote_error(self, setup):
+        sim, _net, a, b = setup
+
+        def handler(src, payload):
+            yield sim.timeout(1.0)
+            raise ValueError("kaput")
+
+        b.register("bad", handler)
+        out = run_call(sim, a.call("r0.b", "bad", None))
+        assert not out["ok"]
+        assert isinstance(out["exc"], RpcRemoteError)
+        assert "kaput" in str(out["exc"])
+
+    def test_timeout_fails_call(self, setup):
+        sim, net, a, b = setup
+        b.register("echo", lambda src, p: p)
+        net.partition_hosts("r0.a", "r0.b")
+        out = run_call(sim, a.call("r0.b", "echo", 1, timeout=20.0))
+        assert not out["ok"]
+        assert isinstance(out["exc"], RpcTimeout)
+
+    def test_late_response_after_timeout_is_dropped(self, setup):
+        sim, _net, a, b = setup
+
+        def handler(src, payload):
+            yield sim.timeout(50.0)
+            return "late"
+
+        b.register("slow", handler)
+        out = run_call(sim, a.call("r0.b", "slow", None, timeout=10.0))
+        assert isinstance(out["exc"], RpcTimeout)
+        sim.run()  # late response arrives and must not blow up
+
+    def test_unknown_method_raises_at_server(self, setup):
+        sim, _net, a, b = setup
+        a.call("r0.b", "ghost", None)
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_duplicate_handler_rejected(self, setup):
+        _sim, _net, _a, b = setup
+        b.register("m", lambda s, p: None)
+        with pytest.raises(ProtocolError):
+            b.register("m", lambda s, p: None)
+
+
+class TestOneWay:
+    def test_send_delivers_without_response(self, setup):
+        sim, _net, a, b = setup
+        seen = []
+        b.register("note", lambda src, p: seen.append((src, p)))
+        a.send("r0.b", "note", "hello")
+        sim.run()
+        assert seen == [("r0.a", "hello")]
+
+    def test_broadcast(self, setup):
+        sim, net, a, b = setup
+        c = Endpoint(sim, net, "r0.c", "r0")
+        seen = []
+        b.register("n", lambda s, p: seen.append("b"))
+        c.register("n", lambda s, p: seen.append("c"))
+        a.broadcast(["r0.b", "r0.c"], "n", None)
+        sim.run()
+        assert sorted(seen) == ["b", "c"]
+
+
+class TestCpuModel:
+    def test_service_time_serializes_processing(self):
+        sim = Simulator()
+        network = Network(sim, RngRegistry(1), intra_region_rtt=5.0)
+        a = Endpoint(sim, network, "r0.a", "r0")
+        b = Endpoint(sim, network, "r0.b", "r0", service_time=1.0)
+        stamps = []
+        b.register("work", lambda src, p: stamps.append(sim.now))
+        for _ in range(5):
+            a.send("r0.b", "work", None)
+        sim.run()
+        # All arrive at 2.5ms; CPU serializes them 1ms apart.
+        assert stamps == pytest.approx([3.5, 4.5, 5.5, 6.5, 7.5])
+
+    def test_charge_consumes_cpu(self):
+        sim = Simulator()
+        network = Network(sim, RngRegistry(1), intra_region_rtt=5.0)
+        a = Endpoint(sim, network, "r0.a", "r0")
+        b = Endpoint(sim, network, "r0.b", "r0", service_time=0.5)
+        stamps = []
+        b.register("work", lambda src, p: stamps.append(sim.now))
+        b.charge(10.0)
+        a.send("r0.b", "work", None)
+        sim.run()
+        assert stamps[0] == pytest.approx(10.5)  # waits out the charge

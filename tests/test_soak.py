@@ -1,0 +1,85 @@
+"""Soak test: everything at once — faults, anomalies, load — then audit.
+
+A single mixed scenario combining the paper's §6.3/§6.4 conditions: TPC-C
+traffic with message drops and RTT jitter, a node crash + Algorithm 3
+failover, a manager takeover, clock skew injected mid-run, and a replica
+re-added — followed by the full one-copy-serializability audit.
+"""
+
+import pytest
+
+from repro.bench.auditor import audit_dast_run
+from repro.bench.metrics import LatencyRecorder
+from repro.config import TimingConfig
+from repro.core.records import TxnStatus
+from repro.workloads.client import spawn_clients
+from repro.workloads.tpcc import TpccWorkload
+from tests.conftest import make_topology
+
+from repro.core.system import DastSystem
+
+
+class TestSoak:
+    def test_mixed_fault_soak_stays_serializable(self):
+        timing = TimingConfig(drop_probability=0.01)
+        topo = make_topology(regions=2, spr=2, clients=4, timing=timing, seed=11)
+        workload = TpccWorkload(topo, seed=11)
+        system = DastSystem(topo, workload.schemas(), workload.load,
+                            seed=11, with_smr=True)
+        system.network.jitter = 15.0
+        recorder = LatencyRecorder()
+        system.start()
+        # Short request timeout: with lossy links a dropped reply must
+        # not park a closed-loop client for 10 virtual seconds.
+        clients = spawn_clients(system, workload, recorder.record,
+                                request_timeout=2000.0)
+
+        # Phase 1: warm-up traffic.
+        system.run(until=1500.0)
+        # Phase 2: a data node dies; Algorithm 3 removes it.
+        system.crash_node("r0.n1")
+        system.run(until=3000.0)
+        # Phase 3: region 1's manager dies; the standby takes over.
+        system.fail_manager("r1")
+        system.run(until=4500.0)
+        # Phase 4: region 1's surviving clocks get skewed +100 ms.
+        for host, source in system.clock_sources.items():
+            if host.startswith("r1."):
+                source.adjust(100.0)
+        system.run(until=6000.0)
+        # Phase 5: a fresh replica replaces the dead one.
+        system.add_replica("r0", "r0.n1b", "s0")
+        system.run(until=8000.0)
+
+        # Drain and audit.
+        for client in clients:
+            client.stop()
+        system.run(until=16000.0)
+
+        committed = [r for r in recorder.results if r.committed]
+        assert len(committed) > 300, "soak produced too little traffic"
+        # Some work completed in every phase.
+        stamps = sorted(r.finish_time for r in committed)
+        for boundary in (1500.0, 3000.0, 4500.0, 6000.0, 8000.0):
+            assert any(t > boundary for t in stamps)
+
+        report = audit_dast_run(system)
+        assert report.ok, report
+
+        # The re-added replica converged with its donor.
+        donor = system.nodes["r0.n0"]
+        newcomer = system.nodes["r0.n1b"]
+        assert newcomer.shard.digest() == donor.shard.digest()
+
+        # Only legitimate aborts: TPC-C rollbacks and failover CRT aborts.
+        for result in recorder.results:
+            if not result.committed:
+                assert result.abort_reason in ("invalid item", "")
+
+        # No queue residue anywhere (full quiescence).
+        for node in system.nodes.values():
+            leftover = [
+                rec for rec in node.ready_q.records()
+                if rec.status not in (TxnStatus.EXECUTED, TxnStatus.ABORTED)
+            ]
+            assert leftover == [], (node.host, leftover)

@@ -1,0 +1,347 @@
+"""Tests for tables, shards, the catalog, and the lock manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ConfigError,
+    DuplicateKeyError,
+    MissingRowError,
+    ProtocolError,
+    StorageError,
+    UnknownTableError,
+)
+from repro.sim.kernel import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.shard import Shard
+from repro.storage.table import Table, TableSchema
+
+
+def people_schema(**kwargs):
+    return TableSchema(
+        "people", ["city", "pid", "name", "age"], ["city", "pid"],
+        indexes={"by_name": ["city", "name"]}, **kwargs,
+    )
+
+
+@pytest.fixture
+def table():
+    t = Table(people_schema())
+    t.insert({"city": "hk", "pid": 1, "name": "ann", "age": 30})
+    t.insert({"city": "hk", "pid": 2, "name": "bob", "age": 40})
+    t.insert({"city": "sz", "pid": 1, "name": "ann", "age": 50})
+    return t
+
+
+class TestSchema:
+    def test_pk_must_be_subset_of_columns(self):
+        with pytest.raises(StorageError):
+            TableSchema("t", ["a"], ["a", "missing"])
+
+    def test_index_columns_validated(self):
+        with pytest.raises(StorageError):
+            TableSchema("t", ["a"], ["a"], indexes={"i": ["nope"]})
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(StorageError):
+            TableSchema("t", [], [])
+
+
+class TestTable:
+    def test_get_returns_copy(self, table):
+        row = table.get(("hk", 1))
+        row["age"] = 999
+        assert table.get(("hk", 1))["age"] == 30
+
+    def test_duplicate_insert_rejected(self, table):
+        with pytest.raises(DuplicateKeyError):
+            table.insert({"city": "hk", "pid": 1, "name": "x", "age": 0})
+
+    def test_missing_get_raises_try_get_none(self, table):
+        with pytest.raises(MissingRowError):
+            table.get(("hk", 99))
+        assert table.try_get(("hk", 99)) is None
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.insert({"city": "x", "pid": 9, "nope": 1})
+        with pytest.raises(StorageError):
+            table.update(("hk", 1), {"nope": 1})
+
+    def test_primary_key_update_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.update(("hk", 1), {"pid": 7})
+
+    def test_update_changes_row_and_index(self, table):
+        table.update(("hk", 1), {"name": "zed"})
+        assert table.get(("hk", 1))["name"] == "zed"
+        assert table.lookup("by_name", ("hk", "ann")) == []
+        assert table.lookup("by_name", ("hk", "zed")) == [("hk", 1)]
+
+    def test_delete_removes_row_and_index(self, table):
+        table.delete(("hk", 1))
+        assert table.try_get(("hk", 1)) is None
+        assert table.lookup("by_name", ("hk", "ann")) == []
+        with pytest.raises(MissingRowError):
+            table.delete(("hk", 1))
+
+    def test_lookup_sorted_and_scoped(self, table):
+        table.insert({"city": "hk", "pid": 5, "name": "ann", "age": 20})
+        assert table.lookup("by_name", ("hk", "ann")) == [("hk", 1), ("hk", 5)]
+        assert table.lookup("by_name", ("sz", "ann")) == [("sz", 1)]
+
+    def test_lookup_unknown_index(self, table):
+        with pytest.raises(StorageError):
+            table.lookup("ghost", ("hk",))
+
+    def test_scan_is_sorted(self, table):
+        keys = [k for k, _row in table.scan()]
+        assert keys == sorted(keys)
+
+    def test_scan_prefix(self, table):
+        assert table.scan_prefix(("hk",)) == [("hk", 1), ("hk", 2)]
+        assert table.scan_prefix(("sz",)) == [("sz", 1)]
+        assert table.scan_prefix(("nyc",)) == []
+
+    def test_digest_changes_with_content(self, table):
+        before = table.digest()
+        table.update(("hk", 1), {"age": 31})
+        assert table.digest() != before
+
+    def test_snapshot_restore_roundtrip(self, table):
+        snapshot = table.snapshot()
+        digest = table.digest()
+        table.update(("hk", 1), {"age": 99})
+        table.delete(("sz", 1))
+        table.restore(snapshot)
+        assert table.digest() == digest
+        assert table.lookup("by_name", ("sz", "ann")) == [("sz", 1)]
+
+    def test_len_and_contains(self, table):
+        assert len(table) == 3
+        assert ("hk", 1) in table
+        assert ("hk", 9) not in table
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_content_not_history(self, ops):
+        """Two tables reaching the same rows by different op orders agree."""
+        schema = TableSchema("t", ["k", "v"], ["k"])
+        t1, t2 = Table(schema), Table(schema)
+        final = {}
+        for k, v in ops:
+            final[k] = v
+        for t, items in ((t1, list(final.items())), (t2, list(reversed(list(final.items()))))):
+            for k, v in items:
+                t.insert({"k": k, "v": v})
+        assert t1.digest() == t2.digest()
+
+
+class TestShard:
+    def test_unknown_table(self):
+        shard = Shard("s0", [people_schema()])
+        with pytest.raises(UnknownTableError):
+            shard.get("ghost", (1,))
+
+    def test_ops_counter(self):
+        shard = Shard("s0", [people_schema()])
+        shard.insert("people", {"city": "hk", "pid": 1, "name": "a", "age": 1})
+        shard.get("people", ("hk", 1))
+        assert shard.ops_applied == 2
+
+    def test_digest_covers_all_tables(self):
+        s1 = Shard("s0", [people_schema()])
+        s2 = Shard("s0", [people_schema()])
+        assert s1.digest() == s2.digest()
+        s1.insert("people", {"city": "hk", "pid": 1, "name": "a", "age": 1})
+        assert s1.digest() != s2.digest()
+
+    def test_snapshot_restore(self):
+        shard = Shard("s0", [people_schema()])
+        shard.insert("people", {"city": "hk", "pid": 1, "name": "a", "age": 1})
+        snap = shard.snapshot()
+        other = Shard("s0", [people_schema()])
+        other.restore(snap)
+        assert other.digest() == shard.digest()
+
+
+class TestCatalog:
+    def make(self):
+        catalog = Catalog(lambda table, key: f"s{key[0] % 2}")
+        catalog.add_shard("s0", "r0", ["r0.n0", "r0.n1", "r0.n2"])
+        catalog.add_shard("s1", "r1", ["r1.n0", "r1.n1", "r1.n2"])
+        return catalog
+
+    def test_shard_of_routes_through_partition_fn(self):
+        catalog = self.make()
+        assert catalog.shard_of("t", (4,)) == "s0"
+        assert catalog.shard_of("t", (5,)) == "s1"
+
+    def test_quorum_size(self):
+        catalog = self.make()
+        assert catalog.shard("s0").quorum_size == 2
+
+    def test_duplicate_shard_rejected(self):
+        catalog = self.make()
+        with pytest.raises(ConfigError):
+            catalog.add_shard("s0", "r9", ["x"])
+
+    def test_unknown_shard(self):
+        catalog = self.make()
+        with pytest.raises(ConfigError):
+            catalog.shard("ghost")
+
+    def test_region_queries(self):
+        catalog = self.make()
+        assert catalog.region_of_shard("s1") == "r1"
+        assert catalog.shards_in_region("r0") == ["s0"]
+        assert catalog.shards_on_node("r1.n2") == ["s1"]
+        assert catalog.all_regions() == ["r0", "r1"]
+
+    def test_remove_and_add_replica(self):
+        catalog = self.make()
+        catalog.remove_replica("s0", "r0.n1")
+        assert catalog.replicas_of("s0") == ("r0.n0", "r0.n2")
+        assert catalog.shard("s0").quorum_size == 2
+        catalog.add_replica("s0", "r0.n9")
+        assert "r0.n9" in catalog.replicas_of("s0")
+        # Idempotent on repeats.
+        catalog.add_replica("s0", "r0.n9")
+        assert catalog.replicas_of("s0").count("r0.n9") == 1
+
+
+class TestLockManager:
+    def grants(self, event):
+        return event.triggered
+
+    def test_exclusive_blocks_exclusive(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        e1 = lm.request("t1", {"k": LockMode.EXCLUSIVE})
+        e2 = lm.request("t2", {"k": LockMode.EXCLUSIVE})
+        sim.run()
+        assert e1.triggered and not e2.triggered
+        lm.release("t1")
+        sim.run()
+        assert e2.triggered
+
+    def test_shared_locks_coexist(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        e1 = lm.request("t1", {"k": LockMode.SHARED})
+        e2 = lm.request("t2", {"k": LockMode.SHARED})
+        sim.run()
+        assert e1.triggered and e2.triggered
+
+    def test_readers_queue_behind_writer_fifo(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        lm.request("w", {"k": LockMode.EXCLUSIVE})
+        r = lm.request("r", {"k": LockMode.SHARED})
+        w2 = lm.request("w2", {"k": LockMode.EXCLUSIVE})
+        sim.run()
+        assert not r.triggered and not w2.triggered
+        lm.release("w")
+        sim.run()
+        assert r.triggered and not w2.triggered  # FIFO: r first
+        lm.release("r")
+        sim.run()
+        assert w2.triggered
+
+    def test_multi_key_all_or_wait(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        lm.request("t1", {"a": LockMode.EXCLUSIVE})
+        e2 = lm.request("t2", {"a": LockMode.EXCLUSIVE, "b": LockMode.EXCLUSIVE})
+        sim.run()
+        assert not e2.triggered
+        assert lm.holders_of("b") == {"t2"}  # b granted, a pending
+        lm.release("t1")
+        sim.run()
+        assert e2.triggered
+
+    def test_release_before_grant_cancels_waiter(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        lm.request("t1", {"k": LockMode.EXCLUSIVE})
+        e2 = lm.request("t2", {"k": LockMode.EXCLUSIVE})
+        lm.release("t2")  # abort while queued
+        lm.release("t1")
+        sim.run()
+        assert not e2.triggered
+        assert lm.holders_of("k") == set()
+
+    def test_double_request_rejected(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        lm.request("t1", {"k": LockMode.EXCLUSIVE})
+        with pytest.raises(ProtocolError):
+            lm.request("t1", {"j": LockMode.EXCLUSIVE})
+
+    def test_waiting_count(self):
+        sim = Simulator()
+        lm = LockManager(sim)
+        lm.request("t1", {"k": LockMode.EXCLUSIVE})
+        lm.request("t2", {"k": LockMode.EXCLUSIVE})
+        lm.request("t3", {"k": LockMode.EXCLUSIVE})
+        assert lm.waiting_count() == 2
+
+    def test_log_order_schedule_is_deterministic(self):
+        """Two replicas issuing identical request sequences grant identically."""
+        def run_schedule():
+            sim = Simulator()
+            lm = LockManager(sim)
+            order = []
+            reqs = [
+                ("a", {"x": LockMode.EXCLUSIVE}),
+                ("b", {"x": LockMode.EXCLUSIVE, "y": LockMode.EXCLUSIVE}),
+                ("c", {"y": LockMode.SHARED}),
+                ("d", {"x": LockMode.SHARED}),
+            ]
+            for txn_id, wants in reqs:
+                lm.request(txn_id, wants).add_callback(
+                    lambda e, t=txn_id: (order.append(t), lm.release(t))
+                )
+            sim.run()
+            return order
+
+        # b releases x before y (sorted order), so d wakes before c.
+        assert run_schedule() == run_schedule() == ["a", "b", "d", "c"]
+
+
+class TestLockManagerProperties:
+    """Property-based safety/liveness of the FIFO lock manager."""
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.sampled_from("abc"),
+                              st.booleans()), min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_never_two_exclusive_holders_and_all_eventually_granted(self, script):
+        from repro.sim.kernel import Simulator
+        from repro.storage.locks import LockManager, LockMode
+
+        sim = Simulator()
+        lm = LockManager(sim)
+        granted = []
+        requested = []
+        active = set()
+        for i, (txn_num, key, shared) in enumerate(script):
+            txn_id = f"t{i}"  # unique owners
+            mode = LockMode.SHARED if shared else LockMode.EXCLUSIVE
+            requested.append(txn_id)
+            active.add(txn_id)
+
+            def on_grant(ev, t=txn_id, k=key, m=mode):
+                # Safety: an exclusive grant implies sole ownership.
+                holders = lm.holders_of(k)
+                assert t in holders
+                if m == LockMode.EXCLUSIVE:
+                    assert holders == {t}
+                granted.append(t)
+                # Hold briefly, then release, letting the queue drain.
+                sim.schedule(1.0, lm.release, t)
+
+            lm.request(txn_id, {key: mode}).add_callback(on_grant)
+        sim.run()
+        # Liveness: every requester was eventually granted exactly once.
+        assert sorted(granted) == sorted(requested)

@@ -1,0 +1,79 @@
+"""Handler-level unit tests for Tapir's OCC validation."""
+
+import pytest
+
+from repro.baselines.tapir import TapirSystem
+from tests.conftest import KV_SCHEMA, load_kv, make_topology
+
+
+@pytest.fixture
+def replica():
+    topo = make_topology(regions=1, spr=1, clients=1)
+    system = TapirSystem(topo, KV_SCHEMA, load_kv, seed=1)
+    system.start()
+    return system, system.nodes["r0.n0"]
+
+
+def prepare(node, txn_id, reads=None, writes=None):
+    return node.on_prepare("c", {
+        "txn_id": txn_id,
+        "reads": reads or {},
+        "writes": writes or [],
+    })
+
+
+class TestOccValidation:
+    def test_clean_prepare_votes_yes(self, replica):
+        _system, node = replica
+        reply = prepare(node, "t1", reads={("kv", ("s0-0",)): 0},
+                        writes=[("kv", ("s0-0",))])
+        assert reply["vote"] is True
+        assert "t1" in node.prepared
+
+    def test_stale_read_version_votes_no(self, replica):
+        _system, node = replica
+        node.versions[("kv", ("s0-0",))] = 3
+        reply = prepare(node, "t1", reads={("kv", ("s0-0",)): 2})
+        assert reply["vote"] is False
+        assert node.stats.get("vote_no_version") == 1
+
+    def test_write_write_conflict_with_prepared_votes_no(self, replica):
+        _system, node = replica
+        prepare(node, "t1", writes=[("kv", ("s0-0",))])
+        reply = prepare(node, "t2", writes=[("kv", ("s0-0",))])
+        assert reply["vote"] is False
+        assert node.stats.get("vote_no_ww") == 1
+
+    def test_read_write_conflict_with_prepared_votes_no(self, replica):
+        _system, node = replica
+        prepare(node, "t1", writes=[("kv", ("s0-0",))])
+        reply = prepare(node, "t2", reads={("kv", ("s0-0",)): 0})
+        assert reply["vote"] is False
+        assert node.stats.get("vote_no_rw") == 1
+
+    def test_disjoint_prepared_txns_coexist(self, replica):
+        _system, node = replica
+        assert prepare(node, "t1", writes=[("kv", ("s0-0",))])["vote"]
+        assert prepare(node, "t2", writes=[("kv", ("s0-1",))])["vote"]
+        assert set(node.prepared) == {"t1", "t2"}
+
+    def test_abort_releases_prepared_slot(self, replica):
+        _system, node = replica
+        prepare(node, "t1", writes=[("kv", ("s0-0",))])
+        node.on_abort("c", {"txn_id": "t1"})
+        reply = prepare(node, "t2", writes=[("kv", ("s0-0",))])
+        assert reply["vote"] is True
+
+    def test_commit_applies_ops_and_bumps_versions(self, replica):
+        _system, node = replica
+        prepare(node, "t1", writes=[("kv", ("s0-0",))])
+        node.on_commit("c", {
+            "txn_id": "t1",
+            "s0": [("update", "kv", ("s0-0",), {"v": 42})],
+        })
+        assert node.shard.get("kv", ("s0-0",))["v"] == 42
+        assert node.versions[("kv", ("s0-0",))] == 1
+        assert "t1" not in node.prepared
+        # A later prepare against the old version now fails.
+        reply = prepare(node, "t2", reads={("kv", ("s0-0",)): 0})
+        assert reply["vote"] is False

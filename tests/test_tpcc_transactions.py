@@ -1,0 +1,233 @@
+"""Semantic tests for the five TPC-C transaction bodies."""
+
+import pytest
+
+from repro.config import Topology, TopologyConfig
+from repro.storage.shard import Shard
+from repro.txn.executor import execute_serially
+from repro.workloads.tpcc import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    INITIAL_ORDERS_PER_DISTRICT,
+    ITEMS,
+    build_delivery,
+    build_new_order,
+    build_order_status,
+    build_payment,
+    build_stock_level,
+    last_name,
+    load_warehouse,
+    tpcc_schemas,
+)
+
+
+@pytest.fixture
+def topo():
+    return Topology(TopologyConfig(num_regions=2, shards_per_region=1, clients_per_region=1))
+
+
+@pytest.fixture
+def shards():
+    out = {}
+    for w in (0, 1):
+        shard = Shard(f"s{w}", tpcc_schemas())
+        load_warehouse(shard, w)
+        out[w] = shard
+    return out
+
+
+def run_txn(txn, shards):
+    """Sequentially execute a transaction's pieces across shards."""
+    outcome = execute_serially(txn, lambda shard_id: shards[int(shard_id[1:])])
+    outcomes = {shard_id: outcome for shard_id in txn.shard_ids}
+    return outcome.outputs, outcomes
+
+
+class TestLoader:
+    def test_cardinalities(self, shards):
+        shard = shards[0]
+        assert len(shard.table("district")) == DISTRICTS_PER_WAREHOUSE
+        assert len(shard.table("item")) == ITEMS
+        assert len(shard.table("stock")) == ITEMS
+        assert len(shard.table("customer")) == DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
+        assert len(shard.table("new_order")) == DISTRICTS_PER_WAREHOUSE * INITIAL_ORDERS_PER_DISTRICT
+
+    def test_load_is_deterministic_across_replicas(self):
+        a, b = Shard("s0", tpcc_schemas()), Shard("s0", tpcc_schemas())
+        load_warehouse(a, 3)
+        load_warehouse(b, 3)
+        assert a.digest() == b.digest()
+
+    def test_last_name_generator_matches_spec(self):
+        assert last_name(0) == "BARBARBAR"
+        assert last_name(371) == "PRICALLYOUGHT"
+        assert last_name(999) == "EINGEINGEING"
+
+
+class TestNewOrder:
+    def test_local_order_inserts_rows_and_bumps_district(self, topo, shards):
+        district_before = shards[0].get("district", (0, 1))
+        txn = build_new_order(topo, 0, 1, 2, [(5, 0, 3), (6, 0, 2)])
+        env, outcomes = run_txn(txn, shards)
+        o_id = env["o_id"]
+        assert o_id == district_before["d_next_o_id"]
+        assert shards[0].get("district", (0, 1))["d_next_o_id"] == o_id + 1
+        assert shards[0].get("orders", (0, 1, o_id))["o_ol_cnt"] == 2
+        assert shards[0].get("new_order", (0, 1, o_id)) is not None
+        line = shards[0].get("order_line", (0, 1, o_id, 0))
+        assert line["ol_i_id"] == 5 and line["ol_quantity"] == 3
+
+    def test_stock_decremented_with_refill(self, topo, shards):
+        stock_before = shards[0].get("stock", (0, 5))["s_quantity"]
+        txn = build_new_order(topo, 0, 0, 0, [(5, 0, 4)])
+        run_txn(txn, shards)
+        after = shards[0].get("stock", (0, 5))
+        expected = stock_before - 4
+        if expected < 10:
+            expected += 91
+        assert after["s_quantity"] == expected
+        assert after["s_ytd"] == 4
+        assert after["s_order_cnt"] == 1
+        assert after["s_remote_cnt"] == 0
+
+    def test_remote_line_updates_remote_stock(self, topo, shards):
+        txn = build_new_order(topo, 0, 0, 0, [(5, 0, 1), (7, 1, 2)])
+        assert txn.shard_ids == ("s0", "s1")
+        run_txn(txn, shards)
+        remote = shards[1].get("stock", (1, 7))
+        assert remote["s_ytd"] == 2
+        assert remote["s_remote_cnt"] == 1
+
+    def test_total_amount_is_price_times_qty(self, topo, shards):
+        price5 = shards[0].get("item", (5,))["i_price"]
+        txn = build_new_order(topo, 0, 0, 0, [(5, 0, 2)])
+        env, _ = run_txn(txn, shards)
+        assert env["total_amount"] == pytest.approx(price5 * 2)
+
+    def test_invalid_item_rolls_back_everywhere(self, topo, shards):
+        digest_home = shards[0].digest()
+        digest_remote = shards[1].digest()
+        txn = build_new_order(topo, 0, 0, 0, [(5, 0, 1), (ITEMS + 99, 1, 2)])
+        _env, outcomes = run_txn(txn, shards)
+        assert all(o.aborted for o in outcomes.values())
+        assert shards[0].digest() == digest_home
+        assert shards[1].digest() == digest_remote
+
+    def test_no_value_dependencies(self, topo):
+        txn = build_new_order(topo, 0, 0, 0, [(5, 0, 1), (7, 1, 2)])
+        assert not txn.has_value_dependency()
+
+
+class TestPayment:
+    def test_by_id_updates_ytd_and_balance(self, topo, shards):
+        w_before = shards[0].get("warehouse", (0,))["w_ytd"]
+        c_before = shards[1].get("customer", (1, 0, 3))["c_balance"]
+        txn = build_payment(topo, 0, 0, 1, 0, 120.0, c_id=3)
+        env, _ = run_txn(txn, shards)
+        assert env["resolved_c_id"] == 3
+        assert shards[0].get("warehouse", (0,))["w_ytd"] == pytest.approx(w_before + 120.0)
+        assert shards[1].get("customer", (1, 0, 3))["c_balance"] == pytest.approx(c_before - 120.0)
+
+    def test_history_row_written_at_home(self, topo, shards):
+        txn = build_payment(topo, 0, 1, 1, 2, 55.0, c_id=4)
+        run_txn(txn, shards)
+        rows = [row for _k, row in shards[0].table("history").scan() if row["h_amount"] == 55.0]
+        assert len(rows) == 1
+        assert rows[0]["h_c_id"] == 4 and rows[0]["h_c_w_id"] == 1 and rows[0]["h_d_id"] == 1
+        assert "W0" in rows[0]["h_data"]
+
+    def test_by_name_picks_middle_match(self, topo, shards):
+        name = last_name(1)
+        keys = shards[0].table("customer").lookup("by_last", (0, 0, name))
+        assert keys  # the workload contract guarantees resolvable names
+        expected = keys[len(keys) // 2][2]
+        txn = build_payment(topo, 0, 0, 0, 0, 10.0, c_last=name)
+        env, _ = run_txn(txn, shards)
+        assert env["resolved_c_id"] == expected
+
+    def test_bad_credit_customer_gets_data_trail(self, topo, shards):
+        bc = None
+        for key, row in shards[0].table("customer").scan():
+            if row["c_credit"] == "BC":
+                bc = row
+                break
+        assert bc is not None
+        txn = build_payment(topo, 0, 0, 0, bc["c_d_id"], 33.0, c_id=bc["c_id"])
+        run_txn(txn, shards)
+        after = shards[0].get("customer", (0, bc["c_d_id"], bc["c_id"]))
+        assert after["c_data"].startswith(f"{bc['c_id']},")
+
+    def test_cross_warehouse_payment_has_value_dependency(self, topo):
+        txn = build_payment(topo, 0, 0, 1, 0, 10.0, c_last=last_name(2))
+        assert txn.has_value_dependency()
+        assert txn.dependency_edges() == {("s1", "s0")}
+
+    def test_id_xor_name_enforced(self, topo):
+        with pytest.raises(ValueError):
+            build_payment(topo, 0, 0, 0, 0, 1.0)
+        with pytest.raises(ValueError):
+            build_payment(topo, 0, 0, 0, 0, 1.0, c_id=1, c_last="X")
+
+
+class TestOrderStatus:
+    def test_reports_latest_order(self, topo, shards):
+        no = build_new_order(topo, 0, 0, 7, [(5, 0, 1)])
+        env, _ = run_txn(no, shards)
+        txn = build_order_status(topo, 0, 0, c_id=7)
+        out, outcomes = run_txn(txn, shards)
+        assert out["last_order"] == env["o_id"]
+        assert out["lines"] == [(5, 1, pytest.approx(shards[0].get("item", (5,))["i_price"]))]
+
+    def test_read_only(self, topo, shards):
+        before = shards[0].digest()
+        run_txn(build_order_status(topo, 0, 0, c_id=1), shards)
+        assert shards[0].digest() == before
+
+
+class TestDelivery:
+    def test_delivers_oldest_order_per_district(self, topo, shards):
+        pending_before = len(shards[0].table("new_order"))
+        txn = build_delivery(topo, 0, carrier_id=7, now=123.0)
+        env, _ = run_txn(txn, shards)
+        assert len(env["delivered"]) == DISTRICTS_PER_WAREHOUSE
+        assert len(shards[0].table("new_order")) == pending_before - DISTRICTS_PER_WAREHOUSE
+        d_id, o_id = env["delivered"][0]
+        order = shards[0].get("orders", (0, d_id, o_id))
+        assert order["o_carrier_id"] == 7
+        line = shards[0].get("order_line", (0, d_id, o_id, 0))
+        assert line["ol_delivery_ts"] == 123.0
+
+    def test_customer_credited_with_order_total(self, topo, shards):
+        txn = build_delivery(topo, 0, carrier_id=1)
+        env, _ = run_txn(txn, shards)
+        d_id, o_id = env["delivered"][0]
+        order = shards[0].get("orders", (0, d_id, o_id))
+        total = sum(
+            shards[0].get("order_line", (0, d_id, o_id, n))["ol_amount"]
+            for n in range(order["o_ol_cnt"])
+        )
+        customer = shards[0].get("customer", (0, d_id, order["o_c_id"]))
+        assert customer["c_balance"] == pytest.approx(-10.0 + total)
+        assert customer["c_delivery_cnt"] == 1
+
+    def test_empty_district_skipped(self, topo, shards):
+        for _ in range(INITIAL_ORDERS_PER_DISTRICT):
+            run_txn(build_delivery(topo, 0, carrier_id=1), shards)
+        env, _ = run_txn(build_delivery(topo, 0, carrier_id=1), shards)
+        assert env["delivered"] == []
+
+
+class TestStockLevel:
+    def test_counts_low_stock_items(self, topo, shards):
+        txn = build_stock_level(topo, 0, 0, threshold=200)
+        env, _ = run_txn(txn, shards)
+        assert env["low_stock"] > 0  # all stock < 200 initially
+
+        txn = build_stock_level(topo, 0, 0, threshold=1)
+        env, _ = run_txn(txn, shards)
+        assert env["low_stock"] == 0
+
+    def test_read_only(self, topo, shards):
+        before = shards[0].digest()
+        run_txn(build_stock_level(topo, 0, 0, threshold=50), shards)
+        assert shards[0].digest() == before

@@ -1,0 +1,352 @@
+"""Tests for the transaction model and the shared executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CyclicDependencyError, MissingRowError, TransactionError
+from repro.storage.shard import Shard
+from repro.storage.table import TableSchema
+from repro.txn.executor import BufferedStore, execute_on_shard
+from repro.txn.model import ConditionalAbort, Piece, Transaction
+
+
+def kv_schema():
+    return TableSchema("kv", ["k", "v"], ["k"])
+
+
+def make_shard(values):
+    shard = Shard("s0", [kv_schema()])
+    for k, v in values.items():
+        shard.insert("kv", {"k": k, "v": v})
+    return shard
+
+
+def write_piece(index, shard_id, key, value, produces=(), needs=(), lock_keys=()):
+    def body(ctx):
+        if ctx.store.try_get("kv", (key,)) is None:
+            ctx.store.insert("kv", {"k": key, "v": value})
+        else:
+            ctx.store.update("kv", (key,), {"v": value})
+        for var in produces:
+            ctx.put(var, value)
+
+    return Piece(index, shard_id, body, needs=needs, produces=produces, lock_keys=lock_keys)
+
+
+class TestTransactionValidation:
+    def test_requires_pieces(self):
+        with pytest.raises(TransactionError):
+            Transaction("t", [])
+
+    def test_duplicate_piece_indexes_rejected(self):
+        pieces = [write_piece(0, "s0", "a", 1), write_piece(0, "s0", "b", 2)]
+        with pytest.raises(TransactionError):
+            Transaction("t", pieces)
+
+    def test_unknown_needed_variable_rejected(self):
+        piece = Piece(0, "s0", lambda ctx: None, needs=("ghost",))
+        with pytest.raises(TransactionError):
+            Transaction("t", [piece])
+
+    def test_duplicate_producer_rejected(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("x", 1), produces=("x",)),
+            Piece(1, "s1", lambda ctx: ctx.put("x", 2), produces=("x",)),
+        ]
+        with pytest.raises(TransactionError):
+            Transaction("t", pieces)
+
+    def test_backward_dependency_rejected_as_cycle(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: None, needs=("late",)),
+            Piece(1, "s1", lambda ctx: ctx.put("late", 1), produces=("late",)),
+        ]
+        with pytest.raises(CyclicDependencyError):
+            Transaction("t", pieces)
+
+    def test_shard_ids_sorted_unique(self):
+        pieces = [write_piece(0, "s1", "a", 1), write_piece(1, "s0", "b", 2),
+                  write_piece(2, "s1", "c", 3)]
+        txn = Transaction("t", pieces)
+        assert txn.shard_ids == ("s0", "s1")
+
+    def test_unique_ids(self):
+        t1 = Transaction("t", [write_piece(0, "s0", "a", 1)])
+        t2 = Transaction("t", [write_piece(0, "s0", "a", 1)])
+        assert t1.txn_id != t2.txn_id
+
+
+class TestDependencyQueries:
+    def make_txn(self):
+        # Acyclic chain with fan-out: s0 -> s1 -> s2 and s0 -> s2.
+        p0 = Piece(0, "s0", lambda ctx: ctx.put("x", 1), produces=("x",))
+        p1 = Piece(1, "s1", lambda ctx: ctx.put("y", 2), needs=("x",), produces=("y",))
+        p2 = Piece(2, "s2", lambda ctx: None, needs=("x", "y"))
+        return Transaction("t", [p0, p1, p2])
+
+    def test_external_needs_excludes_same_shard(self):
+        txn = self.make_txn()
+        assert txn.external_needs("s1") == frozenset({"x"})
+        assert txn.external_needs("s2") == frozenset({"x", "y"})
+        assert txn.external_needs("s0") == frozenset()
+
+    def test_consumers_of(self):
+        txn = self.make_txn()
+        assert txn.consumers_of("x") == frozenset({"s1", "s2"})
+        assert txn.consumers_of("y") == frozenset({"s2"})
+
+    def test_dependency_edges(self):
+        txn = self.make_txn()
+        assert txn.dependency_edges() == {("s0", "s1"), ("s0", "s2"), ("s1", "s2")}
+
+    def test_has_value_dependency(self):
+        assert self.make_txn().has_value_dependency()
+        simple = Transaction("t", [write_piece(0, "s0", "a", 1)])
+        assert not simple.has_value_dependency()
+
+    def test_lock_keys_on(self):
+        pieces = [
+            write_piece(0, "s0", "a", 1, lock_keys=(("kv", "a"),)),
+            write_piece(1, "s0", "b", 2, lock_keys=(("kv", "b"),)),
+            write_piece(2, "s1", "c", 3, lock_keys=(("kv", "c"),)),
+        ]
+        txn = Transaction("t", pieces)
+        assert txn.lock_keys_on("s0") == frozenset({("kv", "a"), ("kv", "b")})
+
+
+class TestBufferedStore:
+    def test_reads_see_own_writes(self):
+        shard = make_shard({"a": 1})
+        store = BufferedStore(shard)
+        store.update("kv", ("a",), {"v": 5})
+        assert store.get("kv", ("a",))["v"] == 5
+        assert shard.get("kv", ("a",))["v"] == 1  # not flushed yet
+
+    def test_flush_applies_in_order(self):
+        shard = make_shard({"a": 1})
+        store = BufferedStore(shard)
+        store.update("kv", ("a",), {"v": 2})
+        store.insert("kv", {"k": "b", "v": 3})
+        store.delete("kv", ("a",))
+        assert store.flush() == 3
+        assert shard.try_get("kv", ("a",)) is None
+        assert shard.get("kv", ("b",))["v"] == 3
+
+    def test_deleted_row_invisible(self):
+        shard = make_shard({"a": 1})
+        store = BufferedStore(shard)
+        store.delete("kv", ("a",))
+        assert store.try_get("kv", ("a",)) is None
+        with pytest.raises(MissingRowError):
+            store.update("kv", ("a",), {"v": 9})
+
+    def test_recording_captures_access_sets(self):
+        shard = make_shard({"a": 1, "b": 2})
+        store = BufferedStore(shard, record=True)
+        store.get("kv", ("a",))
+        store.update("kv", ("b",), {"v": 7})
+        assert ("kv", ("a",)) in store.read_set
+        assert ("kv", ("b",)) in store.write_set
+
+    def test_scan_prefix_merges_overlay(self):
+        schema = TableSchema("t", ["a", "b", "v"], ["a", "b"])
+        shard = Shard("s0", [schema])
+        shard.insert("t", {"a": 1, "b": 1, "v": 0})
+        shard.insert("t", {"a": 1, "b": 2, "v": 0})
+        store = BufferedStore(shard)
+        store.insert("t", {"a": 1, "b": 3, "v": 0})
+        store.delete("t", (1, 1))
+        assert store.scan_prefix("t", (1,)) == [(1, 2), (1, 3)]
+
+    def test_preload_seeds_state_without_ops(self):
+        shard = make_shard({"a": 1})
+        store = BufferedStore(shard, record=True)
+        store.preload([("update", "kv", ("a",), {"v": 42})])
+        assert store.get("kv", ("a",))["v"] == 42
+        assert store.buffered_ops == []  # preloaded writes are not re-emitted
+        assert store.write_set == []
+
+
+class TestExecuteOnShard:
+    def test_outputs_and_writes(self):
+        shard = make_shard({"a": 1})
+        txn = Transaction("t", [write_piece(0, "s0", "a", 10, produces=("va",))])
+        outcome = execute_on_shard(txn, "s0", shard, {})
+        assert outcome.outputs == {"va": 10}
+        assert shard.get("kv", ("a",))["v"] == 10
+
+    def test_pieces_chain_local_env(self):
+        shard = make_shard({"a": 1})
+
+        def p0(ctx):
+            ctx.put("x", ctx.store.get("kv", ("a",))["v"] + 1)
+
+        def p1(ctx):
+            ctx.store.update("kv", ("a",), {"v": ctx.inputs["x"] * 10})
+
+        txn = Transaction("t", [
+            Piece(0, "s0", p0, produces=("x",)),
+            Piece(1, "s0", p1, needs=("x",)),
+        ])
+        execute_on_shard(txn, "s0", shard, {})
+        assert shard.get("kv", ("a",))["v"] == 20
+
+    def test_external_inputs_visible(self):
+        shard = make_shard({})
+
+        def p1(ctx):
+            ctx.store.insert("kv", {"k": "out", "v": ctx.inputs["remote"]})
+
+        remote_producer = Piece(0, "s9", lambda ctx: ctx.put("remote", 7), produces=("remote",))
+        txn = Transaction("t", [remote_producer, Piece(1, "s0", p1, needs=("remote",))])
+        execute_on_shard(txn, "s0", shard, {"remote": 7})
+        assert shard.get("kv", ("out",))["v"] == 7
+
+    def test_conditional_abort_applies_nothing(self):
+        shard = make_shard({"a": 1})
+
+        def p0(ctx):
+            ctx.store.update("kv", ("a",), {"v": 99})
+            ctx.abort("nope")
+
+        txn = Transaction("t", [Piece(0, "s0", p0)])
+        outcome = execute_on_shard(txn, "s0", shard, {})
+        assert outcome.aborted and outcome.abort_reason == "nope"
+        assert shard.get("kv", ("a",))["v"] == 1
+
+    def test_abort_in_later_piece_rolls_back_earlier_piece(self):
+        shard = make_shard({"a": 1})
+
+        def p0(ctx):
+            ctx.store.update("kv", ("a",), {"v": 50})
+
+        def p1(ctx):
+            raise ConditionalAbort("later")
+
+        txn = Transaction("t", [Piece(0, "s0", p0), Piece(1, "s0", p1)])
+        outcome = execute_on_shard(txn, "s0", shard, {})
+        assert outcome.aborted
+        assert shard.get("kv", ("a",))["v"] == 1
+
+    def test_missing_declared_output_aborts(self):
+        txn = Transaction("t", [Piece(0, "s0", lambda ctx: None, produces=("x",))])
+        outcome = execute_on_shard(txn, "s0", make_shard({}), {})
+        assert outcome.aborted
+        assert "did not produce" in outcome.abort_reason
+
+    def test_piece_indexes_subset(self):
+        shard = make_shard({"a": 1, "b": 2})
+        txn = Transaction("t", [
+            write_piece(0, "s0", "a", 10),
+            write_piece(1, "s0", "b", 20),
+        ])
+        execute_on_shard(txn, "s0", shard, {}, piece_indexes=[1])
+        assert shard.get("kv", ("a",))["v"] == 1
+        assert shard.get("kv", ("b",))["v"] == 20
+
+    def test_deferred_ops_returned_not_applied(self):
+        shard = make_shard({"a": 1})
+        txn = Transaction("t", [write_piece(0, "s0", "a", 10)])
+        outcome = execute_on_shard(txn, "s0", shard, {}, apply_writes=False)
+        assert shard.get("kv", ("a",))["v"] == 1
+        assert outcome.ops == [("update", "kv", ("a",), {"v": 10})]
+
+    def test_determinism_across_replicas(self):
+        def run():
+            shard = make_shard({"a": 1})
+            txn = Transaction("t", [write_piece(0, "s0", "a", 10)], txn_id="fixed")
+            execute_on_shard(txn, "s0", shard, {})
+            return shard.digest()
+
+        assert run() == run()
+
+
+class TestShardCycleDetection:
+    """§4.1/§5: circular cross-shard value dependencies are rejected."""
+
+    def test_ping_pong_cycle_rejected(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("x", 1), produces=("x",)),
+            Piece(1, "s1", lambda ctx: ctx.put("y", 2), needs=("x",), produces=("y",)),
+            Piece(2, "s0", lambda ctx: None, needs=("y",)),
+        ]
+        with pytest.raises(CyclicDependencyError):
+            Transaction("t", pieces)
+
+    def test_three_shard_cycle_rejected(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("a", 1), produces=("a",)),
+            Piece(1, "s1", lambda ctx: ctx.put("b", 2), needs=("a",), produces=("b",)),
+            Piece(2, "s2", lambda ctx: ctx.put("c", 3), needs=("b",), produces=("c",)),
+            Piece(3, "s0", lambda ctx: None, needs=("c",)),
+        ]
+        with pytest.raises(CyclicDependencyError):
+            Transaction("t", pieces)
+
+    def test_chain_is_fine(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("a", 1), produces=("a",)),
+            Piece(1, "s1", lambda ctx: ctx.put("b", 2), needs=("a",), produces=("b",)),
+            Piece(2, "s2", lambda ctx: None, needs=("b",)),
+        ]
+        Transaction("t", pieces)  # no error
+
+    def test_fan_in_is_fine(self):
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("a", 1), produces=("a",)),
+            Piece(1, "s1", lambda ctx: ctx.put("b", 2), produces=("b",)),
+            Piece(2, "s2", lambda ctx: None, needs=("a", "b")),
+        ]
+        Transaction("t", pieces)  # no error
+
+    def test_same_shard_roundtrip_without_cross_edge_is_fine(self):
+        # w_name/d_name style: produced and consumed on the same shard.
+        pieces = [
+            Piece(0, "s0", lambda ctx: ctx.put("local", 1), produces=("local",)),
+            Piece(1, "s1", lambda ctx: ctx.put("remote", 2), produces=("remote",)),
+            Piece(2, "s0", lambda ctx: None, needs=("local", "remote")),
+        ]
+        Transaction("t", pieces)  # s1 -> s0 only: acyclic
+
+
+class TestBufferedStoreEquivalence:
+    """Property: buffering + flush is observationally identical to applying
+    the same operations directly."""
+
+    @given(st.lists(st.tuples(st.sampled_from(["ins", "upd", "del"]),
+                              st.integers(0, 8), st.integers(0, 99)),
+                    max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_flush_equals_direct_application(self, ops):
+        from hypothesis import assume
+        from repro.txn.executor import BufferedStore
+
+        def fresh():
+            shard = Shard("s0", [kv_schema()])
+            for k in range(4):
+                shard.insert("kv", {"k": k, "v": 0})
+            return shard
+
+        direct = fresh()
+        buffered_shard = fresh()
+        store = BufferedStore(buffered_shard)
+
+        def apply(target, op, k, v):
+            """Apply with identical error-handling on both sides."""
+            if op == "ins":
+                if target.try_get("kv", (k,)) is None:
+                    target.insert("kv", {"k": k, "v": v})
+            elif op == "upd":
+                if target.try_get("kv", (k,)) is not None:
+                    target.update("kv", (k,), {"v": v})
+            else:
+                if target.try_get("kv", (k,)) is not None:
+                    target.delete("kv", (k,))
+
+        for op, k, v in ops:
+            apply(direct, op, k, v)
+            apply(store, op, k, v)
+            # Mid-stream reads agree too.
+            assert store.try_get("kv", (k,)) == direct.try_get("kv", (k,))
+        store.flush()
+        assert buffered_shard.digest() == direct.digest()

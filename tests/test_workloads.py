@@ -1,0 +1,280 @@
+"""Tests for the workload generators (zipf, TPC-A, TPC-C mix)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Topology, TopologyConfig
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.tpca import ACCOUNTS_PER_SHARD, TpcaWorkload
+from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+
+def topology(regions=2, spr=2, clients=4, seed=1):
+    return Topology(TopologyConfig(
+        num_regions=regions, shards_per_region=spr, clients_per_region=clients, seed=seed,
+    ))
+
+
+class TestZipf:
+    def test_bounds(self):
+        gen = ZipfGenerator(100, 0.9, random.Random(1))
+        samples = [gen.sample() for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfGenerator(0, 0.5)
+
+    def test_theta_zero_is_uniform(self):
+        gen = ZipfGenerator(10, 0.0, random.Random(2))
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[gen.sample()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_higher_theta_more_skewed(self):
+        def head_mass(theta):
+            gen = ZipfGenerator(100, theta, random.Random(3))
+            samples = [gen.sample() for _ in range(5000)]
+            return sum(1 for s in samples if s < 5) / len(samples)
+
+        assert head_mass(0.99) > head_mass(0.5) > head_mass(0.0)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfGenerator(50, 0.8, random.Random(9))
+        b = ZipfGenerator(50, 0.8, random.Random(9))
+        assert [a.sample() for _ in range(100)] == [b.sample() for _ in range(100)]
+
+    @given(st.integers(1, 200), st.floats(0.0, 0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_in_range(self, n, theta):
+        gen = ZipfGenerator(n, theta, random.Random(4))
+        for _ in range(50):
+            assert 0 <= gen.sample() < n
+
+
+class TestClientBinding:
+    def test_clients_round_robin_over_region_shards(self):
+        topo = topology(regions=2, spr=2, clients=4)
+        wl = TpcaWorkload(topo)
+        bindings = wl.bind_clients()
+        assert len(bindings) == 8
+        r0 = [b for b in bindings if b.region == "r0"]
+        assert sorted({b.home_shard for b in r0}) == ["s0", "s1"]
+        for b in bindings:
+            assert topo.region_of_shard(b.home_shard) == b.region
+
+    def test_remote_shard_index_is_cross_region(self):
+        topo = topology(regions=3, spr=2)
+        wl = TpcaWorkload(topo)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(5)
+        for _ in range(50):
+            idx = wl.remote_shard_index(binding, rng)
+            assert idx // 2 != binding.home_shard_index // 2
+
+    def test_remote_shard_none_for_single_region(self):
+        topo = topology(regions=1, spr=2)
+        wl = TpcaWorkload(topo)
+        binding = wl.bind_clients()[0]
+        assert wl.remote_shard_index(binding, random.Random(1)) is None
+
+    def test_local_other_shard_is_same_region(self):
+        topo = topology(regions=2, spr=3)
+        wl = TpcaWorkload(topo)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(5)
+        for _ in range(20):
+            idx = wl.local_other_shard_index(binding, rng)
+            assert idx != binding.home_shard_index
+            assert idx // 3 == binding.home_shard_index // 3
+
+
+class TestTpca:
+    def test_crt_ratio_controls_transfers(self):
+        topo = topology(regions=3)
+        wl = TpcaWorkload(topo, crt_ratio=0.5)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(7)
+        kinds = [wl.next_transaction(binding, rng).txn_type for _ in range(600)]
+        transfers = kinds.count("tpca_transfer")
+        assert 0.35 < transfers / len(kinds) < 0.65
+
+    def test_local_txn_is_single_shard(self):
+        topo = topology()
+        wl = TpcaWorkload(topo, crt_ratio=0.0)
+        binding = wl.bind_clients()[0]
+        txn = wl.next_transaction(binding, random.Random(1))
+        assert txn.shard_ids == (binding.home_shard,)
+        assert not txn.has_value_dependency()
+
+    def test_lock_keys_present(self):
+        topo = topology()
+        wl = TpcaWorkload(topo, crt_ratio=0.0)
+        txn = wl.next_transaction(wl.bind_clients()[0], random.Random(1))
+        keys = txn.lock_keys_on(binding_shard := txn.shard_ids[0])
+        assert any(k[0] == "account" for k in keys)
+
+
+class TestTpccMix:
+    def test_mix_matches_weights(self):
+        topo = topology(regions=2)
+        wl = TpccWorkload(topo)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(11)
+        counts = {}
+        n = 4000
+        for _ in range(n):
+            txn = wl.next_transaction(binding, rng)
+            counts[txn.txn_type] = counts.get(txn.txn_type, 0) + 1
+        assert 0.40 < counts["new_order"] / n < 0.48
+        assert 0.40 < counts["payment"] / n < 0.48
+        for kind in ("order_status", "delivery", "stock_level"):
+            assert 0.02 < counts[kind] / n < 0.07
+
+    def test_read_only_types_stay_home(self):
+        topo = topology(regions=3)
+        wl = TpccWorkload(topo)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(13)
+        for _ in range(800):
+            txn = wl.next_transaction(binding, rng)
+            if txn.txn_type in ("order_status", "delivery", "stock_level"):
+                assert txn.shard_ids == (binding.home_shard,)
+
+    def test_payment_remote_probability(self):
+        topo = topology(regions=4, spr=1)
+        wl = TpccWorkload(topo, remote_payment_prob=0.5)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(17)
+        payments = []
+        while len(payments) < 400:
+            txn = wl.next_transaction(binding, rng)
+            if txn.txn_type == "payment":
+                payments.append(len(txn.shard_ids) > 1)
+        ratio = sum(payments) / len(payments)
+        assert 0.35 < ratio < 0.65
+
+    def test_payment_only_crt_ratio(self):
+        topo = topology(regions=3, spr=2)
+        wl = PaymentOnlyWorkload(topo, crt_ratio=0.4)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(19)
+        crts = 0
+        n = 800
+        for _ in range(n):
+            txn = wl.next_transaction(binding, rng)
+            assert txn.txn_type == "payment"
+            regions = {topo.region_of_shard(s) for s in txn.shard_ids}
+            if regions != {binding.region}:
+                crts += 1
+        assert 0.3 < crts / n < 0.5
+
+    def test_payment_by_name_has_value_dependency(self):
+        topo = topology(regions=2, spr=1)
+        wl = PaymentOnlyWorkload(topo, crt_ratio=1.0, by_name_prob=1.0)
+        binding = wl.bind_clients()[0]
+        txn = wl.next_transaction(binding, random.Random(23))
+        assert len(txn.shard_ids) == 2
+        assert txn.has_value_dependency()
+
+    def test_invalid_item_probability(self):
+        topo = topology(regions=1, spr=1)
+        wl = TpccWorkload(topo, invalid_item_prob=0.5)
+        binding = wl.bind_clients()[0]
+        rng = random.Random(29)
+        invalid = 0
+        orders = 0
+        from repro.workloads.tpcc.schema import ITEMS
+        for _ in range(2000):
+            txn = wl.next_transaction(binding, rng)
+            if txn.txn_type != "new_order":
+                continue
+            orders += 1
+            if any(i >= ITEMS for i, _sw, _q in txn.params["lines"]):
+                invalid += 1
+        assert 0.35 < invalid / orders < 0.65
+
+    def test_abstract_workload_hooks_raise(self):
+        topo = topology()
+        wl = Workload(topo)
+        with pytest.raises(NotImplementedError):
+            wl.schemas()
+        with pytest.raises(NotImplementedError):
+            wl.load(None, 0)
+        with pytest.raises(NotImplementedError):
+            wl.next_transaction(None, random.Random(1))
+
+
+class TestYcsb:
+    def _binding(self, wl):
+        return wl.bind_clients()[0]
+
+    def test_local_txn_single_shard(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        topo = topology(regions=2)
+        wl = YcsbWorkload(topo, crt_ratio=0.0)
+        txn = wl.next_transaction(self._binding(wl), random.Random(1))
+        assert txn.shard_ids == (self._binding(wl).home_shard,)
+
+    def test_crt_ratio_controls_cross_region(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        topo = topology(regions=3)
+        wl = YcsbWorkload(topo, crt_ratio=0.5)
+        binding = self._binding(wl)
+        rng = random.Random(2)
+        crts = sum(
+            1 for _ in range(400)
+            if wl.next_transaction(binding, rng).txn_type == "ycsb_crt"
+        )
+        assert 0.35 < crts / 400 < 0.65
+
+    def test_read_ratio_controls_write_locks(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        topo = topology(regions=1)
+        rng = random.Random(3)
+        wl_reads = YcsbWorkload(topo, read_ratio=1.0, crt_ratio=0.0)
+        txn = wl_reads.next_transaction(self._binding(wl_reads), rng)
+        assert txn.lock_keys_on(txn.shard_ids[0]) == frozenset()
+        wl_writes = YcsbWorkload(topo, read_ratio=0.0, crt_ratio=0.0)
+        txn = wl_writes.next_transaction(self._binding(wl_writes), rng)
+        assert len(txn.lock_keys_on(txn.shard_ids[0])) >= 1
+
+    def test_runs_on_dast_and_stays_consistent(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        from repro.core.system import DastSystem
+        from repro.workloads.client import spawn_clients
+        from repro.bench.metrics import LatencyRecorder
+
+        topo = topology(regions=2, spr=1, clients=3)
+        wl = YcsbWorkload(topo, theta=0.9, crt_ratio=0.2)
+        system = DastSystem(topo, wl.schemas(), wl.load, seed=1)
+        rec = LatencyRecorder()
+        system.start()
+        clients = spawn_clients(system, wl, rec.record)
+        system.run(until=3000.0)
+        for c in clients:
+            c.stop()
+        system.run(until=6000.0)
+        assert len(rec.results) > 50
+        assert all(r.committed for r in rec.results)
+        for shard in topo.all_shards():
+            assert len(set(system.replicas_digest(shard))) == 1
+
+    def test_reads_returned_to_client(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        from tests.conftest import submit_and_run
+        from repro.core.system import DastSystem
+
+        topo = topology(regions=1, spr=1, clients=1)
+        wl = YcsbWorkload(topo, read_ratio=1.0, crt_ratio=0.0)
+        system = DastSystem(topo, wl.schemas(), wl.load, seed=1)
+        system.start()
+        txn = wl.next_transaction(wl.bind_clients()[0], random.Random(5))
+        result = submit_and_run(system, txn)
+        reads = result.outputs["reads_0"]
+        assert len(reads) >= 1 and all(v == 0 for v in reads.values())
