@@ -17,6 +17,7 @@ from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.rpc import Endpoint
+from repro.sim.trace import trace_client_rpc
 from repro.storage.catalog import Catalog
 from repro.storage.shard import Shard
 from repro.storage.table import TableSchema
@@ -55,6 +56,10 @@ class BaselineSystem:
         self.loader = loader
         self.stats = Stats()
         self.submitted: Dict[str, Transaction] = {}
+        # Observability attachments (None -> zero instrumentation work).
+        self.tracer = None
+        self.registry = None
+        self.probes = None
         self.clock_sources: Dict[str, ClockSource] = {}
         self.nodes: Dict[str, object] = {}
         for region in topology.regions:
@@ -106,7 +111,29 @@ class BaselineSystem:
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
         self.submitted[txn.txn_id] = txn
-        return endpoint.call(node_host, "submit", txn, timeout=timeout)
+        event = endpoint.call(node_host, "submit", txn, timeout=timeout)
+        if self.tracer is not None:
+            trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
+        return event
+
+    # -- observability ---------------------------------------------------------
+    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000):
+        """Attach a system-wide tracer (client + node events)."""
+        from repro.obs.bundle import attach_tracer
+
+        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity)
+
+    def attach_registry(self, registry=None):
+        from repro.obs.bundle import attach_registry
+
+        return attach_registry(self, registry=registry)
+
+    def attach_obs(self, kinds=None, hosts=None, capacity: int = 200_000,
+                   probe_interval: float = 50.0):
+        from repro.obs.bundle import attach_obs
+
+        return attach_obs(self, kinds=kinds, hosts=hosts, capacity=capacity,
+                          probe_interval=probe_interval)
 
     # -- shared introspection -------------------------------------------------
     def replicas_digest(self, shard_id: str) -> List[str]:

@@ -92,6 +92,7 @@ class JanusNode:
         self.key_last: Dict[object, List[str]] = {}
         self.coordinating: Dict[str, dict] = {}
         self.stats = Stats()
+        self.tracer = None  # optional repro.sim.trace.Tracer
         ep = self.endpoint
         ep.register("submit", self.on_submit)
         ep.register("janus_preaccept", self.on_preaccept)
@@ -99,6 +100,10 @@ class JanusNode:
         ep.register("janus_commit", self.on_commit)
         ep.register("send_output", self.on_send_output)
         ep.register("exec_done", self.on_exec_done)
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.host, kind, **fields)
 
     def start(self) -> None:
         pass
@@ -274,6 +279,7 @@ class JanusNode:
         rec.status = _JanusRec.EXECUTED
         self.executed_ids.add(txn.txn_id)
         self.stats.inc("executed")
+        self._trace("execute", txn=txn.txn_id)
         for key in txn.lock_keys_on(self.shard_id):
             entries = self.key_last.get(key)
             if entries and txn.txn_id in entries:

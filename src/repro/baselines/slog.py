@@ -186,11 +186,16 @@ class SlogNode:
         self._input_events: Dict[str, object] = {}
         self.coordinating: Dict[str, dict] = {}
         self.stats = Stats()
+        self.tracer = None  # optional repro.sim.trace.Tracer
         ep = self.endpoint
         ep.register("submit", self.on_submit)
         ep.register("slog_log", self.on_log)
         ep.register("send_output", self.on_send_output)
         ep.register("exec_done", self.on_exec_done)
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.host, kind, **fields)
 
     def start(self) -> None:
         pass
@@ -278,6 +283,7 @@ class SlogNode:
             "reason": outcome.abort_reason,
         })
         self.stats.inc("executed")
+        self._trace("execute", txn=txn.txn_id)
 
     def on_send_output(self, src: str, payload: dict) -> None:
         txn_id = payload["txn_id"]

@@ -67,6 +67,7 @@ class TapirNode:
         self.versions: Dict[Key, int] = {}
         self.prepared: Dict[str, _Prepared] = {}
         self.stats = Stats()
+        self.tracer = None  # optional repro.sim.trace.Tracer
         self._rng = system.rng.stream(f"tapir.{host}")
         ep = self.endpoint
         ep.register("submit", self.on_submit)
@@ -74,6 +75,10 @@ class TapirNode:
         ep.register("tapir_prepare", self.on_prepare)
         ep.register("tapir_commit", self.on_commit)
         ep.register("tapir_abort", self.on_abort)
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.host, kind, **fields)
 
     # ------------------------------------------------------------------
     # Replica side
@@ -160,6 +165,7 @@ class TapirNode:
                                  abort_reason=reason, retries=retries)
             retries += 1
             self.stats.inc("txn_retry")
+            self._trace("retry", txn=txn.txn_id, attempt=retries)
             if retries > MAX_RETRIES:
                 self.stats.inc("txn_gaveup")
                 return TxnResult(txn.txn_id, txn.txn_type, False, is_crt,

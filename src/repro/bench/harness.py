@@ -47,6 +47,9 @@ class Trial:
         timing: Optional[TimingConfig] = None,
         clock_skew: float = 0.0,
         variant: Optional[dict] = None,
+        obs: bool = False,
+        obs_interval: float = 50.0,
+        obs_capacity: int = 500_000,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -61,17 +64,25 @@ class Trial:
         self.timing = timing or TimingConfig()
         self.clock_skew = clock_skew
         self.variant = variant  # DAST ablation flags (ignored by baselines)
+        # Observability: when True the trial runs with a tracer + metrics
+        # registry + periodic probes attached and exposes the bundle on the
+        # TrialResult.  Off by default: an unobserved trial does zero
+        # instrumentation work.
+        self.obs = obs
+        self.obs_interval = obs_interval
+        self.obs_capacity = obs_capacity
 
 
 class TrialResult:
     """What a trial produces: the recorder, the system, and the summary."""
 
     def __init__(self, trial: Trial, system, recorder: LatencyRecorder,
-                 clients: List[ClosedLoopClient]):
+                 clients: List[ClosedLoopClient], obs=None):
         self.trial = trial
         self.system = system
         self.recorder = recorder
         self.clients = clients
+        self.obs = obs  # ObsBundle when the trial ran with obs=True
         self.summary: Summary = recorder.summarize(trial.system)
 
     def drain(self, extra_ms: float = 4000.0) -> None:
@@ -109,9 +120,15 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         warm_start=trial.warmup_ms,
         warm_end=trial.duration_ms - trial.cooldown_ms,
     )
+    bundle = None
+    if trial.obs:
+        from repro.obs import attach_obs
+
+        bundle = attach_obs(system, capacity=trial.obs_capacity,
+                            probe_interval=trial.obs_interval)
     system.start()
     clients = spawn_clients(system, workload, recorder.record)
     if hooks is not None:
         hooks(system, recorder)
     system.run(until=trial.duration_ms)
-    return TrialResult(trial, system, recorder, clients)
+    return TrialResult(trial, system, recorder, clients, obs=bundle)

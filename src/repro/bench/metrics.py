@@ -15,11 +15,25 @@ from repro.txn.result import TxnResult
 __all__ = ["LatencyRecorder", "percentile", "Summary"]
 
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile; 0 for empty input."""
+def percentile(values: Sequence[float], p: float, interpolate: bool = False) -> float:
+    """Percentile of ``values``; 0 for empty input.
+
+    The default is the classic **nearest-rank** estimator (what the paper's
+    figures use, and what every existing call site expects).  With
+    ``interpolate=True`` the estimator switches to linear interpolation
+    between closest ranks (numpy's default "linear" method), which the
+    observability layer uses for histogram/span quantiles where smooth
+    estimates matter more than reproducing a sample exactly.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
+    if interpolate:
+        rank = max(0.0, min(1.0, p / 100.0)) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
     k = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
     return ordered[k]
 

@@ -1,11 +1,13 @@
-"""Command-line interface: ``python -m repro run|experiment|audit``.
+"""Command-line interface: ``python -m repro run|experiment|audit|obs``.
 
 Examples::
 
     python -m repro run --system dast --workload tpcc --regions 3
     python -m repro run --system slog --workload payment --crt-ratio 0.4
+    python -m repro run --regions 3 --trace-out trial.jsonl
     python -m repro experiment fig2 table3
     python -m repro audit --regions 2 --duration-ms 4000
+    python -m repro obs --regions 3 --out trial.jsonl --csv-dir obs_csv
 """
 
 from __future__ import annotations
@@ -53,7 +55,7 @@ def _workload_factory(args):
     return lambda topo: PaymentOnlyWorkload(topo, crt_ratio=args.crt_ratio)
 
 
-def _build_trial(args) -> Trial:
+def _build_trial(args, obs: bool = False) -> Trial:
     return Trial(
         args.system,
         _workload_factory(args),
@@ -62,11 +64,30 @@ def _build_trial(args) -> Trial:
         clients_per_region=args.clients,
         duration_ms=args.duration_ms,
         seed=args.seed,
+        obs=obs,
+        obs_interval=getattr(args, "interval", 50.0),
     )
 
 
+def _check_out_path(path, what: str) -> Optional[str]:
+    """Fail fast on an unwritable output location (before the trial runs)."""
+    import os
+
+    if path is None:
+        return None
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        return f"{what} directory does not exist: {parent}"
+    return None
+
+
 def cmd_run(args) -> int:
-    result = run_trial(_build_trial(args))
+    trace_out = getattr(args, "trace_out", None)
+    error = _check_out_path(trace_out, "--trace-out")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    result = run_trial(_build_trial(args, obs=trace_out is not None))
     print(format_table([result.summary.as_row()]))
     if args.breakdown and args.system == "dast":
         for label, dep in (("without value deps", False), ("with value deps", True)):
@@ -75,6 +96,40 @@ def cmd_run(args) -> int:
                 print(f"{label}: " + ", ".join(
                     f"{k}={v:.1f}" for k, v in breakdown.items()
                 ))
+    if result.obs is not None:
+        from repro.obs import export_jsonl, render_report
+
+        result.obs.stop()
+        print()
+        print(render_report(result.obs))
+        n = export_jsonl(result.obs, trace_out)
+        print(f"wrote {n} obs records to {trace_out}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Run one observed trial and render/export the observability bundle."""
+    from repro.obs import export_csv, export_jsonl, render_report
+
+    if args.interval <= 0:
+        print(f"--interval must be positive, got {args.interval}", file=sys.stderr)
+        return 2
+    error = _check_out_path(args.out, "--out")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    result = run_trial(_build_trial(args, obs=True))
+    bundle = result.obs
+    bundle.stop()
+    print(format_table([result.summary.as_row()]))
+    print()
+    print(render_report(bundle))
+    if args.out:
+        n = export_jsonl(bundle, args.out)
+        print(f"wrote {n} obs records to {args.out}")
+    if args.csv_dir:
+        paths = export_csv(bundle, args.csv_dir)
+        print(f"wrote CSV files: {', '.join(sorted(paths.values()))}")
     return 0
 
 
@@ -121,8 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
     run_p.add_argument("--breakdown", action="store_true",
                        help="also print the CRT phase breakdown (DAST)")
+    run_p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="attach observability, print a phase/probe report, "
+                            "and write the obs bundle as JSONL to PATH")
     add_trial_args(run_p)
     run_p.set_defaults(fn=cmd_run)
+
+    obs_p = sub.add_parser(
+        "obs", help="run one observed trial: phase spans, probes, exports")
+    obs_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
+    obs_p.add_argument("--out", metavar="PATH", default=None,
+                       help="write the obs bundle as JSONL to PATH")
+    obs_p.add_argument("--csv-dir", metavar="DIR", default=None,
+                       help="write spans/probes/counters CSV files into DIR")
+    obs_p.add_argument("--interval", type=float, default=50.0,
+                       help="probe sampling interval in virtual ms")
+    add_trial_args(obs_p)
+    obs_p.set_defaults(fn=cmd_obs)
 
     exp_p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     exp_p.add_argument("names", nargs="+", metavar="NAME",

@@ -219,6 +219,9 @@ class DastManager:
                                  txn=txn.txn_id, ts=str(anticipated), coord=coord)
             self.stats.inc("crt_anticipated")
         # Dispatch (idempotently re-dispatch on coordinator retry).
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.host, "dispatch",
+                             txn=txn.txn_id, ts=str(entry.anticipated))
         for node in self._local_participants(txn):
             self.endpoint.send(
                 node,

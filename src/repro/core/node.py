@@ -228,6 +228,7 @@ class DastNode(CoordinatorMixin):
                 return
             if not rec.t_order_ready:
                 rec.t_order_ready = self.sim.now
+                self._trace("ready", txn=rec.txn_id, crt=rec.is_crt)
             if not rec.input_ready():
                 return  # strict timestamp order: wait for pushed inputs
             self.ready_q.pop()

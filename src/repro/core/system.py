@@ -22,6 +22,7 @@ from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.rpc import Endpoint
+from repro.sim.trace import trace_client_rpc
 from repro.storage.catalog import Catalog
 from repro.storage.shard import Shard
 from repro.storage.table import TableSchema
@@ -70,6 +71,10 @@ class DastSystem:
         self.loader = loader
         self.stats = Stats()
         self.submitted: Dict[str, Transaction] = {}
+        # Observability attachments (None/absent -> zero instrumentation work).
+        self.tracer = None
+        self.registry = None
+        self.probes = None
 
         skew_rng = self.rng.stream("clock-skew")
         nid = 0
@@ -169,7 +174,10 @@ class DastSystem:
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
         self.submitted[txn.txn_id] = txn
-        return endpoint.call(node_host, "submit", txn, timeout=timeout)
+        event = endpoint.call(node_host, "submit", txn, timeout=timeout)
+        if self.tracer is not None:
+            trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
+        return event
 
     def home_nodes(self, region: str) -> List[str]:
         return self.topology.nodes_in_region(region)
@@ -179,15 +187,23 @@ class DastSystem:
 
         Returns the tracer; tracing is off unless this is called.
         """
-        from repro.sim.trace import Tracer
+        from repro.obs.bundle import attach_tracer
 
-        tracer = Tracer(kinds=kinds, hosts=hosts, capacity=capacity)
-        for node in self.nodes.values():
-            node.tracer = tracer
-        for manager in list(self.managers.values()) + list(self.standby_managers.values()):
-            manager.tracer = tracer
-        self.tracer = tracer
-        return tracer
+        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity)
+
+    def attach_registry(self, registry=None):
+        """Attach a metrics registry; all Stats bags mirror into it."""
+        from repro.obs.bundle import attach_registry
+
+        return attach_registry(self, registry=registry)
+
+    def attach_obs(self, kinds=None, hosts=None, capacity: int = 200_000,
+                   probe_interval: float = 50.0):
+        """Full observability: tracer + registry + periodic probes."""
+        from repro.obs.bundle import attach_obs
+
+        return attach_obs(self, kinds=kinds, hosts=hosts, capacity=capacity,
+                          probe_interval=probe_interval)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -224,6 +240,7 @@ class DastSystem:
         )
         # A re-added host may have been crashed before: revive its address.
         self.network.restart_host(new_host)
+        node.tracer = self.tracer  # inherit the system-wide tracer, if any
         self.nodes[new_host] = node
         node.start()
         manager = self.managers[region]

@@ -1,0 +1,52 @@
+"""Unified observability layer: metrics, phase spans, probes, exporters.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.  Quick start::
+
+    from repro.obs import attach_obs, render_report
+
+    bundle = attach_obs(system)      # tracer + registry + probes
+    ... run the trial ...
+    print(render_report(bundle))     # phase breakdowns + probe sparklines
+"""
+
+from repro.obs.bundle import (
+    ObsBundle,
+    attach_obs,
+    attach_probes,
+    attach_registry,
+    attach_tracer,
+)
+from repro.obs.export import export_csv, export_jsonl, render_report, sparkline
+from repro.obs.probes import ProbeRunner, standard_probes
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.spans import (
+    CRT_PHASES,
+    IRT_PHASES,
+    PhaseSpan,
+    assemble_spans,
+    phase_breakdown,
+)
+
+__all__ = [
+    "ObsBundle",
+    "attach_obs",
+    "attach_probes",
+    "attach_registry",
+    "attach_tracer",
+    "export_csv",
+    "export_jsonl",
+    "render_report",
+    "sparkline",
+    "ProbeRunner",
+    "standard_probes",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "CRT_PHASES",
+    "IRT_PHASES",
+    "PhaseSpan",
+    "assemble_spans",
+    "phase_breakdown",
+]

@@ -1,0 +1,110 @@
+"""Attachment plumbing: wire tracer + registry + probes onto any system.
+
+Every system under test (DAST and the three baselines) exposes ``nodes``
+(and DAST additionally ``managers``/``standby_managers``); these helpers
+attach the observability instruments uniformly, so the harness and CLI do
+not care which system they are looking at.  Nothing here runs unless
+explicitly attached — an unobserved trial does strictly zero extra work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.probes import ProbeRunner, standard_probes
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import PhaseSpan, assemble_spans, phase_breakdown
+
+__all__ = ["ObsBundle", "attach_tracer", "attach_registry", "attach_probes", "attach_obs"]
+
+
+def _observables(system) -> List:
+    """Every component that can hold a ``tracer``/``stats`` reference."""
+    out = list(getattr(system, "nodes", {}).values())
+    out.extend(getattr(system, "managers", {}).values())
+    out.extend(getattr(system, "standby_managers", {}).values())
+    return out
+
+
+def attach_tracer(system, kinds=None, hosts=None, capacity: int = 200_000):
+    """Attach one shared :class:`~repro.sim.trace.Tracer` system-wide."""
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer(kinds=kinds, hosts=hosts, capacity=capacity)
+    for component in _observables(system):
+        if hasattr(component, "tracer"):
+            component.tracer = tracer
+    system.tracer = tracer
+    return tracer
+
+
+def attach_registry(system, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Attach a metrics registry and bind every ``Stats`` bag into it.
+
+    The per-component counter bags keep their local dicts (back-compat)
+    but mirror increments into registry counters named
+    ``<host>.<counter>`` from the moment of attachment.
+    """
+    if registry is None:
+        registry = MetricsRegistry(now_fn=lambda: system.sim.now)
+    for component in _observables(system):
+        stats = getattr(component, "stats", None)
+        if stats is not None and hasattr(stats, "bind"):
+            host = getattr(component, "host", component.__class__.__name__)
+            stats.bind(registry, prefix=f"{host}.")
+    system_stats = getattr(system, "stats", None)
+    if system_stats is not None and hasattr(system_stats, "bind"):
+        system_stats.bind(registry, prefix="system.")
+    system.registry = registry
+    return registry
+
+
+def attach_probes(system, interval: float = 50.0,
+                  registry: Optional[MetricsRegistry] = None) -> ProbeRunner:
+    """Start the periodic probe sampler (creates a registry if needed)."""
+    registry = registry or getattr(system, "registry", None)
+    if registry is None:
+        registry = attach_registry(system)
+    runner = ProbeRunner(system.sim, registry, interval=interval)
+    for name, fn in standard_probes(system):
+        runner.add(name, fn)
+    runner.start()
+    system.probes = runner
+    return runner
+
+
+class ObsBundle:
+    """Everything one observed trial produced, with lazy span assembly."""
+
+    def __init__(self, system, tracer, registry: MetricsRegistry,
+                 probes: Optional[ProbeRunner] = None):
+        self.system = system
+        self.tracer = tracer
+        self.registry = registry
+        self.probes = probes
+        self._spans: Optional[List[PhaseSpan]] = None
+
+    def spans(self, refresh: bool = False) -> List[PhaseSpan]:
+        if self._spans is None or refresh:
+            self._spans = assemble_spans(self.tracer)
+        return self._spans
+
+    def breakdown(self, crt: Optional[bool] = None) -> List[Dict]:
+        return phase_breakdown(self.spans(), crt=crt)
+
+    def stop(self) -> None:
+        if self.probes is not None:
+            self.probes.stop()
+
+
+def attach_obs(system, kinds=None, hosts=None, capacity: int = 200_000,
+               probe_interval: float = 50.0) -> ObsBundle:
+    """One-call full attachment: tracer + registry + probes."""
+    tracer = getattr(system, "tracer", None)
+    if tracer is None:
+        tracer = attach_tracer(system, kinds=kinds, hosts=hosts, capacity=capacity)
+    registry = attach_registry(system)
+    probes = attach_probes(system, interval=probe_interval, registry=registry)
+    bundle = ObsBundle(system, tracer, registry, probes)
+    system.obs = bundle
+    return bundle

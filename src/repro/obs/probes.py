@@ -1,0 +1,123 @@
+"""Live probes: periodic sampling of internal state into time series.
+
+A :class:`ProbeRunner` owns a set of named probe callables and a kernel
+timer (:meth:`repro.sim.kernel.Simulator.every`); each tick it appends one
+``(virtual_time, value)`` sample per probe into the attached registry's
+series.  Probes observe state the end-to-end metrics cannot see — how the
+dclocks stretch, how deep the pending-CRT and wait queues run, how far the
+PCT watermark lags, how many messages are in flight — which is exactly the
+internal behaviour Figs 9/10 of the paper reason about.
+
+``standard_probes`` builds the probe set for any system under test by duck
+typing: DAST exposes everything; the baselines contribute whatever subset
+they have (network in-flight, executed counts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ProbeRunner", "standard_probes"]
+
+
+class ProbeRunner:
+    """Samples registered probes into ``registry`` every ``interval`` ms."""
+
+    def __init__(self, sim, registry: MetricsRegistry, interval: float = 50.0):
+        if interval <= 0:
+            raise ValueError(f"probe interval must be positive, got {interval}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.probes: List[Tuple[str, Callable[[], float]]] = []
+        self.ticks = 0
+        self._proc = None
+
+    def add(self, name: str, fn: Callable[[], float]) -> "ProbeRunner":
+        self.probes.append((name, fn))
+        return self
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.sim.every(self.interval, self.tick, name="obs.probes")
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.interrupt()
+            self._proc = None
+
+    def tick(self) -> None:
+        """Take one sample of every probe (also usable manually in tests)."""
+        self.ticks += 1
+        now = self.sim.now
+        for name, fn in self.probes:
+            try:
+                value = fn()
+            except Exception:  # a probe must never kill the simulation
+                continue
+            if value is None:
+                continue
+            self.registry.timeseries(name).append(now, float(value))
+
+
+def standard_probes(system) -> List[Tuple[str, Callable[[], float]]]:
+    """The default probe set for a system under test (DAST or baseline)."""
+    probes: List[Tuple[str, Callable[[], float]]] = []
+    nodes: Dict[str, object] = getattr(system, "nodes", {})
+    network = getattr(system, "network", None)
+
+    dast_nodes = [n for n in nodes.values() if hasattr(n, "dclock")]
+    if dast_nodes:
+        probes.append((
+            "stretch_count",
+            lambda ns=dast_nodes: sum(n.dclock.stretch_count for n in ns),
+        ))
+        probes.append((
+            "waitq_depth",
+            lambda ns=dast_nodes: sum(len(n.wait_q) for n in ns if hasattr(n, "wait_q")),
+        ))
+        probes.append((
+            "readyq_depth",
+            lambda ns=dast_nodes: sum(len(n.ready_q) for n in ns if hasattr(n, "ready_q")),
+        ))
+        probes.append(("pct_lag_ms", lambda ns=dast_nodes: _pct_lag(ns)))
+
+    managers = list(getattr(system, "managers", {}).values())
+    if managers:
+        probes.append((
+            "pending_crts",
+            lambda ms=managers: sum(len(m.pending) for m in ms),
+        ))
+
+    if network is not None and hasattr(network, "stats"):
+        probes.append(("net_inflight", lambda nw=network: nw.stats.in_flight))
+        probes.append(("net_sent", lambda nw=network: nw.stats.messages_sent))
+
+    for host, node in sorted(nodes.items()):
+        if hasattr(node, "executed_log"):
+            probes.append((
+                f"executed.{host}", lambda n=node: len(n.executed_log)
+            ))
+    return probes
+
+
+def _pct_lag(nodes) -> Optional[float]:
+    """Worst-case PCT watermark lag across nodes (ms).
+
+    A node may execute a transaction at timestamp ``ts`` only once every
+    intra-region member's reported clock passed ``ts``; the watermark is
+    therefore the *minimum* of the node's ``max_ts`` table, and its lag is
+    how far that sits behind the node's own calibrated physical clock.
+    """
+    worst = None
+    for node in nodes:
+        table = getattr(node, "max_ts", None)
+        if not table:
+            continue
+        watermark = min(table.values())
+        lag = node.dclock.physical() - watermark.time
+        if worst is None or lag > worst:
+            worst = lag
+    return worst

@@ -254,6 +254,23 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def every(self, interval: float, fn: Callable[[], Any], name: str = "timer") -> Process:
+        """Run ``fn()`` every ``interval`` virtual ms until interrupted.
+
+        Returns the timer :class:`Process`; cancel with
+        :meth:`Process.interrupt`.  Used by periodic samplers (observability
+        probes) that must not keep their own scheduling state.
+        """
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+
+        def ticker():
+            while True:
+                yield self.timeout(interval)
+                fn()
+
+        return self.spawn(ticker(), name=name)
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------

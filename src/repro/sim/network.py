@@ -32,6 +32,9 @@ class NetworkStats:
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_dropped = 0
+        # Messages scheduled for delivery but not yet delivered/dropped —
+        # the "wire occupancy" the observability probes sample over time.
+        self.in_flight = 0
         self.per_host_sent: Dict[str, int] = {}
         self.per_host_received: Dict[str, int] = {}
 
@@ -185,9 +188,11 @@ class Network:
             self.stats.record_drop()
             return
         delay = self.one_way_delay(src, dst)
+        self.stats.in_flight += 1
         self.sim.schedule(delay, self._deliver, src, dst, payload)
 
     def _deliver(self, src: str, dst: str, payload: object) -> None:
+        self.stats.in_flight -= 1
         # Re-check at delivery time: the destination may have crashed or a
         # partition may have formed while the message was in flight.
         if self._blocked(src, dst):

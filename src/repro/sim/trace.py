@@ -15,9 +15,26 @@ Typical debugging session::
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "trace_client_rpc"]
+
+
+def trace_client_rpc(sim, tracer: "Tracer", client: str, txn_id: str, event) -> None:
+    """Emit the client-side ``submit``/``reply`` span-boundary events.
+
+    Called by the systems' ``submit()`` when a tracer is attached: the pair
+    brackets the exact client-observed latency, so assembled phase spans
+    telescope to it precisely (including both client<->coordinator hops).
+    """
+    tracer.emit(sim.now, client, "submit", txn=txn_id)
+
+    def on_reply(ev) -> None:
+        crt = getattr(ev.value, "is_crt", None) if ev.ok else None
+        tracer.emit(sim.now, client, "reply", txn=txn_id, ok=ev.ok, crt=crt)
+
+    event.add_callback(on_reply)
 
 
 class TraceEvent:
@@ -54,6 +71,7 @@ class Tracer:
         self.capacity = capacity
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        self._warned = False
 
     # ------------------------------------------------------------------
     def emit(self, time: float, host: str, kind: str, **fields: Any) -> None:
@@ -66,6 +84,23 @@ class Tracer:
             return
         self.events.append(TraceEvent(time, host, kind, fields))
 
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was dropped at capacity."""
+        return self.dropped > 0
+
+    def truncation_notice(self) -> str:
+        """One-line description of event loss (empty when none occurred)."""
+        if not self.dropped:
+            return ""
+        return (f"(warning: {self.dropped} trace events dropped at capacity "
+                f"{self.capacity}; results are incomplete)")
+
+    def _warn_if_truncated(self) -> None:
+        if self.dropped and not self._warned:
+            self._warned = True
+            warnings.warn(self.truncation_notice(), RuntimeWarning, stacklevel=3)
+
     # ------------------------------------------------------------------
     def query(
         self,
@@ -74,6 +109,7 @@ class Tracer:
         txn: Optional[str] = None,
         since: float = 0.0,
     ) -> List[TraceEvent]:
+        self._warn_if_truncated()
         out = []
         for ev in self.events:
             if ev.time < since:
@@ -91,8 +127,11 @@ class Tracer:
         """A transaction's events across all hosts, rendered as text."""
         events = self.query(txn=txn_id)
         if not events:
-            return f"(no events for {txn_id})"
-        return "\n".join(repr(ev) for ev in sorted(events, key=lambda e: e.time))
+            text = f"(no events for {txn_id})"
+        else:
+            text = "\n".join(repr(ev) for ev in sorted(events, key=lambda e: e.time))
+        notice = self.truncation_notice()
+        return f"{text}\n{notice}" if notice else text
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -103,3 +142,4 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self._warned = False

@@ -2,19 +2,49 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["Stats"]
 
 
 class Stats:
-    """A named counter bag used by nodes and systems for telemetry."""
+    """A named counter bag used by nodes and systems for telemetry.
+
+    Historically this was the only metrics surface; it now doubles as a
+    **compatibility shim** over the observability layer: once bound to a
+    :class:`repro.obs.registry.MetricsRegistry` (via ``bind``), every
+    increment is mirrored into a registry counter named
+    ``<prefix><name>``.  Unbound, it behaves exactly as before — a plain
+    dict with no extra work on the hot path beyond one ``is None`` check.
+    """
+
+    __slots__ = ("counters", "_registry", "_prefix")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
+        self._registry = None
+        self._prefix = ""
+
+    def bind(self, registry, prefix: str = "") -> None:
+        """Mirror all future (and already-recorded) counts into ``registry``."""
+        self._registry = registry
+        self._prefix = prefix
+        for name, value in self.counters.items():
+            if value:
+                registry.counter(prefix + name).inc(value)
+
+    def unbind(self) -> None:
+        self._registry = None
+        self._prefix = ""
+
+    @property
+    def bound(self) -> bool:
+        return self._registry is not None
 
     def inc(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
+        if self._registry is not None:
+            self._registry.counter(self._prefix + name).inc(by)
 
     def get(self, name: str, default: int = 0) -> int:
         return self.counters.get(name, default)

@@ -26,6 +26,16 @@ class TestParser:
         }
         assert set(EXPERIMENTS) == expected
 
+    def test_run_trace_out_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_out is None
+
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.system == "dast"
+        assert args.out is None and args.csv_dir is None
+        assert args.interval == 50.0
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -48,3 +58,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "AuditReport(ok)" in out
+
+    def test_run_trace_out_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code = main(["run", "--workload", "tpca", "--regions", "2",
+                     "--shards-per-region", "1", "--clients", "2",
+                     "--duration-ms", "2500", "--trace-out", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase breakdown" in out and "== probes ==" in out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records and records[0]["type"] == "meta"
+        assert any(r["type"] == "span" for r in records)
+
+    def test_obs_command_prints_report(self, capsys, tmp_path):
+        code = main(["obs", "--workload", "tpca", "--regions", "2",
+                     "--shards-per-region", "1", "--clients", "2",
+                     "--duration-ms", "2500", "--csv-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase breakdown" in out
+        assert (tmp_path / "spans.csv").exists()
+        assert (tmp_path / "probes.csv").exists()

@@ -41,6 +41,42 @@ class TestPercentile:
         assert p50 <= p99
 
 
+class TestInterpolatedPercentile:
+    """Pins both conventions: nearest-rank (default) vs linear interpolation."""
+
+    def test_even_count_median_differs(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0                       # nearest-rank
+        assert percentile(values, 50, interpolate=True) == 2.5     # midpoint
+
+    def test_known_quartiles(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        # rank = p/100 * (n-1) = 0.75 -> between 10 and 20 at 0.75
+        assert percentile(values, 25, interpolate=True) == pytest.approx(17.5)
+        assert percentile(values, 75, interpolate=True) == pytest.approx(32.5)
+
+    def test_endpoints_exact(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0, interpolate=True) == 1.0
+        assert percentile(values, 100, interpolate=True) == 9.0
+
+    def test_out_of_range_p_clamped(self):
+        values = [1.0, 2.0]
+        assert percentile(values, 150, interpolate=True) == 2.0
+        assert percentile(values, -10, interpolate=True) == 1.0
+
+    def test_single_value_and_empty(self):
+        assert percentile([7.0], 99, interpolate=True) == 7.0
+        assert percentile([], 50, interpolate=True) == 0.0
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100),
+           st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_interpolated_stays_within_range(self, values, p):
+        q = percentile(values, p, interpolate=True)
+        assert min(values) <= q <= max(values)
+
+
 class TestLatencyRecorder:
     def test_warm_window_filters(self):
         rec = LatencyRecorder(warm_start=100.0, warm_end=200.0)
@@ -125,6 +161,27 @@ class TestHarness:
         result.drain()
         for node in result.system.nodes.values():
             assert len(node.ready_q) == 0
+
+    def test_obs_trial_exposes_bundle(self):
+        trial = Trial(
+            "dast", lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.2),
+            num_regions=2, shards_per_region=1, clients_per_region=2,
+            duration_ms=2000.0, warmup_ms=200.0, obs=True,
+        )
+        result = run_trial(trial)
+        assert result.obs is not None
+        assert result.obs.spans()
+        assert len(result.obs.registry.timeseries("stretch_count")) > 0
+
+    def test_unobserved_trial_has_no_bundle(self):
+        trial = Trial(
+            "dast", lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.1),
+            num_regions=2, shards_per_region=1, clients_per_region=2,
+            duration_ms=1500.0, warmup_ms=200.0,
+        )
+        result = run_trial(trial)
+        assert result.obs is None
+        assert result.system.tracer is None
 
     def test_seeded_trials_are_reproducible(self):
         def run_once():

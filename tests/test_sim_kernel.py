@@ -261,3 +261,25 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestEvery:
+    def test_ticks_at_fixed_interval(self, sim):
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_interrupt_stops_timer(self, sim):
+        ticks = []
+        proc = sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run(until=25.0)
+        proc.interrupt()
+        sim.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(-1.0, lambda: None)

@@ -163,3 +163,22 @@ class TestPartitionsAndCrashes:
         assert network.stats.messages_sent == 1
         assert network.stats.per_host_sent["r0.a"] == 1
         assert network.stats.per_host_received["r0.b"] == 1
+
+
+class TestInFlightGauge:
+    def test_in_flight_rises_then_drains(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "x")
+        network.send("r0.a", "r0.b", "y")
+        assert network.stats.in_flight == 2
+        sim.run()
+        assert network.stats.in_flight == 0
+        assert network.stats.per_host_received["r1.c"] == 1
+        assert network.stats.per_host_received["r0.b"] == 1
+
+    def test_dropped_message_leaves_flight(self, net):
+        sim, network, inboxes = net
+        network.partition_regions("r0", "r1")
+        network.send("r0.a", "r1.c", "x")
+        sim.run()
+        assert network.stats.in_flight == 0

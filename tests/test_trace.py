@@ -53,6 +53,50 @@ class TestTracerUnit:
         assert tracer.events == [] and tracer.dropped == 0
 
 
+class TestTruncationSignal:
+    def make_truncated(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(float(i), "a", "x", txn="t1")
+        return tracer
+
+    def test_truncated_flag(self):
+        tracer = self.make_truncated()
+        assert tracer.truncated and tracer.dropped == 3
+        assert not Tracer().truncated
+
+    def test_timeline_carries_notice(self):
+        tracer = self.make_truncated()
+        with pytest.warns(RuntimeWarning):
+            text = tracer.timeline("t1")
+        assert "3 trace events dropped at capacity 2" in text.splitlines()[-1]
+
+    def test_untruncated_timeline_has_no_notice(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x", txn="t1")
+        assert "dropped" not in tracer.timeline("t1")
+
+    def test_query_warns_once(self):
+        import warnings as warnings_mod
+
+        tracer = self.make_truncated()
+        with pytest.warns(RuntimeWarning, match="3 trace events dropped"):
+            tracer.query(kind="x")
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            tracer.query(kind="x")  # second query: already warned, silent
+
+    def test_clear_rearms_warning(self):
+        tracer = self.make_truncated()
+        with pytest.warns(RuntimeWarning):
+            tracer.query()
+        tracer.clear()
+        for i in range(5):
+            tracer.emit(float(i), "a", "x")
+        with pytest.warns(RuntimeWarning):
+            tracer.query()
+
+
 class TestTracerIntegration:
     def test_dast_run_traces_transaction_lifecycle(self):
         system = make_dast(regions=2, spr=1)
