@@ -116,6 +116,16 @@ class BaselineSystem:
             trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
         return event
 
+    # -- fault injection -------------------------------------------------------
+    def skew_clocks(self, prefix: str, delta_ms: float) -> int:
+        """Step every clock whose host starts with ``prefix`` by ``delta_ms``."""
+        touched = 0
+        for host, source in self.clock_sources.items():
+            if host.startswith(prefix):
+                source.adjust(delta_ms)
+                touched += 1
+        return touched
+
     # -- observability ---------------------------------------------------------
     def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000):
         """Attach a system-wide tracer (client + node events)."""

@@ -50,6 +50,8 @@ class Trial:
         obs: bool = False,
         obs_interval: float = 50.0,
         obs_capacity: int = 500_000,
+        fault_plan=None,
+        request_timeout: float = 10000.0,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -71,18 +73,23 @@ class Trial:
         self.obs = obs
         self.obs_interval = obs_interval
         self.obs_capacity = obs_capacity
+        # A repro.chaos.FaultPlan compiled onto the system after start; with
+        # lossy plans a short request timeout keeps closed-loop clients live.
+        self.fault_plan = fault_plan
+        self.request_timeout = request_timeout
 
 
 class TrialResult:
     """What a trial produces: the recorder, the system, and the summary."""
 
     def __init__(self, trial: Trial, system, recorder: LatencyRecorder,
-                 clients: List[ClosedLoopClient], obs=None):
+                 clients: List[ClosedLoopClient], obs=None, chaos=None):
         self.trial = trial
         self.system = system
         self.recorder = recorder
         self.clients = clients
         self.obs = obs  # ObsBundle when the trial ran with obs=True
+        self.chaos = chaos  # ChaosRunner when the trial ran a fault plan
         self.summary: Summary = recorder.summarize(trial.system)
 
     def drain(self, extra_ms: float = 4000.0) -> None:
@@ -127,8 +134,14 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         bundle = attach_obs(system, capacity=trial.obs_capacity,
                             probe_interval=trial.obs_interval)
     system.start()
-    clients = spawn_clients(system, workload, recorder.record)
+    clients = spawn_clients(system, workload, recorder.record,
+                            request_timeout=trial.request_timeout)
+    chaos = None
+    if trial.fault_plan is not None:
+        from repro.chaos.runner import ChaosRunner
+
+        chaos = ChaosRunner(system, trial.fault_plan, origin=0.0).install()
     if hooks is not None:
         hooks(system, recorder)
     system.run(until=trial.duration_ms)
-    return TrialResult(trial, system, recorder, clients, obs=bundle)
+    return TrialResult(trial, system, recorder, clients, obs=bundle, chaos=chaos)

@@ -1,0 +1,37 @@
+"""Deterministic chaos engineering: declarative fault plans, seeded scenario
+generation, delta-debugging shrinking, and a push-button audit oracle.
+
+See ``docs/CHAOS.md`` for the full tour.  Quick start::
+
+    from repro.chaos import FaultPlan, generate_plan, run_chaos_trial
+
+    plan = generate_plan(seed=7)            # or author one by hand:
+    plan = FaultPlan(name="demo").add(1000, "crash_node", host="r0.n1") \\
+                                 .add(2000, "fail_manager", region="r1")
+    report = run_chaos_trial(plan, seed=7)
+    assert report.ok, report.to_text()
+"""
+
+from repro.chaos.generator import ChaosProfile, generate_plan
+from repro.chaos.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.chaos.runner import (
+    BENIGN_ABORT_REASONS,
+    ChaosReport,
+    ChaosRunner,
+    run_chaos_trial,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosProfile",
+    "generate_plan",
+    "BENIGN_ABORT_REASONS",
+    "ChaosReport",
+    "ChaosRunner",
+    "run_chaos_trial",
+    "ShrinkResult",
+    "shrink_plan",
+]

@@ -1,0 +1,171 @@
+"""Seeded random fault-scenario generation.
+
+``generate_plan(seed, ...)`` draws a handful of fault *clauses* — crash (+
+optional replica re-add), manager failover, two-way or one-way region
+partitions, drop bursts, latency spikes, jitter/reorder windows, clock-skew
+ramps — and lowers them into one time-sorted :class:`FaultPlan`.  The same
+seed always yields the same plan (the generator owns its own
+``random.Random``; nothing else perturbs it).
+
+Scenarios are constrained to be *recoverable*: every partition heals, every
+degradation window closes, at most one replica per shard crashes, and each
+region fails over at most once — so DAST must come out of any generated
+plan serializable and with zero conflict aborts.  The knobs that can break
+those guarantees deliberately (e.g. message duplication, which assumes an
+exactly-once transport underneath the protocol stack) are opt-in via
+:class:`ChaosProfile`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.chaos.plan import FaultPlan
+from repro.config import Topology, TopologyConfig
+
+__all__ = ["ChaosProfile", "generate_plan"]
+
+
+@dataclass
+class ChaosProfile:
+    """Knobs bounding what a generated scenario may do."""
+
+    min_clauses: int = 3
+    max_clauses: int = 5
+    # Window for fault activity, relative to plan start (virtual ms).  Heals
+    # and restores always land inside it, leaving the tail for recovery.
+    start: float = 500.0
+    end: float = 3500.0
+    max_partition_ms: float = 800.0
+    max_window_ms: float = 900.0
+    max_drop_probability: float = 0.08
+    max_rtt_factor: float = 3.0
+    max_jitter: float = 20.0
+    max_reorder_spread: float = 25.0
+    max_skew_ms: float = 120.0
+    skew_ramp_steps: int = 3
+    # Message duplication assumes protocol-level idempotence the DAST stack
+    # does not promise (its transport is exactly-once, like TCP); keep it
+    # out of default scenarios and opt in explicitly to stress it.
+    allow_duplication: bool = False
+    duplicate_probability: float = 0.05
+    # Manager failover and replica re-add are DAST recovery paths; disable
+    # for baselines, which only support the generic network/crash faults.
+    allow_dast_faults: bool = True
+
+
+def generate_plan(
+    seed: int,
+    num_regions: int = 2,
+    shards_per_region: int = 1,
+    replication: int = 3,
+    cross_region_rtt: float = 100.0,
+    profile: Optional[ChaosProfile] = None,
+) -> FaultPlan:
+    """Generate one deterministic, recoverable fault scenario."""
+    profile = profile or ChaosProfile()
+    rng = random.Random((seed << 16) ^ 0xC4A05)
+    topo = Topology(TopologyConfig(
+        num_regions=num_regions, shards_per_region=shards_per_region,
+        replication=replication, clients_per_region=0,
+    ))
+    plan = FaultPlan(name=f"gen-{seed}", seed=seed)
+
+    def pick_time(margin: float = 0.0) -> float:
+        return round(rng.uniform(profile.start, profile.end - margin), 1)
+
+    crashed_shards: set = set()
+    failed_regions: set = set()
+    partitioned_pairs: set = set()
+
+    def clause_crash() -> None:
+        candidates = [s for s in topo.all_shards() if s not in crashed_shards]
+        if not candidates:
+            return
+        shard = rng.choice(candidates)
+        crashed_shards.add(shard)
+        region = topo.region_of_shard(shard)
+        host = rng.choice(list(topo.replicas_of(shard)))
+        t = pick_time(margin=profile.max_window_ms)
+        plan.add(t, "crash_node", host=host)
+        if rng.random() < 0.5:
+            t_readd = round(t + rng.uniform(300.0, profile.max_window_ms), 1)
+            if profile.allow_dast_faults:
+                plan.add(t_readd, "readd_replica", region=region,
+                         host=f"{host}x", shard=shard)
+
+    def clause_failover() -> None:
+        candidates = [r for r in topo.regions if r not in failed_regions]
+        if not candidates:
+            return
+        region = rng.choice(candidates)
+        failed_regions.add(region)
+        plan.add(pick_time(), "fail_manager", region=region)
+
+    def clause_partition() -> None:
+        if num_regions < 2:
+            return
+        r1, r2 = rng.sample(topo.regions, 2)
+        pair = tuple(sorted((r1, r2)))
+        if pair in partitioned_pairs:
+            return
+        partitioned_pairs.add(pair)
+        t = pick_time(margin=profile.max_partition_ms)
+        d = round(rng.uniform(150.0, profile.max_partition_ms), 1)
+        if rng.random() < 0.3:  # asymmetric: only one direction drops
+            plan.add(t, "partition_regions_oneway", src=r1, dst=r2)
+            plan.add(t + d, "heal_regions_oneway", src=r1, dst=r2)
+        else:
+            plan.add(t, "partition_regions", r1=r1, r2=r2)
+            plan.add(t + d, "heal_regions", r1=r1, r2=r2)
+
+    def clause_drop_burst() -> None:
+        t = pick_time(margin=profile.max_window_ms)
+        d = round(rng.uniform(200.0, profile.max_window_ms), 1)
+        p = round(rng.uniform(0.01, profile.max_drop_probability), 3)
+        plan.add(t, "set_drop", probability=p)
+        plan.add(t + d, "set_drop", probability=0.0)
+
+    def clause_latency_spike() -> None:
+        t = pick_time(margin=profile.max_window_ms)
+        d = round(rng.uniform(200.0, profile.max_window_ms), 1)
+        rtt = round(cross_region_rtt * rng.uniform(1.5, profile.max_rtt_factor), 1)
+        plan.add(t, "set_rtt", rtt=rtt)
+        plan.add(t + d, "set_rtt", rtt=cross_region_rtt)
+
+    def clause_gray_degradation() -> None:
+        t = pick_time(margin=profile.max_window_ms)
+        d = round(rng.uniform(200.0, profile.max_window_ms), 1)
+        plan.add(t, "set_jitter", jitter=round(rng.uniform(5.0, profile.max_jitter), 1))
+        plan.add(t, "set_reorder", spread=round(rng.uniform(5.0, profile.max_reorder_spread), 1))
+        plan.add(t + d, "set_jitter", jitter=0.0)
+        plan.add(t + d, "set_reorder", spread=0.0)
+
+    def clause_skew_ramp() -> None:
+        region = rng.choice(topo.regions)
+        t = pick_time(margin=profile.max_window_ms)
+        step = round(rng.uniform(10.0, profile.max_skew_ms / profile.skew_ramp_steps), 1)
+        for i in range(profile.skew_ramp_steps):
+            plan.add(round(t + i * 100.0, 1), "clock_skew", region=region, delta=step)
+
+    def clause_duplication() -> None:
+        t = pick_time(margin=profile.max_window_ms)
+        d = round(rng.uniform(200.0, profile.max_window_ms), 1)
+        plan.add(t, "set_duplicate", probability=profile.duplicate_probability)
+        plan.add(t + d, "set_duplicate", probability=0.0)
+
+    menu: List = [
+        clause_crash, clause_failover, clause_partition, clause_drop_burst,
+        clause_latency_spike, clause_gray_degradation, clause_skew_ramp,
+    ]
+    if not profile.allow_dast_faults:
+        menu.remove(clause_failover)
+    if profile.allow_duplication:
+        menu.append(clause_duplication)
+
+    n_clauses = rng.randint(profile.min_clauses, profile.max_clauses)
+    for _ in range(n_clauses):
+        rng.choice(menu)()
+    return plan.validate()

@@ -1,0 +1,173 @@
+"""Declarative fault plans: seeded, serializable schedules of timed faults.
+
+A :class:`FaultPlan` is the unit of chaos engineering in this repo: an
+ordered list of :class:`FaultEvent` entries, each ``(time, kind, args)``,
+that can be
+
+* **compiled** onto a running system's simulator timers
+  (:class:`repro.chaos.runner.ChaosRunner`),
+* **generated** from a seed (:mod:`repro.chaos.generator`),
+* **shrunk** to a minimal failing reproducer (:mod:`repro.chaos.shrink`),
+* **serialized** to canonical JSON — same plan, byte-identical text — so a
+  failing seed prints a reproducer you can commit as a regression test.
+
+Event times are virtual milliseconds relative to the instant the plan is
+installed (usually system start, i.e. t=0).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+# kind -> required argument names.  Optional arguments are listed in
+# :data:`_OPTIONAL_ARGS`; anything else is rejected by ``validate()``.
+FAULT_KINDS: Dict[str, Tuple[str, ...]] = {
+    "crash_node": ("host",),
+    "readd_replica": ("region", "host", "shard"),
+    "fail_manager": ("region",),
+    "report_failure": ("region", "hosts"),
+    "partition_hosts": ("a", "b"),
+    "heal_hosts": ("a", "b"),
+    "partition_oneway": ("src", "dst"),
+    "heal_oneway": ("src", "dst"),
+    "partition_regions": ("r1", "r2"),
+    "heal_regions": ("r1", "r2"),
+    "partition_regions_oneway": ("src", "dst"),
+    "heal_regions_oneway": ("src", "dst"),
+    "set_drop": ("probability",),
+    "set_rtt": ("rtt",),
+    "set_jitter": ("jitter",),
+    "set_reorder": ("spread",),
+    "set_duplicate": ("probability",),
+    "clock_skew": ("delta",),
+}
+
+_OPTIONAL_ARGS: Dict[str, Tuple[str, ...]] = {
+    "crash_node": ("report",),
+    "set_rtt": ("r1", "r2"),
+    "clock_skew": ("host", "region"),
+}
+
+
+class FaultEvent:
+    """One timed fault: apply ``kind`` with ``args`` at virtual ``time`` ms."""
+
+    __slots__ = ("time", "kind", "args")
+
+    def __init__(self, time: float, kind: str, args: Optional[Dict] = None):
+        self.time = float(time)
+        self.kind = kind
+        self.args = dict(args or {})
+
+    def to_dict(self) -> Dict:
+        return {"time": self.time, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        return cls(data["time"], data["kind"], data.get("args", {}))
+
+    def validate(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"fault event time must be >= 0, got {self.time}")
+        required = FAULT_KINDS.get(self.kind)
+        if required is None:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        missing = [a for a in required if a not in self.args]
+        if missing:
+            raise ConfigError(f"{self.kind}: missing args {missing}")
+        allowed = set(required) | set(_OPTIONAL_ARGS.get(self.kind, ()))
+        extra = [a for a in self.args if a not in allowed]
+        if extra:
+            raise ConfigError(f"{self.kind}: unexpected args {extra}")
+
+    def __repr__(self) -> str:
+        extra = " ".join(f"{k}={self.args[k]}" for k in sorted(self.args))
+        return f"[{self.time:10.1f}] {self.kind:<24} {extra}".rstrip()
+
+
+class FaultPlan:
+    """An ordered, serializable schedule of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), name: str = "",
+                 seed: Optional[int] = None):
+        self.name = name
+        self.seed = seed
+        # Stable sort: same-instant events keep their authored order, which
+        # matches the simulator's FIFO tie-break when compiled.
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.time)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, time: float, kind: str, **args) -> "FaultPlan":
+        """Append one event (chainable); keeps the schedule time-sorted."""
+        event = FaultEvent(time, kind, args)
+        event.validate()
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.time)
+        return self
+
+    def validate(self) -> "FaultPlan":
+        for event in self.events:
+            event.validate()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization (canonical: identical plans -> identical bytes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name, "events": [e.to_dict() for e in self.events]}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(
+            (FaultEvent.from_dict(e) for e in data.get("events", [])),
+            name=data.get("name", ""),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Shrinker support
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "FaultPlan":
+        """A plan containing only the events at ``indices`` (order kept)."""
+        keep = set(indices)
+        events = [FaultEvent(e.time, e.kind, e.args)
+                  for i, e in enumerate(self.events) if i in keep]
+        return FaultPlan(events, name=self.name, seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def timeline(self) -> str:
+        """Deterministic human-readable fault timeline."""
+        header = f"fault plan {self.name or '(unnamed)'}"
+        if self.seed is not None:
+            header += f" seed={self.seed}"
+        header += f" ({len(self.events)} events)"
+        lines = [header]
+        lines.extend(repr(e) for e in self.events)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.name or 'unnamed'}, {len(self.events)} events)"

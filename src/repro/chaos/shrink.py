@@ -1,0 +1,86 @@
+"""Delta-debugging shrinker: reduce a failing fault plan to a minimal one.
+
+Classic ddmin (Zeller & Hildebrandt) over the plan's event list: repeatedly
+try dropping chunks of events, keeping any candidate that still fails the
+oracle, until no single event can be removed.  The oracle is an arbitrary
+``is_failing(plan) -> bool`` callable — usually a closure over
+:func:`repro.chaos.runner.run_chaos_trial` asserting ``not report.ok`` —
+so the shrinker works for audit failures, conflict aborts, or any custom
+predicate.
+
+Runs are memoized on the candidate's canonical JSON, and ``max_runs``
+bounds the total number of oracle invocations (each one is a full simulated
+trial); on exhaustion the best reproducer found so far is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.chaos.plan import FaultPlan
+
+__all__ = ["ShrinkResult", "shrink_plan"]
+
+
+class ShrinkResult:
+    """The minimal failing plan plus bookkeeping about the search."""
+
+    def __init__(self, plan: FaultPlan, runs: int, exhausted: bool):
+        self.plan = plan
+        self.runs = runs
+        self.exhausted = exhausted  # True when max_runs stopped the search
+
+    def __repr__(self) -> str:
+        tail = ", budget exhausted" if self.exhausted else ""
+        return f"ShrinkResult({len(self.plan)} events, {self.runs} runs{tail})"
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    is_failing: Callable[[FaultPlan], bool],
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """Minimize ``plan`` while ``is_failing`` stays true.
+
+    ``plan`` itself must fail the oracle; otherwise it is returned as-is
+    with zero runs recorded (nothing to shrink).
+    """
+    cache: Dict[str, bool] = {}
+    runs = [0]
+    exhausted = [False]
+
+    def failing(candidate: FaultPlan) -> bool:
+        key = candidate.to_json()
+        if key in cache:
+            return cache[key]
+        if runs[0] >= max_runs:
+            exhausted[0] = True
+            return False  # treat as passing: keeps the current reproducer
+        runs[0] += 1
+        verdict = bool(is_failing(candidate))
+        cache[key] = verdict
+        return verdict
+
+    if not failing(plan):
+        return ShrinkResult(plan, runs[0], exhausted[0])
+
+    indices: List[int] = list(range(len(plan.events)))
+    granularity = 2
+    while len(indices) >= 2 and not exhausted[0]:
+        chunk = max(1, len(indices) // granularity)
+        chunks = [indices[i:i + chunk] for i in range(0, len(indices), chunk)]
+        reduced = False
+        for piece in chunks:
+            complement = [i for i in indices if i not in piece]
+            if not complement:
+                continue
+            if failing(plan.subset(complement)):
+                indices = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(indices):
+                break  # 1-minimal: no single event can be dropped
+            granularity = min(len(indices), granularity * 2)
+    return ShrinkResult(plan.subset(indices), runs[0], exhausted[0])

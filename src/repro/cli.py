@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro run|experiment|audit|obs``.
+"""Command-line interface: ``python -m repro run|experiment|audit|obs|chaos``.
 
 Examples::
 
@@ -8,6 +8,9 @@ Examples::
     python -m repro experiment fig2 table3
     python -m repro audit --regions 2 --duration-ms 4000
     python -m repro obs --regions 3 --out trial.jsonl --csv-dir obs_csv
+    python -m repro chaos --seed 7                  # one generated scenario
+    python -m repro chaos --fuzz 10 --seed 0        # seeded scenario matrix
+    python -m repro chaos --plan plan.json --out report.txt
 """
 
 from __future__ import annotations
@@ -146,6 +149,110 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _run_chaos_plan(plan, args):
+    from repro.chaos import run_chaos_trial
+
+    return run_chaos_trial(
+        plan,
+        system=args.system,
+        workload=args.workload,
+        num_regions=args.regions,
+        shards_per_region=args.shards_per_region,
+        clients_per_region=args.clients,
+        duration_ms=args.duration_ms,
+        drain_ms=args.drain_ms,
+        seed=args.seed,
+        crt_ratio=args.crt_ratio,
+    )
+
+
+def cmd_chaos(args) -> int:
+    """Run fault scenarios: a plan file, one generated seed, or a fuzz matrix."""
+    from repro.chaos import ChaosProfile, FaultPlan, generate_plan, shrink_plan
+    from repro.errors import ConfigError
+
+    for path, what in ((args.out, "--out"), (args.shrunk_out, "--shrunk-out"),
+                       (args.emit_plan, "--emit-plan")):
+        error = _check_out_path(path, what)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+
+    def generated(seed: int) -> FaultPlan:
+        # Baselines lack DAST's recovery paths (manager failover, replica
+        # re-add), so generate only the generic network/crash faults for them.
+        profile = ChaosProfile(allow_dast_faults=(args.system == "dast"))
+        return generate_plan(seed, num_regions=args.regions,
+                             shards_per_region=args.shards_per_region,
+                             profile=profile)
+
+    if args.emit_plan:
+        plan = generated(args.seed)
+        with open(args.emit_plan, "w") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(plan.timeline())
+        print(f"wrote plan to {args.emit_plan}")
+        return 0
+
+    if args.plan:
+        with open(args.plan) as fh:
+            scenarios = [(args.seed, FaultPlan.from_json(fh.read()))]
+    elif args.fuzz:
+        scenarios = [(s, generated(s)) for s in range(args.seed, args.seed + args.fuzz)]
+    else:
+        scenarios = [(args.seed, generated(args.seed))]
+
+    report_lines = []
+    failed = None
+    for seed, plan in scenarios:
+        args.seed = seed  # the trial (workload/topology) seed tracks the scenario
+        try:
+            report = _run_chaos_plan(plan, args)
+        except ConfigError as exc:
+            print(f"plan not runnable against --system {args.system}: {exc}",
+                  file=sys.stderr)
+            return 2
+        verdict = "OK" if report.ok else "FAIL"
+        line = (f"seed={seed} events={len(plan)} faults={report.faults_applied} "
+                f"committed={report.committed} aborted={report.aborted} {verdict}")
+        print(line)
+        report_lines.append(line)
+        if not report.ok:
+            failed = (seed, plan, report)
+            break
+
+    if failed is None:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write("\n".join(report_lines) + "\nverdict: OK\n")
+            print(f"wrote report to {args.out}")
+        return 0
+
+    seed, plan, report = failed
+    print()
+    print(report.to_text())
+    text = "\n".join(report_lines) + "\n\n" + report.to_text() + "\n"
+    if args.shrink:
+        result = shrink_plan(
+            plan, lambda p: not _run_chaos_plan(p, args).ok, max_runs=args.shrink_budget,
+        )
+        print()
+        print(f"shrunk to {len(result.plan)} events in {result.runs} runs:")
+        print(result.plan.timeline())
+        print(result.plan.to_json())
+        text += f"\nshrunk reproducer ({len(result.plan)} events):\n"
+        text += result.plan.timeline() + "\n" + result.plan.to_json() + "\n"
+        if args.shrunk_out:
+            with open(args.shrunk_out, "w") as fh:
+                fh.write(result.plan.to_json() + "\n")
+            print(f"wrote shrunk plan to {args.shrunk_out}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.out}")
+    return 1
+
+
 def cmd_audit(args) -> int:
     args.system = "dast"
     result = run_trial(_build_trial(args))
@@ -202,6 +309,28 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p = sub.add_parser("audit", help="run DAST, drain, verify serializability")
     add_trial_args(audit_p)
     audit_p.set_defaults(fn=cmd_audit)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run fault scenarios against the audit oracle")
+    chaos_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
+    chaos_p.add_argument("--plan", metavar="FILE", default=None,
+                         help="run one fault plan from a JSON file")
+    chaos_p.add_argument("--fuzz", type=int, metavar="N", default=0,
+                         help="generate and run N seeded scenarios (seed..seed+N-1)")
+    chaos_p.add_argument("--emit-plan", metavar="PATH", default=None,
+                         help="write the generated plan as JSON and exit")
+    chaos_p.add_argument("--drain-ms", type=float, default=6000.0,
+                         help="extra virtual ms to drain before the audit")
+    chaos_p.add_argument("--out", metavar="PATH", default=None,
+                         help="write the audit report text to PATH")
+    chaos_p.add_argument("--shrunk-out", metavar="PATH", default=None,
+                         help="write the shrunk reproducer plan JSON to PATH")
+    chaos_p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                         help="skip delta-debugging a failing scenario")
+    chaos_p.add_argument("--shrink-budget", type=int, default=48,
+                         help="max trial runs the shrinker may spend")
+    add_trial_args(chaos_p)
+    chaos_p.set_defaults(fn=cmd_chaos, shrink=True)
     return parser
 
 

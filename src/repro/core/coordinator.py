@@ -135,16 +135,30 @@ class CoordinatorMixin:
         state.ts = src_ts
         self._trace("crt_src_ts", txn=txn.txn_id, ts=str(src_ts))
         state.prepared_event = self.sim.event()
+
         # Note: if we participate, our own ACK arrives via our region's
         # manager dispatch like any other participant's.
-        for region in txn.participating_regions:
-            self._reliable(
-                self.managers[region],
-                "prep_remote",
-                {"txn": txn, "src_ts": src_ts, "coord": self.host, "vid": self.vid,
-                 "phys": self.dclock.physical()},
-                timeout=self._cross_timeout(),
-            )
+        def send_prep() -> None:
+            for region in txn.participating_regions:
+                self._reliable(
+                    self.managers[region],
+                    "prep_remote",
+                    {"txn": txn, "src_ts": src_ts, "coord": self.host, "vid": self.vid,
+                     "phys": self.dclock.physical()},
+                    timeout=self._cross_timeout(),
+                )
+
+        send_prep()
+        # `prep_remote` itself is reliable, but the manager's `prep_crt`
+        # fan-out and the participants' `crt_ack` replies travel one-way; a
+        # drop or mid-flight crash on either hop would wedge this CRT in
+        # every waitQ forever.  Re-driving prep_remote recovers: managers
+        # re-dispatch idempotently (same anticipated ts) and participants
+        # unconditionally re-ack.
+        self.sim.spawn(
+            self._reprep_watchdog(state, send_prep),
+            name=f"{self.host}.reprep.{txn.txn_id}",
+        )
         yield state.prepared_event
         state.t_prepared = self.sim.now
         self._trace("crt_prepared", txn=txn.txn_id)
@@ -187,6 +201,16 @@ class CoordinatorMixin:
         if not state.all_executed():
             yield state.done_event
         return self._finish(state)
+
+    def _reprep_watchdog(self, state: CoordState, send_prep):
+        while not state.prepared_event.triggered:
+            yield self.sim.timeout(self._cross_timeout())
+            if state.prepared_event.triggered or not self._running:
+                return
+            if state.txn.txn_id not in self.coordinating:
+                return
+            self.stats.inc("crt_prep_retries")
+            send_prep()
 
     def _replicate_home(self, txn: Transaction, home_shards: List[str], method: str):
         """Majority-replicate ``txn`` to home-region participating shards."""

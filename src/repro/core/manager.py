@@ -271,6 +271,26 @@ class DastManager:
             return {"ok": True}
         return self.remove_nodes([node])
 
+    def _reliable(self, dst: str, method: str, payload: dict,
+                  timeout: Optional[float] = None) -> None:
+        """Retransmit until acknowledged: view commits and aborts are
+        decisions — a node that misses one keeps a removed member in its
+        PCT table and wedges its watermark forever.  Gives up only when the
+        destination is down/removed or this manager lost its mandate."""
+        timeout = timeout or 4 * self.timing.intra_region_rtt
+
+        def proc():
+            while True:
+                try:
+                    yield self.endpoint.call(dst, method, payload, timeout=timeout)
+                    return
+                except (RpcTimeout, RpcRemoteError):
+                    self.stats.inc("retransmissions")
+                    if self.network.is_down(dst) or dst in self.removed or not self.active:
+                        return
+
+        self.sim.spawn(proc(), name=f"{self.host}.reliable.{method}")
+
     def remove_nodes(self, to_remove: List[str]):
         """Generator: run the 2PC that installs a view without ``to_remove``."""
         to_remove = list(to_remove)
@@ -328,7 +348,7 @@ class DastManager:
                 "commit_crts": commit_crts,
             }
             for node in self.members:
-                self.endpoint.send(node, "remove_commit", msg)
+                self._reliable(node, "remove_commit", msg)
             # Tell remote participants (and their managers) about aborts.
             for entry in abort_crts:
                 txn = entry["txn"]
@@ -336,11 +356,15 @@ class DastManager:
                     region = self.catalog.region_of_shard(shard)
                     if region == self.region:
                         continue
-                    self.endpoint.send(
-                        self.managers_of(region), "abort_crt", {"txn_id": entry["txn_id"]}
+                    self._reliable(
+                        self.managers_of(region), "abort_crt", {"txn_id": entry["txn_id"]},
+                        timeout=4 * self.timing.cross_region_rtt,
                     )
                     for node in self.catalog.replicas_of(shard):
-                        self.endpoint.send(node, "abort_crt", {"txn_id": entry["txn_id"]})
+                        self._reliable(
+                            node, "abort_crt", {"txn_id": entry["txn_id"]},
+                            timeout=4 * self.timing.cross_region_rtt,
+                        )
             self.stats.inc("views_installed")
             return {
                 "ok": True,
@@ -365,12 +389,25 @@ class DastManager:
 
         def proc():
             source = donor or self.catalog.replicas_of(shard_id)[0]
-            reply = yield self.endpoint.call(
-                source,
-                "transfer_ckpt",
-                {"node": new_node, "shard": shard_id},
-                timeout=20 * self.timing.intra_region_rtt,
-            )
+            while True:
+                try:
+                    reply = yield self.endpoint.call(
+                        source,
+                        "transfer_ckpt",
+                        {"node": new_node, "shard": shard_id},
+                        timeout=20 * self.timing.intra_region_rtt,
+                    )
+                    break
+                except (RpcTimeout, RpcRemoteError):
+                    self.stats.inc("retransmissions")
+                    if self.network.is_down(source):
+                        live = [
+                            n for n in self.catalog.replicas_of(shard_id)
+                            if not self.network.is_down(n)
+                        ]
+                        if not live:
+                            raise
+                        source = live[0]
             ts_ckpt = reply
             # Anticipate when the new view will be installed; conservative
             # slack is fine — admission is off the critical path.
@@ -390,12 +427,19 @@ class DastManager:
             if new_node not in targets:
                 targets.append(new_node)
             for node in targets:
-                yield self.endpoint.call(
-                    node,
-                    "add_prep",
-                    {"vid": self.vid, "node": new_node, "ts_ins": ts_ins},
-                    timeout=4 * self.timing.intra_region_rtt,
-                )
+                while True:
+                    try:
+                        yield self.endpoint.call(
+                            node,
+                            "add_prep",
+                            {"vid": self.vid, "node": new_node, "ts_ins": ts_ins},
+                            timeout=4 * self.timing.intra_region_rtt,
+                        )
+                        break
+                    except (RpcTimeout, RpcRemoteError):
+                        self.stats.inc("retransmissions")
+                        if self.network.is_down(node):
+                            break
             self.members = targets
             msg = {
                 "vid": self.vid,
@@ -405,7 +449,7 @@ class DastManager:
                 "shard": shard_id,
             }
             for node in targets:
-                self.endpoint.send(node, "add_commit", msg)
+                self._reliable(node, "add_commit", msg)
             self.stats.inc("replicas_added")
             return {"ok": True, "ts_ins": ts_ins, "ts_ckpt": ts_ckpt}
 
@@ -420,17 +464,37 @@ class DastManager:
         def proc():
             self.vid += 1
             max_seen = ZERO_TS
-            for node in self.members:
-                try:
-                    reply = yield self.endpoint.call(
-                        node, "mgr_takeover", {"vid": self.vid},
-                        timeout=4 * self.timing.intra_region_rtt,
-                    )
-                except (RpcTimeout, RpcRemoteError):
+            best_view = None
+            for node in list(self.members):
+                while True:
+                    try:
+                        reply = yield self.endpoint.call(
+                            node, "mgr_takeover", {"vid": self.vid},
+                            timeout=4 * self.timing.intra_region_rtt,
+                        )
+                        break
+                    except (RpcTimeout, RpcRemoteError):
+                        # A node that misses the takeover would keep
+                        # reporting to the dead manager and wedge its own
+                        # PCT watermark: retry until it answers or dies.
+                        self.stats.inc("retransmissions")
+                        if self.network.is_down(node):
+                            reply = None
+                            break
+                if reply is None:
                     continue
                 for key in ("mgr_max_ts", "my_clock"):
                     if reply[key] > max_seen:
                         max_seen = reply[key]
+                view = reply.get("view")
+                if view is not None and (best_view is None or view["vid"] > best_view["vid"]):
+                    best_view = view
+            # Adopt the freshest membership seen by any live node: removals
+            # that happened while we were standby are invisible to us.
+            if best_view is not None:
+                self.removed |= set(best_view["removed"])
+                self.members = [m for m in best_view["members"] if m not in self.removed]
+                self.vid = max(self.vid, best_view["vid"] + 1)
             # Monotonicity of anticipated timestamps across failovers (§4.5).
             self.dclock.jump_to(max_seen)
             self._last_anticipated = max(self._last_anticipated, max_seen)

@@ -255,9 +255,14 @@ class DastNode(CoordinatorMixin):
             for node in self.catalog.replicas_of(consumer_shard):
                 if node == self.host:
                     continue
-                self.endpoint.send(node, "send_output", {"txn_id": rec.txn_id, "values": values})
+                # Reliable: a dropped output push would leave the consumer's
+                # CRT input-starved in its waitQ forever.
+                self._reliable(
+                    node, "send_output", {"txn_id": rec.txn_id, "values": values},
+                    timeout=self._cross_timeout(),
+                )
         # Report execution to the coordinator (client output collection).
-        self.endpoint.send(
+        self._reliable(
             rec.coordinator,
             "exec_done",
             {
@@ -269,6 +274,7 @@ class DastNode(CoordinatorMixin):
                 "reason": outcome.abort_reason,
                 "phases": (rec.t_committed, rec.t_order_ready, rec.t_input_ready, rec.t_executed),
             },
+            timeout=self._cross_timeout(),
         )
         if rec.is_crt:
             # Let non-participants drop their waitQ floor for this CRT.
@@ -554,6 +560,17 @@ class DastNode(CoordinatorMixin):
             self._trace("crt_abort", txn=txn_id)
             self.stats.inc("crt_aborted_failover")
         self.wait_q.remove(txn_id)
+        # Relay the abort to all intra-region nodes, mirroring the commit
+        # relay in _adopt_commit: non-participants hold an announce floor
+        # for this CRT that freezes their dclocks at its anticipated
+        # timestamp — without the relay those floors (and every PCT
+        # watermark behind them) never clear, wedging execution regionwide.
+        if rec.status == TxnStatus.ABORTED and not getattr(rec, "_abort_relayed", False):
+            rec._abort_relayed = True
+            for peer in self.members:
+                if peer != self.host:
+                    self._reliable(peer, "abort_crt", {"txn_id": txn_id})
+            self._reliable(self.manager, "abort_crt", {"txn_id": txn_id})
         self._try_execute()
         return {"node": self.host}
 
@@ -674,10 +691,16 @@ class DastNode(CoordinatorMixin):
     def on_mgr_takeover(self, src: str, payload: dict):
         old_manager = self.manager
         self.manager = src
-        self.vid = payload["vid"]
+        # Report our current view: the standby's membership may be stale
+        # (removals happen while it is passive), and it adopts the freshest
+        # view among the replies.
+        view = {"vid": self.vid, "members": list(self.members),
+                "removed": sorted(self.removed)}
+        self.vid = max(self.vid, payload["vid"])
         old_ts = self.max_ts.pop(old_manager, ZERO_TS)
         self.max_ts.setdefault(src, old_ts)
-        return {"node": self.host, "mgr_max_ts": old_ts, "my_clock": self.dclock.peek()}
+        return {"node": self.host, "mgr_max_ts": old_ts,
+                "my_clock": self.dclock.peek(), "view": view}
 
     # ------------------------------------------------------------------
     # Recovery: adding a replica (Algorithm 4)

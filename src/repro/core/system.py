@@ -208,8 +208,15 @@ class DastSystem:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
+    def _trace_fault(self, fault: str, **detail) -> None:
+        """Fault injections show up in the trace stream even when driven
+        directly (not through a chaos plan), so timelines stay complete."""
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault", "fault", fault=fault, detail=detail)
+
     def crash_node(self, node_host: str, report: bool = True) -> None:
         """Crash a data node; optionally report it to its region's manager."""
+        self._trace_fault("crash_node", host=node_host)
         self.network.crash_host(node_host)
         self.nodes[node_host].stop()
         if report:
@@ -219,6 +226,7 @@ class DastSystem:
 
     def fail_manager(self, region: str) -> DastManager:
         """Crash the active manager and promote the standby via SMR + 2PC."""
+        self._trace_fault("fail_manager", region=region)
         old = self.managers[region]
         old.stop()
         self.network.crash_host(old.host)
@@ -229,6 +237,20 @@ class DastSystem:
         self.managers[region] = standby
         self.sim.spawn(standby.takeover(), name=f"takeover.{region}")
         return standby
+
+    def skew_clocks(self, prefix: str, delta_ms: float) -> int:
+        """Step every clock whose host starts with ``prefix`` by ``delta_ms``.
+
+        Models an operator mis-setting a region's time (Fig 10a); returns
+        how many clocks were touched.
+        """
+        self._trace_fault("clock_skew", prefix=prefix, delta=delta_ms)
+        touched = 0
+        for host, source in self.clock_sources.items():
+            if host.startswith(prefix):
+                source.adjust(delta_ms)
+                touched += 1
+        return touched
 
     def add_replica(self, region: str, new_host: str, shard_id: str) -> Event:
         """Add ``new_host`` as a fresh replica of ``shard_id`` (Algorithm 4)."""

@@ -95,6 +95,15 @@ def standard_probes(system) -> List[Tuple[str, Callable[[], float]]]:
         probes.append(("net_inflight", lambda nw=network: nw.stats.in_flight))
         probes.append(("net_sent", lambda nw=network: nw.stats.messages_sent))
 
+    # When a chaos plan is (or gets) installed, sample how many of its fault
+    # events have fired — lines probe timeseries up against fault times.
+    probes.append((
+        "chaos_faults",
+        lambda s=system: (
+            len(s.chaos.applied) if getattr(s, "chaos", None) is not None else None
+        ),
+    ))
+
     for host, node in sorted(nodes.items()):
         if hasattr(node, "executed_log"):
             probes.append((

@@ -239,6 +239,15 @@ class Simulator:
         """Run ``fn(*args)`` at the current instant, after the running callback."""
         self.schedule(0.0, fn, *args)
 
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``when``.
+
+        A ``when`` already in the past fires at the current instant — used by
+        fault-plan compilation, where an event's nominal time may precede the
+        moment the plan is installed.
+        """
+        self.schedule(max(0.0, when - self.now), fn, *args)
+
     def event(self) -> Event:
         return Event(self)
 

@@ -8,11 +8,21 @@ small intra-region RTT (default 5 ms) and a large cross-region RTT (default
 * **runtime RTT changes** — abrupt steps for network-spike timelines (Fig 9b),
 * **asymmetric one-way delay** — a forward fraction of the RTT (Fig 10b),
 * **partitions** — ordered host pairs or region pairs that silently drop,
-* **random drops** — spontaneous loss with a seeded stream.
+  including *one-way* (asymmetric) variants where only one direction drops,
+* **random drops** — spontaneous loss with a seeded stream,
+* **reorder windows** — extra per-message random delay that scrambles
+  arrival order while the window is open,
+* **duplication windows** — messages delivered twice (a second copy with an
+  independently sampled delay), modelling at-least-once relays.
 
 Delivery preserves no ordering guarantees beyond what the delays imply, i.e.
 messages can arrive reordered, exactly like the asynchronous network DAST
 assumes (§3.1).
+
+Crash/restart semantics: :meth:`Network.crash_host` starts a new *incarnation*
+of the host.  Messages sent before the crash are never delivered after a
+:meth:`Network.restart_host` — the restarted process must not see stale
+pre-crash traffic, just as a rebooted server's TCP connections are gone.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ class NetworkStats:
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         # Messages scheduled for delivery but not yet delivered/dropped —
         # the "wire occupancy" the observability probes sample over time.
         self.in_flight = 0
@@ -74,12 +85,19 @@ class Network:
         # Fraction of the cross-region RTT spent on the "forward" direction,
         # where forward means src region id < dst region id.  0.5 = symmetric.
         self.forward_fraction = 0.5
+        # Chaos windows: while non-zero, deliveries gain uniform(0, spread)
+        # extra delay (reorder) / are delivered twice with probability p.
+        self.reorder_spread = 0.0
+        self.duplicate_probability = 0.0
         self._host_region: Dict[str, str] = {}
         self._handlers: Dict[str, Callable] = {}
         self._rtt_overrides: Dict[Tuple[str, str], float] = {}
         self._host_partitions: Set[Tuple[str, str]] = set()
         self._region_partitions: Set[Tuple[str, str]] = set()
         self._down_hosts: Set[str] = set()
+        # Incarnation counter per host, bumped on crash: a message addressed
+        # to incarnation k is undeliverable once the host is on k+1.
+        self._incarnation: Dict[str, int] = {}
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -123,6 +141,13 @@ class Network:
         self._host_partitions.discard((a, b))
         self._host_partitions.discard((b, a))
 
+    def partition_hosts_oneway(self, src: str, dst: str) -> None:
+        """Drop traffic from ``src`` to ``dst`` only (asymmetric partition)."""
+        self._host_partitions.add((src, dst))
+
+    def heal_hosts_oneway(self, src: str, dst: str) -> None:
+        self._host_partitions.discard((src, dst))
+
     def partition_regions(self, r1: str, r2: str) -> None:
         """Silently drop all traffic between two regions."""
         self._region_partitions.add((r1, r2))
@@ -132,16 +157,60 @@ class Network:
         self._region_partitions.discard((r1, r2))
         self._region_partitions.discard((r2, r1))
 
+    def partition_regions_oneway(self, src_region: str, dst_region: str) -> None:
+        """Drop traffic from ``src_region`` to ``dst_region`` only."""
+        self._region_partitions.add((src_region, dst_region))
+
+    def heal_regions_oneway(self, src_region: str, dst_region: str) -> None:
+        self._region_partitions.discard((src_region, dst_region))
+
     def crash_host(self, host: str) -> None:
-        """The host stops receiving messages (process crash)."""
+        """The host stops receiving messages (process crash).
+
+        Starts a new incarnation: messages already in flight to the old
+        incarnation are dropped even if they would arrive after a restart.
+        """
         self.region_of(host)  # validate
         self._down_hosts.add(host)
+        self._incarnation[host] = self._incarnation.get(host, 0) + 1
 
     def restart_host(self, host: str) -> None:
         self._down_hosts.discard(host)
 
     def is_down(self, host: str) -> bool:
         return host in self._down_hosts
+
+    # ------------------------------------------------------------------
+    # Chaos windows (reorder / duplication)
+    # ------------------------------------------------------------------
+    def open_reorder_window(self, spread: float, duration: Optional[float] = None) -> None:
+        """Add uniform(0, ``spread``) ms to every delivery, scrambling order.
+
+        With ``duration`` the window closes itself after that many virtual ms.
+        """
+        if spread < 0:
+            raise ConfigError("reorder spread must be non-negative")
+        if duration is not None and duration < 0:
+            raise ConfigError("reorder window duration must be non-negative")
+        self.reorder_spread = spread
+        if duration is not None:
+            self.sim.schedule(duration, self.close_reorder_window)
+
+    def close_reorder_window(self) -> None:
+        self.reorder_spread = 0.0
+
+    def open_duplicate_window(self, probability: float, duration: Optional[float] = None) -> None:
+        """Deliver each message twice with ``probability`` while open."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError("duplicate probability must be in [0, 1]")
+        if duration is not None and duration < 0:
+            raise ConfigError("duplicate window duration must be non-negative")
+        self.duplicate_probability = probability
+        if duration is not None:
+            self.sim.schedule(duration, self.close_duplicate_window)
+
+    def close_duplicate_window(self) -> None:
+        self.duplicate_probability = 0.0
 
     # ------------------------------------------------------------------
     # Delay model
@@ -187,15 +256,25 @@ class Network:
         ):
             self.stats.record_drop()
             return
-        delay = self.one_way_delay(src, dst)
-        self.stats.in_flight += 1
-        self.sim.schedule(delay, self._deliver, src, dst, payload)
+        self._schedule_delivery(src, dst, payload)
+        if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
+            self.stats.messages_duplicated += 1
+            self._schedule_delivery(src, dst, payload)
 
-    def _deliver(self, src: str, dst: str, payload: object) -> None:
+    def _schedule_delivery(self, src: str, dst: str, payload: object) -> None:
+        delay = self.one_way_delay(src, dst)
+        if self.reorder_spread:
+            delay += self._rng.uniform(0.0, self.reorder_spread)
+        self.stats.in_flight += 1
+        incarnation = self._incarnation.get(dst, 0)
+        self.sim.schedule(delay, self._deliver, src, dst, payload, incarnation)
+
+    def _deliver(self, src: str, dst: str, payload: object, incarnation: int = 0) -> None:
         self.stats.in_flight -= 1
         # Re-check at delivery time: the destination may have crashed or a
-        # partition may have formed while the message was in flight.
-        if self._blocked(src, dst):
+        # partition may have formed while the message was in flight — and a
+        # crash/restart cycle (new incarnation) voids stale pre-crash traffic.
+        if self._blocked(src, dst) or self._incarnation.get(dst, 0) != incarnation:
             self.stats.record_drop()
             return
         self.stats.record_receive(dst)

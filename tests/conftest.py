@@ -93,6 +93,21 @@ def submit_and_run(system, txn, client=None, node=None, until_extra=5000.0):
     return ev.value
 
 
+def inject_faults(system, *events, origin=None):
+    """Install a :class:`FaultPlan` built from ``(time, kind, kwargs)`` triples.
+
+    Returns the installed :class:`ChaosRunner`; each event's dispatch result
+    (e.g. the promoted manager for ``fail_manager``, the completion event for
+    ``readd_replica``) is available on ``runner.applied`` after it fires.
+    """
+    from repro.chaos import ChaosRunner, FaultPlan
+
+    plan = FaultPlan()
+    for time, kind, kwargs in events:
+        plan.add(time, kind, **kwargs)
+    return ChaosRunner(system, plan, origin=origin).install()
+
+
 @pytest.fixture
 def dast2():
     """Two regions, one shard each, 3x replicated, started."""

@@ -1,0 +1,123 @@
+"""Randomized chaos matrix: generated fault scenarios against DAST.
+
+Every generated scenario is *recoverable* by construction (partitions heal,
+windows close — see ``repro.chaos.generator``), so DAST must come out of
+each one serializable (``audit_dast_run(...).ok``) and with **zero** CRT
+conflict aborts (the paper's R2: cross-region conflicts never abort).
+
+On failure the test prints the seed plus a delta-debugged minimal
+reproducer, ready to pin as a regression (see
+``TestPinnedRegressions`` for the shape).
+"""
+
+import pytest
+
+from repro.chaos import FaultPlan, generate_plan, run_chaos_trial, shrink_plan
+
+# ≥10 seeded scenarios per the chaos-matrix contract; each seed yields a
+# different mix of crashes, failovers, partitions, drop bursts, latency
+# spikes, gray degradation, and clock-skew ramps.
+MATRIX_SEEDS = list(range(12))
+
+
+def _trial_seed(seed: int) -> int:
+    # Decouple the workload/network seed from the plan seed so the matrix
+    # varies both the fault mix and the traffic it lands on.
+    return 100 + seed
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("seed", MATRIX_SEEDS)
+    def test_generated_scenario_stays_serializable(self, seed):
+        plan = generate_plan(seed)
+        report = run_chaos_trial(plan, seed=_trial_seed(seed))
+        if not report.ok:
+            shrunk = shrink_plan(
+                plan,
+                lambda p: not run_chaos_trial(p, seed=_trial_seed(seed)).ok,
+                max_runs=32,
+            )
+            pytest.fail(
+                f"chaos seed={seed} failed the audit.\n"
+                f"minimal reproducer ({shrunk.runs} shrink runs):\n"
+                f"{shrunk.plan.timeline()}\n"
+                f"json: {shrunk.plan.to_json()}\n\n"
+                f"full report:\n{report.to_text()}"
+            )
+        assert report.audit is not None and report.audit.ok
+        assert report.conflict_aborts == []  # R2: no conflict-driven CRT aborts
+        assert report.committed > 0
+        assert report.faults_applied == len(plan.events)
+
+
+class TestPinnedRegressions:
+    def test_manager_failover_during_region_partition_then_heal(self):
+        """A manager fails over while its region is partitioned away; after
+        the heal the system must drain to a serializable state."""
+        plan = (
+            FaultPlan(name="failover-during-partition")
+            .add(800.0, "partition_regions", r1="r0", r2="r1")
+            .add(1000.0, "fail_manager", region="r1")
+            .add(1700.0, "heal_regions", r1="r0", r2="r1")
+        )
+        report = run_chaos_trial(plan, seed=7)
+        assert report.ok, report.to_text()
+        assert report.audit.ok
+        assert report.conflict_aborts == []
+        assert report.committed > 0
+
+    def test_abort_of_announced_crt_clears_nonparticipant_floors(self):
+        """Shrunk from fuzz seed 0 on the 2x2 TPC-C topology: a manager
+        failover followed by a participant-replica crash.  The crash removes
+        a node that was coordinating CRTs; aborting them must also clear the
+        announce floors on *non-participating* intra-region nodes, or their
+        frozen dclocks wedge the PCT watermark and later committed CRTs
+        never execute (partial execution -> replay divergence)."""
+        plan = (
+            FaultPlan(name="abort-floor-leak")
+            .add(1381.5, "fail_manager", region="r1")
+            .add(2061.8, "crash_node", host="r0.n5")
+        )
+        report = run_chaos_trial(plan, workload="tpcc", num_regions=2,
+                                 shards_per_region=2, clients_per_region=8,
+                                 duration_ms=6000.0, drain_ms=6000.0, seed=0)
+        assert report.ok, report.to_text()
+        assert report.conflict_aborts == []
+
+
+class TestDeterminism:
+    def test_same_plan_same_seed_byte_identical_reports(self):
+        plan = generate_plan(4)
+        first = run_chaos_trial(plan, seed=104)
+        second = run_chaos_trial(generate_plan(4), seed=104)
+        assert first.to_text() == second.to_text()
+        assert plan.timeline() == generate_plan(4).timeline()
+
+
+class TestShrinkerAcceptance:
+    def test_unrecoverable_scenario_shrinks_to_tiny_reproducer(self):
+        """An intentionally-broken plan (partition that never heals, buried
+        in benign noise) must shrink to a handful of events."""
+        broken = (
+            FaultPlan(name="broken")
+            .add(500.0, "set_jitter", jitter=10.0)
+            .add(600.0, "set_drop", probability=0.02)
+            .add(700.0, "partition_regions", r1="r0", r2="r1")  # never healed
+            .add(1100.0, "set_drop", probability=0.0)
+            .add(1200.0, "set_jitter", jitter=0.0)
+            .add(1400.0, "clock_skew", region="r1", delta=40.0)
+        )
+
+        def is_failing(plan):
+            report = run_chaos_trial(
+                plan, duration_ms=2000.0, drain_ms=4000.0,
+                clients_per_region=2, seed=5,
+            )
+            return not report.ok
+
+        assert is_failing(broken), "the broken scenario must actually fail"
+        result = shrink_plan(broken, is_failing, max_runs=32)
+        assert len(result.plan) <= 3
+        kinds = {e.kind for e in result.plan.events}
+        assert "partition_regions" in kinds
+        assert "heal_regions" not in kinds

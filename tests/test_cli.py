@@ -36,6 +36,13 @@ class TestParser:
         assert args.out is None and args.csv_dir is None
         assert args.interval == 50.0
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.system == "dast"
+        assert args.plan is None and args.fuzz == 0
+        assert args.shrink is True and args.shrink_budget == 48
+        assert args.drain_ms == 6000.0
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -82,3 +89,83 @@ class TestCommands:
         assert "phase breakdown" in out
         assert (tmp_path / "spans.csv").exists()
         assert (tmp_path / "probes.csv").exists()
+
+
+CHAOS_TRIAL = ["--workload", "tpca", "--regions", "2", "--shards-per-region", "1",
+               "--clients", "2", "--duration-ms", "2000", "--drain-ms", "4000"]
+
+
+class TestChaosCommand:
+    def test_emit_plan_writes_loadable_json(self, capsys, tmp_path):
+        from repro.chaos import FaultPlan, generate_plan
+
+        path = tmp_path / "plan.json"
+        code = main(["chaos", "--seed", "3", "--regions", "2",
+                     "--shards-per-region", "1", "--emit-plan", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote plan" in out
+        plan = FaultPlan.from_json(path.read_text())
+        expected = generate_plan(3, num_regions=2, shards_per_region=1)
+        assert plan.to_json() == expected.to_json()
+
+    def test_single_seed_scenario_passes(self, capsys, tmp_path):
+        out_path = tmp_path / "report.txt"
+        code = main(["chaos", "--seed", "3", "--out", str(out_path), *CHAOS_TRIAL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seed=3" in out and " OK" in out
+        assert out_path.read_text().endswith("verdict: OK\n")
+
+    def test_plan_file_scenario(self, capsys, tmp_path):
+        from repro.chaos import FaultPlan
+
+        path = tmp_path / "plan.json"
+        plan = (FaultPlan(name="cli")
+                .add(500.0, "set_jitter", jitter=5.0)
+                .add(900.0, "set_jitter", jitter=0.0))
+        path.write_text(plan.to_json())
+        code = main(["chaos", "--plan", str(path), *CHAOS_TRIAL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events=2 faults=2" in out
+
+    def test_fuzz_matrix_runs_each_seed(self, capsys):
+        code = main(["chaos", "--fuzz", "2", "--seed", "3", *CHAOS_TRIAL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seed=3" in out and "seed=4" in out
+
+    def test_same_seed_byte_identical_output(self, capsys, tmp_path):
+        """Acceptance: ``repro chaos --seed S`` twice emits byte-identical
+        fault timelines and audit reports."""
+        outputs, files = [], []
+        for i in range(2):
+            path = tmp_path / f"report{i}.txt"
+            code = main(["chaos", "--seed", "5", "--out", str(path), *CHAOS_TRIAL])
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs.append(out.replace(str(path), "<out>"))
+            files.append(path.read_text())
+        assert outputs[0] == outputs[1]
+        assert files[0] == files[1]
+
+    def test_failing_plan_shrinks_and_reports(self, capsys, tmp_path):
+        from repro.chaos import FaultPlan
+
+        plan_path = tmp_path / "broken.json"
+        shrunk_path = tmp_path / "shrunk.json"
+        broken = (FaultPlan(name="broken")
+                  .add(500.0, "set_jitter", jitter=10.0)
+                  .add(700.0, "partition_regions", r1="r0", r2="r1")
+                  .add(1200.0, "set_jitter", jitter=0.0))
+        plan_path.write_text(broken.to_json())
+        code = main(["chaos", "--plan", str(plan_path), "--seed", "5",
+                     "--shrink-budget", "16", "--shrunk-out", str(shrunk_path),
+                     *CHAOS_TRIAL])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "shrunk to" in out
+        shrunk = FaultPlan.from_json(shrunk_path.read_text())
+        assert {e.kind for e in shrunk.events} <= {e.kind for e in broken.events}
+        assert "partition_regions" in {e.kind for e in shrunk.events}

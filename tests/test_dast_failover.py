@@ -1,16 +1,27 @@
 """Fault-tolerance tests: Algorithm 3 (node removal), Algorithm 4 (replica
-re-add), and manager takeover (§4.4)."""
+re-add), and manager takeover (§4.4).
+
+Fault sequences are expressed as declarative :class:`FaultPlan` schedules
+(``tests.conftest.inject_faults``) compiled onto simulator timers; each
+event's dispatch result (promoted manager, re-add completion event) is
+read back from ``runner.applied``.
+"""
 
 import pytest
 
 from repro.core.records import TxnStatus
 from repro.txn.model import Transaction
-from tests.conftest import kv_set, make_dast, submit_and_run
+from tests.conftest import inject_faults, kv_set, make_dast, submit_and_run
+
+
+def applied_result(runner, index=0):
+    """The dispatch result of the ``index``-th fired fault event."""
+    return runner.applied[index][2]
 
 
 class TestNodeRemoval:
     def test_availability_with_one_replica_down(self, dast2):
-        dast2.crash_node("r0.n1")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n1"}))
         dast2.run(until=dast2.sim.now + 200.0)
         result = submit_and_run(dast2, Transaction("w", [kv_set(0, 1, 5)]))
         assert result.committed
@@ -19,7 +30,7 @@ class TestNodeRemoval:
             assert dast2.nodes[host].shard.get("kv", ("s0-1",))["v"] == 5
 
     def test_view_change_removes_node_from_membership(self, dast2):
-        dast2.crash_node("r0.n1")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n1"}))
         dast2.run(until=dast2.sim.now + 500.0)
         for host in ("r0.n0", "r0.n2"):
             node = dast2.nodes[host]
@@ -31,7 +42,6 @@ class TestNodeRemoval:
 
     def test_orphaned_irt_committed_on_failover(self, dast2):
         """An IRT prepared at >=1 node whose coordinator dies must commit."""
-        coordinator = dast2.nodes["r0.n0"]
         txn = Transaction("w", [kv_set(0, 2, 9)])
         dast2.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
         dast2.run(until=dast2.sim.now + 6.0)  # prepare delivered, commit not yet
@@ -41,7 +51,7 @@ class TestNodeRemoval:
             if txn.txn_id in dast2.nodes[h].records
         ]
         assert TxnStatus.PREPARED in statuses
-        dast2.crash_node("r0.n0")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n0"}))
         dast2.run(until=dast2.sim.now + 1000.0)
         for host in ("r0.n1", "r0.n2"):
             rec = dast2.nodes[host].records[txn.txn_id]
@@ -54,7 +64,7 @@ class TestNodeRemoval:
         dast2.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
         dast2.run(until=dast2.sim.now + 70.0)  # prep-crt landed, commit not sent
         assert txn.txn_id in dast2.nodes["r1.n0"].wait_q
-        dast2.crash_node("r0.n0")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n0"}))
         dast2.run(until=dast2.sim.now + 2000.0)
         for host in ("r0.n1", "r0.n2", "r1.n0", "r1.n1", "r1.n2"):
             node = dast2.nodes[host]
@@ -74,19 +84,21 @@ class TestNodeRemoval:
         ev = dast2.submit("r0.c0", "r0.n0", txn, timeout=60000.0)
         ev.add_callback(lambda e: results.append(e))
         # Let the commit decision reach the home-region replicas (the
-        # commit-log replication is local and fast), then crash.
+        # commit-log replication is local and fast), then crash.  The crash
+        # is scheduled up front; the crt_log entry is frozen by it, so the
+        # skip-check below reads the same answer before or after.
+        inject_faults(dast2, (115.0, "crash_node", {"host": "r0.n0"}))
         dast2.run(until=dast2.sim.now + 115.0)
         entry = dast2.nodes["r0.n1"].crt_log.get(txn.txn_id)
         if entry is None or entry["commit_ts"] is None:
             pytest.skip("commit decision did not land before the crash window")
-        dast2.crash_node("r0.n0")
         dast2.run(until=dast2.sim.now + 3000.0)
         for host in ("r0.n1", "r0.n2"):
             rec = dast2.nodes[host].records[txn.txn_id]
             assert rec.status == TxnStatus.EXECUTED
 
     def test_transactions_continue_after_failover(self, dast2):
-        dast2.crash_node("r0.n2")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n2"}))
         dast2.run(until=dast2.sim.now + 500.0)
         for i in range(3):
             result = submit_and_run(dast2, Transaction("w", [kv_set(0, i, i)]))
@@ -98,15 +110,16 @@ class TestNodeRemoval:
 class TestManagerFailover:
     def test_standby_takes_over(self, dast2):
         submit_and_run(dast2, Transaction("w", [kv_set(0, 0, 1)]))
-        new_mgr = dast2.fail_manager("r1")
+        runner = inject_faults(dast2, (0.0, "fail_manager", {"region": "r1"}))
         dast2.run(until=dast2.sim.now + 500.0)
+        new_mgr = applied_result(runner)
         assert new_mgr.active
         assert dast2.manager_directory["r1"] == new_mgr.host
         for host in ("r1.n0", "r1.n1", "r1.n2"):
             assert dast2.nodes[host].manager == new_mgr.host
 
     def test_crts_work_after_manager_failover(self, dast2):
-        dast2.fail_manager("r1")
+        inject_faults(dast2, (0.0, "fail_manager", {"region": "r1"}))
         dast2.run(until=dast2.sim.now + 500.0)
         txn = Transaction("crt", [kv_set(0, 6, 3), kv_set(1, 6, 4, piece_index=1)])
         result = submit_and_run(dast2, txn)
@@ -119,15 +132,16 @@ class TestManagerFailover:
             submit_and_run(dast2, Transaction("w", [kv_set(1, i, i)],),
                            client="r1.c0", node="r1.n0")
         peak = max(dast2.nodes[h].dclock.peek() for h in ("r1.n0", "r1.n1", "r1.n2"))
-        new_mgr = dast2.fail_manager("r1")
+        runner = inject_faults(dast2, (0.0, "fail_manager", {"region": "r1"}))
         dast2.run(until=dast2.sim.now + 500.0)
+        new_mgr = applied_result(runner)
         assert new_mgr.dclock.peek() >= peak
 
     def test_smr_backed_takeover(self):
         system = make_dast(regions=2, spr=1, with_smr=True)
         system.start()
         submit_and_run(system, Transaction("w", [kv_set(0, 0, 1)]))
-        system.fail_manager("r0")
+        inject_faults(system, (0.0, "fail_manager", {"region": "r0"}))
         system.run(until=system.sim.now + 1000.0)
         # The view record landed in the region's SMR service.
         leader = system.smr_clusters["r0"].leader
@@ -138,8 +152,11 @@ class TestReplicaRecovery:
     def test_add_replica_installs_checkpoint(self, dast2):
         for i in range(3):
             submit_and_run(dast2, Transaction("w", [kv_set(0, i, i + 1)]))
-        event = dast2.add_replica("r0", "r0.n9", "s0")
+        runner = inject_faults(
+            dast2, (0.0, "readd_replica", {"region": "r0", "host": "r0.n9", "shard": "s0"})
+        )
         dast2.run(until=dast2.sim.now + 2000.0)
+        event = applied_result(runner)
         assert event.triggered and event.ok, getattr(event, "exception", None)
         new_node = dast2.nodes["r0.n9"]
         donor = dast2.nodes["r0.n0"]
@@ -147,15 +164,20 @@ class TestReplicaRecovery:
         assert "r0.n9" in dast2.catalog.replicas_of("s0")
 
     def test_new_replica_executes_subsequent_txns(self, dast2):
-        dast2.add_replica("r0", "r0.n9", "s0")
+        inject_faults(
+            dast2, (0.0, "readd_replica", {"region": "r0", "host": "r0.n9", "shard": "s0"})
+        )
         dast2.run(until=dast2.sim.now + 2000.0)
         submit_and_run(dast2, Transaction("w", [kv_set(0, 7, 99)]))
         dast2.run(until=dast2.sim.now + 500.0)
         assert dast2.nodes["r0.n9"].shard.get("kv", ("s0-7",))["v"] == 99
 
     def test_new_replica_clock_past_install_point(self, dast2):
-        event = dast2.add_replica("r0", "r0.n9", "s0")
+        runner = inject_faults(
+            dast2, (0.0, "readd_replica", {"region": "r0", "host": "r0.n9", "shard": "s0"})
+        )
         dast2.run(until=dast2.sim.now + 2000.0)
+        event = applied_result(runner)
         ts_ins = event.value["ts_ins"]
         assert dast2.nodes["r0.n9"].dclock.peek() >= ts_ins
 
@@ -175,8 +197,11 @@ class TestReplicaRecovery:
         recorder = LatencyRecorder()
         system.start()
         clients = spawn_clients(system, workload, recorder.record)
-        system.run(until=1500.0)
-        system.add_replica("r0", "r0.n9", "s0")
+        inject_faults(
+            system,
+            (1500.0, "readd_replica", {"region": "r0", "host": "r0.n9", "shard": "s0"}),
+            origin=0.0,
+        )
         system.run(until=4000.0)
         for client in clients:
             client.stop()
@@ -193,10 +218,12 @@ class TestReplicaRecovery:
 
     def test_crash_then_readd_cycle(self, dast2):
         submit_and_run(dast2, Transaction("w", [kv_set(0, 1, 5)]))
-        dast2.crash_node("r0.n2")
+        inject_faults(dast2, (0.0, "crash_node", {"host": "r0.n2"}))
         dast2.run(until=dast2.sim.now + 500.0)
         submit_and_run(dast2, Transaction("w", [kv_set(0, 1, 6)]))
-        dast2.add_replica("r0", "r0.n2b", "s0")
+        inject_faults(
+            dast2, (0.0, "readd_replica", {"region": "r0", "host": "r0.n2b", "shard": "s0"})
+        )
         dast2.run(until=dast2.sim.now + 2000.0)
         submit_and_run(dast2, Transaction("w", [kv_set(0, 1, 7)]))
         dast2.run(until=dast2.sim.now + 500.0)
@@ -213,8 +240,7 @@ class TestFailureDetector:
         system.start()
         system.run(until=300.0)
         # Crash without reporting: the heartbeat detector must notice.
-        system.network.crash_host("r0.n1")
-        system.nodes["r0.n1"].stop()
+        inject_faults(system, (0.0, "crash_node", {"host": "r0.n1", "report": False}))
         system.run(until=system.sim.now + 1500.0)
         assert "r0.n1" in system.managers["r0"].removed
         assert "r0.n1" not in system.nodes["r0.n0"].members
@@ -239,13 +265,14 @@ class TestCascadingFailures:
     def test_two_simultaneous_node_crashes_one_reported(self, dast2):
         """Algorithm 3's line-18 path: if a remaining node times out during
         the removal 2PC, it gets suspected and removed in turn."""
-        dast2.network.crash_host("r0.n1")
-        dast2.nodes["r0.n1"].stop()
-        dast2.network.crash_host("r0.n2")
-        dast2.nodes["r0.n2"].stop()
-        # Only n1 is reported; the manager discovers n2 via its timeout.
-        mgr = dast2.managers["r0"]
-        dast2.sim.spawn(mgr.remove_nodes(["r0.n1"]))
+        # Both nodes die silently; only n1 is reported — the manager
+        # discovers n2 via its timeout.  Same-instant events fire FIFO.
+        inject_faults(
+            dast2,
+            (0.0, "crash_node", {"host": "r0.n1", "report": False}),
+            (0.0, "crash_node", {"host": "r0.n2", "report": False}),
+            (0.0, "report_failure", {"region": "r0", "hosts": ["r0.n1"]}),
+        )
         dast2.run(until=dast2.sim.now + 2000.0)
         survivor = dast2.nodes["r0.n0"]
         assert "r0.n1" in survivor.removed and "r0.n2" in survivor.removed
@@ -257,10 +284,12 @@ class TestCascadingFailures:
         assert survivor.shard.get("kv", ("s0-1",))["v"] == 3
 
     def test_sequential_crashes_across_regions(self, dast2):
-        dast2.crash_node("r0.n2")
-        dast2.run(until=dast2.sim.now + 400.0)
-        dast2.crash_node("r1.n2")
-        dast2.run(until=dast2.sim.now + 400.0)
+        inject_faults(
+            dast2,
+            (0.0, "crash_node", {"host": "r0.n2"}),
+            (400.0, "crash_node", {"host": "r1.n2"}),
+        )
+        dast2.run(until=dast2.sim.now + 800.0)
         crt = Transaction("crt", [kv_set(0, 7, 1), kv_set(1, 7, 2, piece_index=1)])
         result = submit_and_run(dast2, crt)
         assert result.committed

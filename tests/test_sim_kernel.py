@@ -283,3 +283,21 @@ class TestEvery:
             sim.every(0.0, lambda: None)
         with pytest.raises(SimulationError):
             sim.every(-1.0, lambda: None)
+
+
+class TestScheduleAt:
+    def test_schedule_at_fires_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: sim.schedule_at(20.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [20.0]
+
+    def test_schedule_at_past_time_fires_immediately(self, sim):
+        seen = []
+
+        def late():
+            sim.schedule_at(3.0, lambda: seen.append(sim.now))  # already past
+
+        sim.schedule(10.0, late)
+        sim.run()
+        assert seen == [10.0]

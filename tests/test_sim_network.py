@@ -182,3 +182,117 @@ class TestInFlightGauge:
         network.send("r0.a", "r1.c", "x")
         sim.run()
         assert network.stats.in_flight == 0
+
+
+class TestFaultWindows:
+    def test_reorder_window_scrambles_order_without_loss(self, net):
+        sim, network, inboxes = net
+        network.open_reorder_window(spread=80.0)
+        for i in range(30):
+            network.send("r0.a", "r1.c", i)
+        sim.run()
+        payloads = [p for _t, _s, p in inboxes["r1.c"]]
+        assert payloads != list(range(30))  # some pair arrived out of order
+        assert sorted(payloads) == list(range(30))  # nothing lost or duplicated
+
+    def test_close_reorder_window_restores_fifo(self, net):
+        sim, network, inboxes = net
+        network.open_reorder_window(spread=80.0)
+        network.close_reorder_window()
+        for i in range(20):
+            network.send("r0.a", "r1.c", i)
+        sim.run()
+        assert [p for _t, _s, p in inboxes["r1.c"]] == list(range(20))
+
+    def test_reorder_window_expires_after_duration(self, net):
+        sim, network, inboxes = net
+        network.open_reorder_window(spread=80.0, duration=10.0)
+        sim.run(until=10.0)
+        assert network.reorder_spread == 0.0
+        for i in range(20):
+            network.send("r0.a", "r1.c", i)
+        sim.run()
+        assert [p for _t, _s, p in inboxes["r1.c"]] == list(range(20))
+
+    def test_duplicate_window_delivers_twice(self, net):
+        sim, network, inboxes = net
+        network.open_duplicate_window(probability=1.0)
+        for i in range(10):
+            network.send("r0.a", "r0.b", i)
+        sim.run()
+        payloads = sorted(p for _t, _s, p in inboxes["r0.b"])
+        assert payloads == sorted(list(range(10)) * 2)
+        assert network.stats.messages_duplicated == 10
+
+    def test_duplicate_window_expires_after_duration(self, net):
+        sim, network, inboxes = net
+        network.open_duplicate_window(probability=1.0, duration=5.0)
+        sim.run(until=5.0)
+        assert network.duplicate_probability == 0.0
+        network.send("r0.a", "r0.b", "x")
+        sim.run()
+        assert len(inboxes["r0.b"]) == 1
+
+    def test_window_validation(self, net):
+        _sim, network, _ = net
+        with pytest.raises(ConfigError):
+            network.open_reorder_window(spread=-1.0)
+        with pytest.raises(ConfigError):
+            network.open_reorder_window(spread=5.0, duration=-1.0)
+        with pytest.raises(ConfigError):
+            network.open_duplicate_window(probability=1.5)
+        with pytest.raises(ConfigError):
+            network.open_duplicate_window(probability=0.5, duration=-2.0)
+
+
+class TestCrashRestartSemantics:
+    def test_mid_flight_crash_drops_delivery(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "x")  # would arrive at t=50
+        sim.schedule(10.0, network.crash_host, "r1.c")
+        sim.run()
+        assert inboxes["r1.c"] == []
+        assert network.stats.messages_dropped == 1
+
+    def test_restart_does_not_deliver_stale_pre_crash_traffic(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "stale")  # would arrive at t=50
+        sim.schedule(10.0, network.crash_host, "r1.c")
+        sim.schedule(20.0, network.restart_host, "r1.c")
+        sim.schedule(30.0, network.send, "r0.a", "r1.c", "fresh")
+        sim.run()
+        # Only the post-restart message arrives: the crash started a new
+        # incarnation and voided everything addressed to the old one.
+        assert [p for _t, _s, p in inboxes["r1.c"]] == ["fresh"]
+
+    def test_mid_flight_oneway_host_partition_drops_that_direction(self, net):
+        sim, network, inboxes = net
+        network.send("r0.a", "r1.c", "ab")   # in flight a -> c
+        network.send("r1.c", "r0.a", "ba")   # in flight c -> a
+        sim.schedule(10.0, network.partition_hosts_oneway, "r0.a", "r1.c")
+        sim.run()
+        assert inboxes["r1.c"] == []                     # blocked direction
+        assert [p for _t, _s, p in inboxes["r0.a"]] == ["ba"]  # reverse flows
+
+    def test_oneway_region_partition_blocks_single_direction(self, net):
+        sim, network, inboxes = net
+        network.partition_regions_oneway("r0", "r1")
+        network.send("r0.a", "r1.c", "blocked")
+        network.send("r1.c", "r0.a", "passes")
+        sim.run()
+        assert inboxes["r1.c"] == []
+        assert [p for _t, _s, p in inboxes["r0.a"]] == ["passes"]
+        network.heal_regions_oneway("r0", "r1")
+        network.send("r0.a", "r1.c", "after-heal")
+        sim.run()
+        assert [p for _t, _s, p in inboxes["r1.c"]] == ["after-heal"]
+
+    def test_oneway_host_heal_restores(self, net):
+        sim, network, inboxes = net
+        network.partition_hosts_oneway("r0.a", "r0.b")
+        network.send("r0.a", "r0.b", "lost")
+        sim.run()
+        network.heal_hosts_oneway("r0.a", "r0.b")
+        network.send("r0.a", "r0.b", "ok")
+        sim.run()
+        assert [p for _t, _s, p in inboxes["r0.b"]] == ["ok"]

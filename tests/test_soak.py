@@ -4,12 +4,18 @@ A single mixed scenario combining the paper's §6.3/§6.4 conditions: TPC-C
 traffic with message drops and RTT jitter, a node crash + Algorithm 3
 failover, a manager takeover, clock skew injected mid-run, and a replica
 re-added — followed by the full one-copy-serializability audit.
+
+The fault sequence is expressed as a declarative :class:`FaultPlan`
+(see ``repro.chaos``) compiled onto simulator timers, rather than
+interleaved ``run()``/inject calls — the schedule below is the same one
+the old imperative version produced.
 """
 
 import pytest
 
 from repro.bench.auditor import audit_dast_run
 from repro.bench.metrics import LatencyRecorder
+from repro.chaos import ChaosRunner, FaultPlan
 from repro.config import TimingConfig
 from repro.core.records import TxnStatus
 from repro.workloads.client import spawn_clients
@@ -34,22 +40,20 @@ class TestSoak:
         clients = spawn_clients(system, workload, recorder.record,
                                 request_timeout=2000.0)
 
-        # Phase 1: warm-up traffic.
-        system.run(until=1500.0)
-        # Phase 2: a data node dies; Algorithm 3 removes it.
-        system.crash_node("r0.n1")
-        system.run(until=3000.0)
-        # Phase 3: region 1's manager dies; the standby takes over.
-        system.fail_manager("r1")
-        system.run(until=4500.0)
-        # Phase 4: region 1's surviving clocks get skewed +100 ms.
-        for host, source in system.clock_sources.items():
-            if host.startswith("r1."):
-                source.adjust(100.0)
-        system.run(until=6000.0)
-        # Phase 5: a fresh replica replaces the dead one.
-        system.add_replica("r0", "r0.n1b", "s0")
+        # Phase 1 is warm-up traffic; then a data node dies (Algorithm 3
+        # removes it), region 1's manager dies (standby takes over), region
+        # 1's surviving clocks get skewed +100 ms, and a fresh replica
+        # replaces the dead node.
+        plan = (
+            FaultPlan()
+            .add(1500.0, "crash_node", host="r0.n1")
+            .add(3000.0, "fail_manager", region="r1")
+            .add(4500.0, "clock_skew", region="r1", delta=100.0)
+            .add(6000.0, "readd_replica", region="r0", host="r0.n1b", shard="s0")
+        )
+        runner = ChaosRunner(system, plan, origin=0.0).install()
         system.run(until=8000.0)
+        assert len(runner.applied) == 4
 
         # Drain and audit.
         for client in clients:
@@ -76,8 +80,11 @@ class TestSoak:
             if not result.committed:
                 assert result.abort_reason in ("invalid item", "")
 
-        # No queue residue anywhere (full quiescence).
+        # No queue residue on any live node (full quiescence).  The crashed
+        # node's queues are frozen at crash time, not stuck.
         for node in system.nodes.values():
+            if not node._running:
+                continue
             leftover = [
                 rec for rec in node.ready_q.records()
                 if rec.status not in (TxnStatus.EXECUTED, TxnStatus.ABORTED)
