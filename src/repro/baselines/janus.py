@@ -38,6 +38,14 @@ from repro.txn.executor import execute_on_shard
 from repro.txn.model import Transaction
 from repro.txn.result import TxnResult
 from repro.util import Stats
+from repro.wire.messages import (
+    ExecDone,
+    JanusAccept,
+    JanusCommit,
+    JanusPreaccept,
+    SendOutput,
+    Submit,
+)
 
 __all__ = ["JanusSystem", "JanusNode"]
 
@@ -82,6 +90,7 @@ class JanusNode:
         self.endpoint = Endpoint(
             self.sim, system.network, host, self.region,
             service_time=self.timing.service_time,
+            batch_window=self.timing.batch_window,
         )
         self.records: Dict[str, _JanusRec] = {}
         self.executed_ids: Set[str] = set()
@@ -111,14 +120,14 @@ class JanusNode:
     # ------------------------------------------------------------------
     # Replica protocol
     # ------------------------------------------------------------------
-    def on_preaccept(self, src: str, payload: dict):
-        txn: Transaction = payload["txn"]
+    def on_preaccept(self, src: str, payload: JanusPreaccept):
+        txn: Transaction = payload.txn
         if txn.txn_id in self.executed_ids:
             return {"deps": {}, "node": self.host}
         rec = self.records.get(txn.txn_id)
         if rec is None or rec.status == "stub":
             stashed = rec.inputs if rec is not None else {}
-            rec = _JanusRec(txn, payload["coord"])
+            rec = _JanusRec(txn, payload.coord)
             rec.inputs.update(stashed)
             self.records[txn.txn_id] = rec
             deps: Dict[str, Tuple] = {}
@@ -135,28 +144,28 @@ class JanusNode:
             rec.deps = deps
         return {"deps": rec.deps, "node": self.host}
 
-    def on_accept(self, src: str, payload: dict):
-        rec = self.records.get(payload["txn_id"])
+    def on_accept(self, src: str, payload: JanusAccept):
+        rec = self.records.get(payload.txn_id)
         if rec is not None and rec.status == _JanusRec.PREACCEPTED:
-            rec.deps = payload["deps"]
+            rec.deps = payload.deps
             rec.status = _JanusRec.ACCEPTED
         return {"ok": True}
 
-    def on_commit(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
+    def on_commit(self, src: str, payload: JanusCommit):
+        txn_id = payload.txn_id
         if txn_id in self.executed_ids:
             return {"ok": True}
         rec = self.records.get(txn_id)
         if rec is None or rec.status == "stub":
             stashed = rec.inputs if rec is not None else {}
-            rec = _JanusRec(payload["txn"], payload["coord"])
+            rec = _JanusRec(payload.txn, payload.coord)
             rec.inputs.update(stashed)
             self.records[txn_id] = rec
             for key in rec.txn.lock_keys_on(self.shard_id):
                 self.key_last.setdefault(key, []).append(txn_id)
         if rec.status in (_JanusRec.COMMITTED, _JanusRec.EXECUTED):
             return {"ok": True}
-        rec.deps = payload["deps"]
+        rec.deps = payload.deps
         rec.status = _JanusRec.COMMITTED
         rec.relevant_deps = {
             dep_id
@@ -268,8 +277,9 @@ class JanusNode:
         for consumer, values in pushes.items():
             for node in self.system.catalog.replicas_of(consumer):
                 if node != self.host:
-                    self.endpoint.send(node, "send_output",
-                                       {"txn_id": rec.txn.txn_id, "values": values})
+                    self.endpoint.send(
+                        node, SendOutput(txn_id=rec.txn.txn_id, values=values)
+                    )
         rec.pieces_left -= 1
         if rec.pieces_left == 0:
             self._finish_execution(rec)
@@ -286,11 +296,11 @@ class JanusNode:
                 entries.remove(txn.txn_id)
                 if not entries:
                     del self.key_last[key]
-        self.endpoint.send(rec.coord, "exec_done", {
-            "txn_id": txn.txn_id, "shard": self.shard_id,
-            "outputs": rec.outputs, "aborted": rec.aborted,
-            "reason": rec.abort_reason,
-        })
+        self.endpoint.send(rec.coord, ExecDone(
+            txn_id=txn.txn_id, shard=self.shard_id,
+            outputs=rec.outputs, aborted=rec.aborted,
+            reason=rec.abort_reason,
+        ))
         self.records.pop(txn.txn_id, None)
         self._enqueued.discard(txn.txn_id)
         self._input_waiters.pop(txn.txn_id, None)
@@ -302,8 +312,8 @@ class JanusNode:
             if not event.triggered:
                 event.succeed(None)
 
-    def on_send_output(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_send_output(self, src: str, payload: SendOutput) -> None:
+        txn_id = payload.txn_id
         if txn_id in self.executed_ids:
             return
         rec = self.records.get(txn_id)
@@ -316,14 +326,15 @@ class JanusNode:
             rec.inputs = {}
             rec.relevant_deps = set()
             self.records[txn_id] = rec
-        for var, value in payload["values"].items():
+        for var, value in payload.values.items():
             rec.inputs.setdefault(var, value)
         self._wake_waiters(txn_id)
 
     # ------------------------------------------------------------------
     # Coordinator role
     # ------------------------------------------------------------------
-    def on_submit(self, src: str, txn: Transaction):
+    def on_submit(self, src: str, payload: Submit):
+        txn = payload.txn
         catalog = self.system.catalog
         txn.home_region = self.region
         regions = sorted({catalog.region_of_shard(s) for s in txn.shard_ids})
@@ -348,8 +359,8 @@ class JanusNode:
         for shard_id in txn.shard_ids:
             for replica in catalog.replicas_of(shard_id):
                 self.endpoint.call(
-                    replica, "janus_preaccept",
-                    {"txn": txn, "coord": self.host}, timeout=timeout,
+                    replica, JanusPreaccept(txn=txn, coord=self.host),
+                    timeout=timeout,
                 ).add_callback(on_reply(shard_id))
         yield quorum_ev
         fast = True
@@ -368,8 +379,8 @@ class JanusNode:
             for shard_id in txn.shard_ids:
                 for replica in catalog.replicas_of(shard_id):
                     accept_events.append(self.endpoint.call(
-                        replica, "janus_accept",
-                        {"txn_id": txn.txn_id, "deps": union}, timeout=timeout,
+                        replica, JanusAccept(txn_id=txn.txn_id, deps=union),
+                        timeout=timeout,
                     ))
             # Majority per shard; waiting for all-of a majority subset is
             # approximated by waiting for ceil(half) of all accept acks.
@@ -391,9 +402,9 @@ class JanusNode:
         for shard_id in txn.shard_ids:
             for replica in catalog.replicas_of(shard_id):
                 self.endpoint.call(
-                    replica, "janus_commit",
-                    {"txn_id": txn.txn_id, "txn": txn, "coord": self.host,
-                     "deps": union},
+                    replica,
+                    JanusCommit(txn_id=txn.txn_id, txn=txn, coord=self.host,
+                                deps=union),
                     timeout=timeout,
                 )
         yield done
@@ -401,17 +412,17 @@ class JanusNode:
         outputs: Dict[str, object] = {}
         aborted, reason = False, ""
         for report in state["reports"].values():
-            outputs.update(report["outputs"])
-            if report["aborted"]:
-                aborted, reason = True, report["reason"]
+            outputs.update(report.outputs)
+            if report.aborted:
+                aborted, reason = True, report.reason
         return TxnResult(txn.txn_id, txn.txn_type, not aborted, is_crt,
                          outputs=outputs, abort_reason=reason)
 
-    def on_exec_done(self, src: str, payload: dict) -> None:
-        state = self.coordinating.get(payload["txn_id"])
+    def on_exec_done(self, src: str, payload: ExecDone) -> None:
+        state = self.coordinating.get(payload.txn_id)
         if state is None:
             return
-        state["reports"].setdefault(payload["shard"], payload)
+        state["reports"].setdefault(payload.shard, payload)
         if set(state["reports"]) >= state["shards"] and not state["done"].triggered:
             state["done"].succeed(None)
 

@@ -35,6 +35,16 @@ from repro.txn.executor import execute_on_shard
 from repro.txn.model import Transaction
 from repro.txn.result import TxnResult
 from repro.util import Stats
+from repro.wire.messages import (
+    ExecDone,
+    RaftAppend,
+    SendOutput,
+    SlogGlobalBatch,
+    SlogGlobalSubmit,
+    SlogLog,
+    SlogSubmit,
+    Submit,
+)
 
 __all__ = ["SlogSystem", "SlogNode", "SlogSequencer", "SlogGlobalOrderer"]
 
@@ -52,6 +62,7 @@ class SlogGlobalOrderer:
         self.endpoint = Endpoint(
             self.sim, system.network, self.host, GLOBAL_REGION,
             service_time=system.timing.service_time,
+            batch_window=system.timing.batch_window,
         )
         self._follower_eps = [
             Endpoint(self.sim, system.network, h, GLOBAL_REGION,
@@ -60,7 +71,7 @@ class SlogGlobalOrderer:
         ]
         for ep in self._follower_eps:
             ep.register("raft_append", lambda src, p: {"ok": True})
-        self.batch: List[dict] = []
+        self.batch: List[SlogGlobalSubmit] = []
         self.next_seq = 0
         self.stats = Stats()
         self._running = False
@@ -73,7 +84,7 @@ class SlogGlobalOrderer:
     def stop(self) -> None:
         self._running = False
 
-    def on_submit(self, src: str, payload: dict) -> None:
+    def on_submit(self, src: str, payload: SlogGlobalSubmit) -> None:
         self.batch.append(payload)
         self.stats.inc("global_submits")
 
@@ -85,7 +96,7 @@ class SlogGlobalOrderer:
                 continue
             batch, self.batch = self.batch, []
             for entry in batch:
-                entry["seq"] = self.next_seq
+                entry.seq = self.next_seq
                 self.next_seq += 1
             # Raft-style durability: majority ack from followers.  Under
             # heavy dispatch load the leader's own CPU backlog delays the
@@ -94,7 +105,7 @@ class SlogGlobalOrderer:
             # latency collapse rather than a halt.
             while True:
                 acks = [
-                    self.endpoint.call(f, "raft_append", {"n": len(batch)}, timeout=100.0)
+                    self.endpoint.call(f, RaftAppend(n=len(batch)), timeout=100.0)
                     for f in self.followers
                 ]
                 try:
@@ -110,8 +121,7 @@ class SlogGlobalOrderer:
             )
             for region in regions:
                 self.endpoint.send(
-                    self.system.sequencers[region].host, "slog_global_batch",
-                    {"entries": batch},
+                    self.system.sequencers[region].host, SlogGlobalBatch(entries=batch)
                 )
             self.stats.inc("batches")
             self.stats.inc("global_ordered", len(batch))
@@ -128,25 +138,27 @@ class SlogSequencer:
         self.endpoint = Endpoint(
             self.sim, system.network, self.host, region,
             service_time=system.timing.service_time,
+            batch_window=system.timing.batch_window,
         )
         self.log_index = 0
         self.stats = Stats()
         self.endpoint.register("slog_submit", self.on_submit)
         self.endpoint.register("slog_global_batch", self.on_global_batch)
 
-    def on_submit(self, src: str, payload: dict) -> None:
-        txn: Transaction = payload["txn"]
+    def on_submit(self, src: str, payload: SlogSubmit) -> None:
+        txn: Transaction = payload.txn
         regions = {self.system.catalog.region_of_shard(s) for s in txn.shard_ids}
         if regions == {self.region}:
             self._append(payload)  # single-home: regional order suffices
         else:
             self.endpoint.send(
-                self.system.orderer.host, "slog_global_submit", payload
+                self.system.orderer.host,
+                SlogGlobalSubmit(txn=payload.txn, coord=payload.coord),
             )
 
-    def on_global_batch(self, src: str, payload: dict) -> None:
-        for entry in payload["entries"]:
-            txn: Transaction = entry["txn"]
+    def on_global_batch(self, src: str, payload: SlogGlobalBatch) -> None:
+        for entry in payload.entries:
+            txn: Transaction = entry.txn
             touches_me = any(
                 self.system.catalog.region_of_shard(s) == self.region
                 for s in txn.shard_ids
@@ -155,12 +167,12 @@ class SlogSequencer:
                 self._append(entry)
             self.stats.inc("global_entries_seen")
 
-    def _append(self, entry: dict) -> None:
+    def _append(self, entry) -> None:
         index = self.log_index
         self.log_index += 1
-        msg = {"index": index, "txn": entry["txn"], "coord": entry["coord"]}
+        msg = SlogLog(index=index, txn=entry.txn, coord=entry.coord)
         for node in self.system.topology.nodes_in_region(self.region):
-            self.endpoint.send(node, "slog_log", msg)
+            self.endpoint.send(node, msg)
         self.stats.inc("appended")
 
 
@@ -178,10 +190,11 @@ class SlogNode:
         self.endpoint = Endpoint(
             self.sim, system.network, host, self.region,
             service_time=self.timing.service_time,
+            batch_window=self.timing.batch_window,
         )
         self.locks = LockManager(self.sim)
         self.next_index = 0
-        self._pending_log: Dict[int, dict] = {}
+        self._pending_log: Dict[int, SlogLog] = {}
         self._inputs: Dict[str, Dict[str, object]] = {}
         self._input_events: Dict[str, object] = {}
         self.coordinating: Dict[str, dict] = {}
@@ -203,7 +216,8 @@ class SlogNode:
     # ------------------------------------------------------------------
     # Coordinator role: forward to sequencer, gather exec reports
     # ------------------------------------------------------------------
-    def on_submit(self, src: str, txn: Transaction):
+    def on_submit(self, src: str, payload: Submit):
+        txn = payload.txn
         txn.home_region = self.region
         regions = sorted({self.system.catalog.region_of_shard(s) for s in txn.shard_ids})
         txn.participating_regions = tuple(regions)
@@ -213,44 +227,44 @@ class SlogNode:
             "shards": set(txn.shard_ids), "reports": {}, "done": done,
         }
         self.endpoint.send(
-            f"{self.region}.seq", "slog_submit", {"txn": txn, "coord": self.host}
+            f"{self.region}.seq", SlogSubmit(txn=txn, coord=self.host)
         )
         yield done
         state = self.coordinating.pop(txn.txn_id)
         outputs: Dict[str, object] = {}
         aborted, reason = False, ""
         for report in state["reports"].values():
-            outputs.update(report["outputs"])
-            if report["aborted"]:
-                aborted, reason = True, report["reason"]
+            outputs.update(report.outputs)
+            if report.aborted:
+                aborted, reason = True, report.reason
         return TxnResult(txn.txn_id, txn.txn_type, not aborted, is_crt,
                          outputs=outputs, abort_reason=reason)
 
-    def on_exec_done(self, src: str, payload: dict) -> None:
-        state = self.coordinating.get(payload["txn_id"])
+    def on_exec_done(self, src: str, payload: ExecDone) -> None:
+        state = self.coordinating.get(payload.txn_id)
         if state is None:
             return
-        state["reports"].setdefault(payload["shard"], payload)
+        state["reports"].setdefault(payload.shard, payload)
         if set(state["reports"]) >= state["shards"] and not state["done"].triggered:
             state["done"].succeed(None)
 
     # ------------------------------------------------------------------
     # Deterministic execution in log order
     # ------------------------------------------------------------------
-    def on_log(self, src: str, payload: dict) -> None:
-        self._pending_log[payload["index"]] = payload
+    def on_log(self, src: str, payload: SlogLog) -> None:
+        self._pending_log[payload.index] = payload
         while self.next_index in self._pending_log:
             entry = self._pending_log.pop(self.next_index)
             self.next_index += 1
             self._admit(entry)
 
-    def _admit(self, entry: dict) -> None:
-        txn: Transaction = entry["txn"]
+    def _admit(self, entry: SlogLog) -> None:
+        txn: Transaction = entry.txn
         if self.shard_id not in txn.shard_ids:
             return  # the entry is only needed for log continuity
         wants = {key: LockMode.EXCLUSIVE for key in txn.lock_keys_on(self.shard_id)}
         granted = self.locks.request(txn.txn_id, wants) if wants else None
-        self.sim.spawn(self._run_entry(txn, entry["coord"], granted),
+        self.sim.spawn(self._run_entry(txn, entry.coord, granted),
                        name=f"{self.host}.slog.{txn.txn_id}")
 
     def _run_entry(self, txn: Transaction, coord: str, granted):
@@ -275,20 +289,21 @@ class SlogNode:
         for consumer, values in pushes.items():
             for node in self.system.catalog.replicas_of(consumer):
                 if node != self.host:
-                    self.endpoint.send(node, "send_output",
-                                       {"txn_id": txn.txn_id, "values": values})
-        self.endpoint.send(coord, "exec_done", {
-            "txn_id": txn.txn_id, "shard": self.shard_id,
-            "outputs": outcome.outputs, "aborted": outcome.aborted,
-            "reason": outcome.abort_reason,
-        })
+                    self.endpoint.send(
+                        node, SendOutput(txn_id=txn.txn_id, values=values)
+                    )
+        self.endpoint.send(coord, ExecDone(
+            txn_id=txn.txn_id, shard=self.shard_id,
+            outputs=outcome.outputs, aborted=outcome.aborted,
+            reason=outcome.abort_reason,
+        ))
         self.stats.inc("executed")
         self._trace("execute", txn=txn.txn_id)
 
-    def on_send_output(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_send_output(self, src: str, payload: SendOutput) -> None:
+        txn_id = payload.txn_id
         inputs = self._inputs.setdefault(txn_id, {})
-        for var, value in payload["values"].items():
+        for var, value in payload.values.items():
             inputs.setdefault(var, value)
         waiting = self._input_events.get(txn_id)
         if waiting is not None:

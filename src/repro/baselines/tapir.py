@@ -33,6 +33,13 @@ from repro.txn.executor import execute_on_shard
 from repro.txn.model import Transaction
 from repro.txn.result import TxnResult
 from repro.util import Stats
+from repro.wire.messages import (
+    Submit,
+    TapirAbort,
+    TapirCommit,
+    TapirExec,
+    TapirPrepare,
+)
 
 __all__ = ["TapirSystem", "TapirNode"]
 
@@ -63,6 +70,7 @@ class TapirNode:
         self.endpoint = Endpoint(
             self.sim, system.network, host, self.region,
             service_time=self.timing.service_time,
+            batch_window=self.timing.batch_window,
         )
         self.versions: Dict[Key, int] = {}
         self.prepared: Dict[str, _Prepared] = {}
@@ -83,13 +91,13 @@ class TapirNode:
     # ------------------------------------------------------------------
     # Replica side
     # ------------------------------------------------------------------
-    def on_exec(self, src: str, payload: dict):
-        txn: Transaction = payload["txn"]
+    def on_exec(self, src: str, payload: TapirExec):
+        txn: Transaction = payload.txn
         outcome = execute_on_shard(
-            txn, self.shard_id, self.shard, payload["inputs"],
+            txn, self.shard_id, self.shard, payload.inputs,
             apply_writes=False, record=True,
-            piece_indexes=payload["piece_indexes"],
-            preload_ops=payload["prior_ops"],
+            piece_indexes=payload.piece_indexes,
+            preload_ops=payload.prior_ops,
         )
         read_versions = {k: self.versions.get(k, 0) for k in outcome.read_set}
         return {
@@ -101,10 +109,10 @@ class TapirNode:
             "reason": outcome.abort_reason,
         }
 
-    def on_prepare(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
-        reads: Dict[Key, int] = payload["reads"]
-        writes: Set[Key] = set(payload["writes"])
+    def on_prepare(self, src: str, payload: TapirPrepare):
+        txn_id = payload.txn_id
+        reads: Dict[Key, int] = payload.reads
+        writes: Set[Key] = set(payload.writes)
         # Validation 1: read versions still current on this replica.
         for key, version in reads.items():
             if self.versions.get(key, 0) != version:
@@ -125,10 +133,10 @@ class TapirNode:
         self.stats.inc("vote_ok")
         return {"vote": True}
 
-    def on_commit(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_commit(self, src: str, payload: TapirCommit) -> None:
+        txn_id = payload.txn_id
         self.prepared.pop(txn_id, None)
-        for op, table, key, data in payload.get(self.shard_id, ()):
+        for op, table, key, data in payload.ops_by_shard.get(self.shard_id, ()):
             if op == "update":
                 self.shard.update(table, key, data)
             elif op == "insert":
@@ -140,13 +148,14 @@ class TapirNode:
             self.versions[(table, key)] = self.versions.get((table, key), 0) + 1
         self.stats.inc("applied_commits")
 
-    def on_abort(self, src: str, payload: dict) -> None:
-        self.prepared.pop(payload["txn_id"], None)
+    def on_abort(self, src: str, payload: TapirAbort) -> None:
+        self.prepared.pop(payload.txn_id, None)
 
     # ------------------------------------------------------------------
     # Coordinator side
     # ------------------------------------------------------------------
-    def on_submit(self, src: str, txn: Transaction):
+    def on_submit(self, src: str, payload: Submit):
+        txn = payload.txn
         txn.home_region = self.region
         regions = sorted({self.system.catalog.region_of_shard(s) for s in txn.shard_ids})
         txn.participating_regions = tuple(regions)
@@ -196,10 +205,9 @@ class TapirNode:
             prior = exec_reports.get(shard_id)
             try:
                 report = yield self.endpoint.call(
-                    target, "tapir_exec",
-                    {"txn": txn, "inputs": dict(env),
-                     "piece_indexes": indexes,
-                     "prior_ops": list(prior["ops"]) if prior else []},
+                    target,
+                    TapirExec(txn=txn, inputs=dict(env), piece_indexes=indexes,
+                              prior_ops=list(prior["ops"]) if prior else []),
                     timeout=4 * self.timing.cross_region_rtt,
                 )
             except (RpcTimeout, RpcRemoteError):
@@ -222,9 +230,9 @@ class TapirNode:
             report = exec_reports[shard_id]
             for replica in catalog.replicas_of(shard_id):
                 ev = self.endpoint.call(
-                    replica, "tapir_prepare",
-                    {"txn_id": txn.txn_id, "reads": report["reads"],
-                     "writes": report["writes"]},
+                    replica,
+                    TapirPrepare(txn_id=txn.txn_id, reads=report["reads"],
+                                 writes=report["writes"]),
                     timeout=4 * self.timing.cross_region_rtt,
                 )
                 vote_events.append((shard_id, ev))
@@ -249,17 +257,19 @@ class TapirNode:
             ev.add_callback(check(shard_id))
         ok = yield decided
         if not ok:
+            abort_msg = TapirAbort(txn_id=txn.txn_id)
             for shard_id in txn.shard_ids:
                 for replica in catalog.replicas_of(shard_id):
-                    self.endpoint.send(replica, "tapir_abort", {"txn_id": txn.txn_id})
+                    self.endpoint.send(replica, abort_msg)
             return ("conflict", {}, "prepare conflict")
         # Commit asynchronously: the client reply does not wait for it.
-        commit_msg: Dict[str, object] = {"txn_id": txn.txn_id}
-        for shard_id in txn.shard_ids:
-            commit_msg[shard_id] = exec_reports[shard_id]["ops"]
+        commit_msg = TapirCommit(
+            txn_id=txn.txn_id,
+            ops_by_shard={s: exec_reports[s]["ops"] for s in txn.shard_ids},
+        )
         for shard_id in txn.shard_ids:
             for replica in catalog.replicas_of(shard_id):
-                self.endpoint.send(replica, "tapir_commit", commit_msg)
+                self.endpoint.send(replica, commit_msg)
         return ("committed", env, "")
 
     def _nearest_replica(self, shard_id: str) -> str:

@@ -52,6 +52,7 @@ class Trial:
         obs_capacity: int = 500_000,
         fault_plan=None,
         request_timeout: float = 10000.0,
+        batch_window: float = 0.0,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -77,6 +78,10 @@ class Trial:
         # lossy plans a short request timeout keeps closed-loop clients live.
         self.fault_plan = fault_plan
         self.request_timeout = request_timeout
+        # Endpoint-level message coalescing (repro.wire batching).  A
+        # non-zero window overrides timing.batch_window for this trial.
+        if batch_window:
+            self.timing.batch_window = batch_window
 
 
 class TrialResult:
@@ -91,6 +96,7 @@ class TrialResult:
         self.obs = obs  # ObsBundle when the trial ran with obs=True
         self.chaos = chaos  # ChaosRunner when the trial ran a fault plan
         self.summary: Summary = recorder.summarize(trial.system)
+        self.summary.attach_network(getattr(system.network, "stats", None))
 
     def drain(self, extra_ms: float = 4000.0) -> None:
         """Stop clients and let in-flight transactions finish (for audits)."""

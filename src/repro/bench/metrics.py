@@ -53,6 +53,19 @@ class Summary:
         self.committed = 0
         self.aborted = 0
         self.mean_retries = 0.0
+        # Wire traffic totals, filled in by attach_network() when the trial's
+        # NetworkStats is available (virtual-byte model of repro.wire).
+        self.msgs_total = 0
+        self.bytes_total = 0
+        self.msg_top_types: List[Tuple[str, int]] = []
+
+    def attach_network(self, net_stats) -> "Summary":
+        """Fold a :class:`repro.sim.network.NetworkStats` into the summary."""
+        if net_stats is not None:
+            self.msgs_total = net_stats.messages_sent
+            self.bytes_total = net_stats.bytes_sent
+            self.msg_top_types = net_stats.top_types(5)
+        return self
 
     def as_row(self) -> Dict[str, float]:
         return {
@@ -64,6 +77,9 @@ class Summary:
             "crt_p99_ms": round(self.crt_p99, 2),
             "abort_rate": round(self.abort_rate, 4),
             "mean_retries": round(self.mean_retries, 3),
+            "msgs_total": self.msgs_total,
+            "bytes_total": self.bytes_total,
+            "msg_top_types": {name: count for name, count in self.msg_top_types},
         }
 
     def __repr__(self) -> str:

@@ -35,6 +35,8 @@ def format_series(series: Dict[str, List[Dict]], columns: Sequence[str] = ()) ->
 def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
+    if isinstance(value, dict):
+        return ",".join(f"{k}:{v}" for k, v in value.items()) or "-"
     if isinstance(value, (list, tuple)):
         return f"[{len(value)} pts]"
     return str(value)

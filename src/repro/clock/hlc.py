@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-__all__ = ["Timestamp", "ZERO_TS"]
+__all__ = ["Timestamp", "ZERO_TS", "CAP_NID", "just_below"]
 
 
 class Timestamp(NamedTuple):
@@ -41,3 +41,18 @@ class Timestamp(NamedTuple):
 
 
 ZERO_TS = Timestamp(0.0, 0, -1)
+
+# Sentinel nid used when capping a report strictly below a floor timestamp:
+# smaller than any real node id, so ``Timestamp(t, f, CAP_NID)`` sorts below
+# every genuine ``Timestamp(t, f, nid)`` with the same physical/logical part.
+CAP_NID = -(1 << 60)
+
+
+def just_below(ts: Timestamp) -> Timestamp:
+    """The largest reportable value strictly below ``ts``.
+
+    Used by nodes and managers to enforce the PCT promise: a clock report
+    must never reach a floor (waitQ minimum / pending anticipation) that an
+    unresolved CRT may still commit under.
+    """
+    return Timestamp(ts.time, ts.frac, CAP_NID)

@@ -20,6 +20,7 @@ from repro.errors import ProtocolError, RpcTimeout
 from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Network
 from repro.sim.rpc import Endpoint, RpcRemoteError
+from repro.wire.messages import SmrAppend, SmrElect, SmrGet, SmrPut
 
 __all__ = ["SmrReplica", "SmrCluster"]
 
@@ -48,10 +49,10 @@ class SmrReplica:
         return (len(self.peers) + 1) // 2 + 1
 
     # -- client-facing ---------------------------------------------------
-    def on_put(self, src: str, payload: dict):
+    def on_put(self, src: str, payload: SmrPut):
         if self.leader != self.host:
             raise ProtocolError(f"{self.host}: not the leader (leader={self.leader})")
-        key, value = payload["key"], payload["value"]
+        key, value = payload.key, payload.value
         entry_index = len(self.log)
         self.log.append((self.term, key, value))
         acks = [1]  # ourselves
@@ -63,14 +64,14 @@ class SmrReplica:
                 if acks[0] >= self.quorum and not done.triggered:
                     done.succeed(None)
 
-        msg = {
-            "term": self.term,
-            "index": entry_index,
-            "entry": (self.term, key, value),
-            "commit_index": self.commit_index,
-        }
+        msg = SmrAppend(
+            term=self.term,
+            index=entry_index,
+            entry=(self.term, key, value),
+            commit_index=self.commit_index,
+        )
         for peer in self.peers:
-            self.endpoint.call(peer, "smr_append", msg, timeout=50.0).add_callback(collect)
+            self.endpoint.call(peer, msg, timeout=50.0).add_callback(collect)
 
         def proc():
             yield done
@@ -80,34 +81,34 @@ class SmrReplica:
 
         return proc()
 
-    def on_get(self, src: str, payload: dict):
-        return {"value": self.state.get(payload["key"]), "leader": self.leader,
+    def on_get(self, src: str, payload: SmrGet):
+        return {"value": self.state.get(payload.key), "leader": self.leader,
                 "term": self.term}
 
     # -- replication -------------------------------------------------------
-    def on_append(self, src: str, payload: dict):
-        if payload["term"] < self.term:
+    def on_append(self, src: str, payload: SmrAppend):
+        if payload.term < self.term:
             return {"ok": False, "term": self.term}
-        self.term = payload["term"]
+        self.term = payload.term
         self.leader = src
-        index = payload["index"]
+        index = payload.index
         # Fill or overwrite at the given index (leader's log is authoritative).
         while len(self.log) < index:
             self.log.append((self.term, "__gap__", None))
         if len(self.log) == index:
-            self.log.append(payload["entry"])
+            self.log.append(payload.entry)
         else:
-            self.log[index] = payload["entry"]
-        self.commit_index = max(self.commit_index, payload["commit_index"])
+            self.log[index] = payload.entry
+        self.commit_index = max(self.commit_index, payload.commit_index)
         self._apply()
         return {"ok": True, "term": self.term}
 
-    def on_elect(self, src: str, payload: dict):
-        if payload["term"] <= self.term and self.leader is not None:
-            if payload["term"] < self.term:
+    def on_elect(self, src: str, payload: SmrElect):
+        if payload.term <= self.term and self.leader is not None:
+            if payload.term < self.term:
                 return {"ok": False, "term": self.term}
-        self.term = payload["term"]
-        self.leader = payload["leader"]
+        self.term = payload.term
+        self.leader = payload.leader
         return {"ok": True, "term": self.term}
 
     def _apply(self) -> None:
@@ -166,7 +167,7 @@ class SmrCluster:
                     leader = self.elect()
                 try:
                     resp = yield endpoint.call(
-                        leader.host, "smr_put", {"key": key, "value": value}, timeout=100.0
+                        leader.host, SmrPut(key=key, value=value), timeout=100.0
                     )
                     return resp
                 except (RpcTimeout, RpcRemoteError):
@@ -176,7 +177,7 @@ class SmrCluster:
 
     def get_from(self, endpoint: Endpoint, key: str):
         def proc():
-            resp = yield endpoint.call(self.leader.host, "smr_get", {"key": key}, timeout=100.0)
+            resp = yield endpoint.call(self.leader.host, SmrGet(key=key), timeout=100.0)
             return resp["value"]
 
         return proc()

@@ -21,6 +21,17 @@ from typing import Any, Dict, List, Optional, Set
 from repro.clock.hlc import Timestamp
 from repro.txn.model import Transaction
 from repro.txn.result import TxnResult
+from repro.wire.messages import (
+    CrtAck,
+    CrtCommit,
+    CrtCommitlog,
+    CrtLocallog,
+    ExecDone,
+    IrtCommit,
+    IrtPrepare,
+    PrepRemote,
+    Submit,
+)
 
 __all__ = ["CoordState", "CoordinatorMixin"]
 
@@ -36,7 +47,7 @@ class CoordState:
         self.commit_ts: Optional[Timestamp] = None
         self.acks: Dict[str, Set[str]] = {s: set() for s in txn.shard_ids}
         self.anticipated: Dict[str, Timestamp] = {}  # region -> anticipated ts
-        self.exec_done: Dict[str, dict] = {}  # shard -> first exec report
+        self.exec_done: Dict[str, ExecDone] = {}  # shard -> first exec report
         self.prepared_event = None  # set by the coordinator process
         self.done_event = None
         self.replied = False
@@ -60,7 +71,8 @@ class CoordinatorMixin:
     # ------------------------------------------------------------------
     # Entry point: a client submitted a transaction to this node
     # ------------------------------------------------------------------
-    def on_submit(self, src: str, txn: Transaction):
+    def on_submit(self, src: str, payload: "Submit"):
+        txn = payload.txn
         txn.home_region = self.region
         regions = sorted({self.catalog.region_of_shard(s) for s in txn.shard_ids})
         txn.participating_regions = tuple(regions)
@@ -93,8 +105,7 @@ class CoordinatorMixin:
                 continue
             self._reliable(
                 node,
-                "irt_prepare",
-                {"txn": txn, "ts": ts, "coord": self.host, "vid": self.vid},
+                IrtPrepare(txn=txn, ts=ts, coord=self.host, vid=self.vid),
                 obligation_ts=ts,
                 on_ack=lambda v, st=state, n=node: self._record_ack(
                     st, n, shard=(v or {}).get("shard")
@@ -109,7 +120,7 @@ class CoordinatorMixin:
         for node in participants:
             if node == self.host:
                 continue
-            self._reliable(node, "irt_commit", {"txn_id": txn.txn_id, "ts": ts, "vid": self.vid})
+            self._reliable(node, IrtCommit(txn_id=txn.txn_id, ts=ts, vid=self.vid))
         state.done_event = self.sim.event()
         if not state.all_executed():
             yield state.done_event
@@ -127,7 +138,7 @@ class CoordinatorMixin:
             s for s in txn.shard_ids if self.catalog.region_of_shard(s) == self.region
         ]
         if home_shards:
-            yield self._replicate_home(txn, home_shards, "crt_locallog")
+            yield self._replicate_home(txn, home_shards)
         state.t_local_prepared = self.sim.now
 
         # Phase 1: decentralized anticipation via each region's manager.
@@ -142,9 +153,8 @@ class CoordinatorMixin:
             for region in txn.participating_regions:
                 self._reliable(
                     self.managers[region],
-                    "prep_remote",
-                    {"txn": txn, "src_ts": src_ts, "coord": self.host, "vid": self.vid,
-                     "phys": self.dclock.physical()},
+                    PrepRemote(txn=txn, src_ts=src_ts, coord=self.host,
+                               vid=self.vid, phys=self.dclock.physical()),
                     timeout=self._cross_timeout(),
                 )
 
@@ -182,21 +192,21 @@ class CoordinatorMixin:
                 for node in self.catalog.replicas_of(shard):
                     if node != self.host:
                         self.endpoint.send(
-                            node, "crt_commitlog", {"txn_id": txn.txn_id, "commit_ts": commit_ts}
+                            node, CrtCommitlog(txn_id=txn.txn_id, commit_ts=commit_ts)
                         )
         state.t_commit_sent = self.sim.now
-        commit_msg = {
-            "txn_id": txn.txn_id,
-            "txn": txn,
-            "coord": self.host,
-            "commit_ts": commit_ts,
-            "phys_tag": self.dclock.physical(),
-        }
+        commit_msg = CrtCommit(
+            txn_id=txn.txn_id,
+            txn=txn,
+            coord=self.host,
+            commit_ts=commit_ts,
+            phys_tag=self.dclock.physical(),
+        )
         for node in self._participants_of(txn):
             if node == self.host:
                 self.on_crt_commit(self.host, commit_msg)
             else:
-                self._reliable(node, "crt_commit", commit_msg, timeout=self._cross_timeout())
+                self._reliable(node, commit_msg, timeout=self._cross_timeout())
         state.done_event = self.sim.event()
         if not state.all_executed():
             yield state.done_event
@@ -212,11 +222,12 @@ class CoordinatorMixin:
             self.stats.inc("crt_prep_retries")
             send_prep()
 
-    def _replicate_home(self, txn: Transaction, home_shards: List[str], method: str):
+    def _replicate_home(self, txn: Transaction, home_shards: List[str]):
         """Majority-replicate ``txn`` to home-region participating shards."""
         event = self.sim.event()
         pending = {s: set() for s in home_shards}
         done = [False]
+        log_msg = CrtLocallog(txn=txn, coord=self.host)
 
         def on_ack(shard: str, node: str) -> None:
             if done[0]:
@@ -229,13 +240,12 @@ class CoordinatorMixin:
         for shard in home_shards:
             for node in self.catalog.replicas_of(shard):
                 if node == self.host:
-                    self.on_crt_locallog(self.host, {"txn": txn, "coord": self.host})
+                    self.on_crt_locallog(self.host, log_msg)
                     on_ack(shard, self.host)
                 else:
                     self._reliable(
                         node,
-                        method,
-                        {"txn": txn, "coord": self.host},
+                        log_msg,
                         on_ack=lambda _v, s=shard, n=node: on_ack(s, n),
                     )
         return event
@@ -266,31 +276,31 @@ class CoordinatorMixin:
         ):
             state.prepared_event.succeed(None)
 
-    def on_crt_ack(self, src: str, payload: dict) -> None:
+    def on_crt_ack(self, src: str, payload: CrtAck) -> None:
         """A participant acknowledged ``prep-crt`` (sent directly to us)."""
-        state = self.coordinating.get(payload["txn_id"])
+        state = self.coordinating.get(payload.txn_id)
         if state is None:
             return
         # Cross-region clock calibration (§4.3): chase the sender's clock.
         # Tags are *physical* readings — a stretched logical value may sit at
         # a far-future anticipated timestamp and would drag clocks ahead.
-        tag = payload.get("phys_tag")
-        if tag is not None and payload["region"] != self.region:
+        tag = payload.phys_tag
+        if tag is not None and payload.region != self.region:
             # Zero slack to avoid the jitter ratchet; see on_crt_commit.
             self.dclock.calibrate_to_time(tag, slack=0.0)
         self._record_ack(
             state,
-            payload["node"],
-            shard=payload["shard"],
-            anticipated=payload["anticipated_ts"],
-            region=payload["region"],
+            payload.node,
+            shard=payload.shard,
+            anticipated=payload.anticipated_ts,
+            region=payload.region,
         )
 
-    def on_exec_done(self, src: str, payload: dict) -> None:
-        state = self.coordinating.get(payload["txn_id"])
+    def on_exec_done(self, src: str, payload: ExecDone) -> None:
+        state = self.coordinating.get(payload.txn_id)
         if state is None or state.replied:
             return
-        shard = payload["shard"]
+        shard = payload.shard
         if shard not in state.exec_done:
             state.exec_done[shard] = payload
         if state.done_event is not None and not state.done_event.triggered and state.all_executed():
@@ -307,10 +317,10 @@ class CoordinatorMixin:
         aborted = False
         reason = ""
         for report in state.exec_done.values():
-            outputs.update(report.get("outputs", {}))
-            if report.get("aborted"):
+            outputs.update(report.outputs)
+            if report.aborted:
                 aborted = True
-                reason = report.get("reason", "conditional abort")
+                reason = report.reason or "conditional abort"
         result = TxnResult(
             state.txn.txn_id,
             state.txn.txn_type,
@@ -334,9 +344,9 @@ class CoordinatorMixin:
         # wait splits into waiting for this transaction's own pushed inputs
         # (``wait_input``) and the residual readyQ/clock wait (``wait_exec``),
         # mirroring Table 3's phase semantics.
-        last = max(state.exec_done.values(), key=lambda r: r["phases"][3], default=None)
+        last = max(state.exec_done.values(), key=lambda r: r.phases[3], default=None)
         if last is not None:
-            t_committed, t_order, t_input, t_executed = last["phases"]
+            t_committed, t_order, t_input, t_executed = last.phases
             wait_total = max(0.0, t_executed - t_committed)
             wait_input = min(wait_total, max(0.0, t_input - t_committed))
             wait_exec = wait_total - wait_input

@@ -19,6 +19,7 @@ from typing import Dict
 
 from repro.errors import RpcTimeout
 from repro.sim.rpc import RpcRemoteError
+from repro.wire.messages import Ping
 
 __all__ = ["FailureDetector"]
 
@@ -58,7 +59,7 @@ class FailureDetector:
 
     def _probe(self, node: str):
         try:
-            yield self.manager.endpoint.call(node, "ping", {}, timeout=self.timeout)
+            yield self.manager.endpoint.call(node, Ping(), timeout=self.timeout)
         except (RpcTimeout, RpcRemoteError):
             self.misses[node] = self.misses.get(node, 0) + 1
             if self.misses[node] >= self.miss_threshold and node not in self.suspected:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.clock.dclock import DClock
-from repro.clock.hlc import Timestamp, ZERO_TS
+from repro.clock.hlc import Timestamp, ZERO_TS, just_below
 from repro.config import TimingConfig, Topology
 from repro.consensus.smr import SmrCluster
 from repro.errors import RpcTimeout
@@ -30,6 +30,22 @@ from repro.sim.network import Network
 from repro.sim.rpc import Endpoint, RpcRemoteError
 from repro.storage.catalog import Catalog
 from repro.util import Stats
+from repro.wire.messages import (
+    AbortCrt,
+    AddCommit,
+    AddPrep,
+    CrtExecuted,
+    CrtUpdate,
+    MgrTakeover,
+    PctReport,
+    PrepCrt,
+    PrepRemote,
+    RemoveCommit,
+    RemovePrep,
+    Suspect,
+    TransferCkpt,
+)
+from repro.wire.schema import WireMessage
 
 __all__ = ["DastManager", "RttEstimator"]
 
@@ -107,7 +123,11 @@ class DastManager:
         self.smr = smr
         self.active = active
         self.vid = 0
-        self.endpoint = Endpoint(sim, network, host, region, service_time=timing.service_time)
+        self.endpoint = Endpoint(
+            sim, network, host, region,
+            service_time=timing.service_time,
+            batch_window=timing.batch_window,
+        )
         self.pending: Dict[str, _PendingCrt] = {}
         self.rtt = RttEstimator(default_rtt=timing.cross_region_rtt)
         self.dclock = DClock(clock_source, nid, floor_fn=self._pending_floor)
@@ -149,9 +169,9 @@ class DastManager:
             if floor is not None and value >= floor:
                 # Enforce the anticipation promise on reports even if the
                 # clock overshot a late-arriving pending entry.
-                value = Timestamp(floor.time, floor.frac, -(1 << 60))
+                value = just_below(floor)
             for node in self.members:
-                self.endpoint.send(node, "pct_report", {"value": value})
+                self.endpoint.send(node, PctReport(value=value))
             self._gc_pending()
 
     def _pending_floor(self) -> Optional[Timestamp]:
@@ -175,17 +195,17 @@ class DastManager:
     # ------------------------------------------------------------------
     # 2DA phase 1: anticipate and dispatch (Algorithm 2, lines 10-15)
     # ------------------------------------------------------------------
-    def on_prep_remote(self, src: str, payload: dict):
-        txn = payload["txn"]
-        src_ts: Timestamp = payload["src_ts"]
-        coord = payload["coord"]
+    def on_prep_remote(self, src: str, payload: PrepRemote):
+        txn = payload.txn
+        src_ts: Timestamp = payload.src_ts
+        coord = payload.coord
         src_region = self.topology.region_of_node(coord)
         entry = self.pending.get(txn.txn_id)
         if entry is None:
             # updateEstimatedRtt: one-way delay observed via physical clock
             # tags, doubled.  Clock skew pollutes this deliberately — that is
             # the Fig 10 behaviour.
-            phys_tag = payload.get("phys", src_ts.time)
+            phys_tag = payload.phys if payload.phys is not None else src_ts.time
             sample = 2.0 * (self.dclock.physical() - phys_tag)
             if src_region != self.region:
                 self.rtt.update(src_region, sample)
@@ -225,14 +245,13 @@ class DastManager:
         for node in self._local_participants(txn):
             self.endpoint.send(
                 node,
-                "prep_crt",
-                {
-                    "txn": txn,
-                    "anticipated_ts": entry.anticipated,
-                    "coord": coord,
-                    "vid": self.vid,
-                    "clock_tag": self.dclock.peek(),
-                },
+                PrepCrt(
+                    txn=txn,
+                    anticipated_ts=entry.anticipated,
+                    coord=coord,
+                    vid=self.vid,
+                    clock_tag=self.dclock.peek(),
+                ),
             )
         return {"anticipated_ts": entry.anticipated}
 
@@ -246,32 +265,32 @@ class DastManager:
     # ------------------------------------------------------------------
     # Pending resolution
     # ------------------------------------------------------------------
-    def on_crt_update(self, src: str, payload: dict):
-        self.pending.pop(payload["txn_id"], None)
+    def on_crt_update(self, src: str, payload: CrtUpdate):
+        self.pending.pop(payload.txn_id, None)
         return {"node": self.host}
 
-    def on_crt_executed(self, src: str, payload: dict) -> None:
-        self.pending.pop(payload["txn_id"], None)
+    def on_crt_executed(self, src: str, payload: CrtExecuted) -> None:
+        self.pending.pop(payload.txn_id, None)
 
-    def on_abort_crt(self, src: str, payload: dict):
-        self.pending.pop(payload["txn_id"], None)
+    def on_abort_crt(self, src: str, payload: AbortCrt):
+        self.pending.pop(payload.txn_id, None)
         return {"node": self.host}
 
-    def on_pct_report(self, src: str, payload: dict) -> None:
+    def on_pct_report(self, src: str, payload: PctReport) -> None:
         # Managers use node reports only to keep their clock calibrated.
-        self.dclock.observe(payload["value"])
-        self.dclock.calibrate_to_time(payload["value"].time)
+        self.dclock.observe(payload.value)
+        self.dclock.calibrate_to_time(payload.value.time)
 
     # ------------------------------------------------------------------
     # Fast failover: removing suspected nodes (Algorithm 3)
     # ------------------------------------------------------------------
-    def on_suspect(self, src: str, payload: dict):
-        node = payload["node"]
+    def on_suspect(self, src: str, payload: Suspect):
+        node = payload.node
         if node in self.removed or node not in self.members:
             return {"ok": True}
         return self.remove_nodes([node])
 
-    def _reliable(self, dst: str, method: str, payload: dict,
+    def _reliable(self, dst: str, msg: WireMessage,
                   timeout: Optional[float] = None) -> None:
         """Retransmit until acknowledged: view commits and aborts are
         decisions — a node that misses one keeps a removed member in its
@@ -282,14 +301,14 @@ class DastManager:
         def proc():
             while True:
                 try:
-                    yield self.endpoint.call(dst, method, payload, timeout=timeout)
+                    yield self.endpoint.call(dst, msg, timeout=timeout)
                     return
                 except (RpcTimeout, RpcRemoteError):
                     self.stats.inc("retransmissions")
                     if self.network.is_down(dst) or dst in self.removed or not self.active:
                         return
 
-        self.sim.spawn(proc(), name=f"{self.host}.reliable.{method}")
+        self.sim.spawn(proc(), name=f"{self.host}.reliable.{msg.NAME}")
 
     def remove_nodes(self, to_remove: List[str]):
         """Generator: run the 2PC that installs a view without ``to_remove``."""
@@ -307,8 +326,7 @@ class DastManager:
                     try:
                         reply = yield self.endpoint.call(
                             node,
-                            "remove_prep",
-                            {"vid": self.vid, "to_remove": to_remove},
+                            RemovePrep(vid=self.vid, to_remove=to_remove),
                             timeout=4 * self.timing.intra_region_rtt,
                         )
                         break
@@ -339,16 +357,16 @@ class DastManager:
                         {"vid": self.vid, "members": list(self.members), "manager": self.host},
                     )
                 )
-            msg = {
-                "vid": self.vid,
-                "removed": to_remove,
-                "members": list(self.members),
-                "commit_irts": commit_irts,
-                "abort_crts": abort_crts,
-                "commit_crts": commit_crts,
-            }
+            msg = RemoveCommit(
+                vid=self.vid,
+                removed=to_remove,
+                members=list(self.members),
+                commit_irts=commit_irts,
+                abort_crts=abort_crts,
+                commit_crts=commit_crts,
+            )
             for node in self.members:
-                self._reliable(node, "remove_commit", msg)
+                self._reliable(node, msg)
             # Tell remote participants (and their managers) about aborts.
             for entry in abort_crts:
                 txn = entry["txn"]
@@ -357,12 +375,12 @@ class DastManager:
                     if region == self.region:
                         continue
                     self._reliable(
-                        self.managers_of(region), "abort_crt", {"txn_id": entry["txn_id"]},
+                        self.managers_of(region), AbortCrt(txn_id=entry["txn_id"]),
                         timeout=4 * self.timing.cross_region_rtt,
                     )
                     for node in self.catalog.replicas_of(shard):
                         self._reliable(
-                            node, "abort_crt", {"txn_id": entry["txn_id"]},
+                            node, AbortCrt(txn_id=entry["txn_id"]),
                             timeout=4 * self.timing.cross_region_rtt,
                         )
             self.stats.inc("views_installed")
@@ -393,8 +411,7 @@ class DastManager:
                 try:
                     reply = yield self.endpoint.call(
                         source,
-                        "transfer_ckpt",
-                        {"node": new_node, "shard": shard_id},
+                        TransferCkpt(node=new_node, shard=shard_id),
                         timeout=20 * self.timing.intra_region_rtt,
                     )
                     break
@@ -431,8 +448,7 @@ class DastManager:
                     try:
                         yield self.endpoint.call(
                             node,
-                            "add_prep",
-                            {"vid": self.vid, "node": new_node, "ts_ins": ts_ins},
+                            AddPrep(vid=self.vid, node=new_node, ts_ins=ts_ins),
                             timeout=4 * self.timing.intra_region_rtt,
                         )
                         break
@@ -441,15 +457,15 @@ class DastManager:
                         if self.network.is_down(node):
                             break
             self.members = targets
-            msg = {
-                "vid": self.vid,
-                "node": new_node,
-                "ts_ins": ts_ins,
-                "members": list(self.members),
-                "shard": shard_id,
-            }
+            msg = AddCommit(
+                vid=self.vid,
+                node=new_node,
+                ts_ins=ts_ins,
+                members=list(self.members),
+                shard=shard_id,
+            )
             for node in targets:
-                self._reliable(node, "add_commit", msg)
+                self._reliable(node, msg)
             self.stats.inc("replicas_added")
             return {"ok": True, "ts_ins": ts_ins, "ts_ckpt": ts_ckpt}
 
@@ -469,7 +485,7 @@ class DastManager:
                 while True:
                     try:
                         reply = yield self.endpoint.call(
-                            node, "mgr_takeover", {"vid": self.vid},
+                            node, MgrTakeover(vid=self.vid),
                             timeout=4 * self.timing.intra_region_rtt,
                         )
                         break

@@ -23,7 +23,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.clock.dclock import DClock
-from repro.clock.hlc import Timestamp, ZERO_TS
+from repro.clock.hlc import Timestamp, ZERO_TS, just_below
 from repro.config import TimingConfig, Topology
 from repro.core.coordinator import CoordinatorMixin
 from repro.core.records import ReadyQueue, TxnRecord, TxnStatus, WaitQueue
@@ -36,15 +36,34 @@ from repro.storage.catalog import Catalog
 from repro.storage.shard import Shard
 from repro.txn.executor import execute_on_shard
 from repro.util import Stats
+from repro.wire.messages import (
+    AbortCrt,
+    AddCommit,
+    AddPrep,
+    CrtAck,
+    CrtAnnounce,
+    CrtCommit,
+    CrtCommitlog,
+    CrtExecuted,
+    CrtInputReady,
+    CrtLocallog,
+    CrtUpdate,
+    ExecDone,
+    InstallCkpt,
+    IrtCommit,
+    IrtPrepare,
+    MgrTakeover,
+    PctReport,
+    PrepCrt,
+    RemoveCommit,
+    RemovePrep,
+    ReplicaCatchup,
+    SendOutput,
+    TransferCkpt,
+)
+from repro.wire.schema import WireMessage
 
 __all__ = ["DastNode"]
-
-_CAP_NID = -(1 << 60)
-
-
-def _just_below(ts: Timestamp) -> Timestamp:
-    """The largest reportable value strictly below ``ts``."""
-    return Timestamp(ts.time, ts.frac, _CAP_NID)
 
 
 class DastNode(CoordinatorMixin):
@@ -77,7 +96,11 @@ class DastNode(CoordinatorMixin):
         self.managers = managers  # region -> manager host
         self.manager = managers[self.region]
         self.vid = 0
-        self.endpoint = Endpoint(sim, network, host, self.region, service_time=timing.service_time)
+        self.endpoint = Endpoint(
+            sim, network, host, self.region,
+            service_time=timing.service_time,
+            batch_window=timing.batch_window,
+        )
 
         self.wait_q = WaitQueue()
         self.ready_q = ReadyQueue()
@@ -168,7 +191,7 @@ class DastNode(CoordinatorMixin):
         # it, so no peer executes past an unresolved CRT.
         wait_floor = self.wait_q.min()
         if wait_floor is not None and value >= wait_floor:
-            value = _just_below(wait_floor)
+            value = just_below(wait_floor)
         targets = [m for m in self.members if m != self.host]
         targets.append(self.manager)
         for dst in targets:
@@ -177,12 +200,12 @@ class DastNode(CoordinatorMixin):
             if pending:
                 floor = min(pending.values())
                 if capped >= floor:
-                    capped = _just_below(floor)
-            self.endpoint.send(dst, "pct_report", {"value": capped})
+                    capped = just_below(floor)
+            self.endpoint.send(dst, PctReport(value=capped))
         self._try_execute()
 
-    def on_pct_report(self, src: str, payload: dict) -> None:
-        value: Timestamp = payload["value"]
+    def on_pct_report(self, src: str, payload: PctReport) -> None:
+        value: Timestamp = payload.value
         if value > self.max_ts.get(src, ZERO_TS):
             self.max_ts[src] = value
         # Intra-region dclock calibration (§4.2): chase the fastest clock —
@@ -258,30 +281,29 @@ class DastNode(CoordinatorMixin):
                 # Reliable: a dropped output push would leave the consumer's
                 # CRT input-starved in its waitQ forever.
                 self._reliable(
-                    node, "send_output", {"txn_id": rec.txn_id, "values": values},
+                    node, SendOutput(txn_id=rec.txn_id, values=values),
                     timeout=self._cross_timeout(),
                 )
         # Report execution to the coordinator (client output collection).
         self._reliable(
             rec.coordinator,
-            "exec_done",
-            {
-                "txn_id": rec.txn_id,
-                "shard": self.shard_id,
-                "node": self.host,
-                "outputs": outcome.outputs,
-                "aborted": outcome.aborted,
-                "reason": outcome.abort_reason,
-                "phases": (rec.t_committed, rec.t_order_ready, rec.t_input_ready, rec.t_executed),
-            },
+            ExecDone(
+                txn_id=rec.txn_id,
+                shard=self.shard_id,
+                node=self.host,
+                outputs=outcome.outputs,
+                aborted=outcome.aborted,
+                reason=outcome.abort_reason,
+                phases=(rec.t_committed, rec.t_order_ready, rec.t_input_ready, rec.t_executed),
+            ),
             timeout=self._cross_timeout(),
         )
         if rec.is_crt:
             # Let non-participants drop their waitQ floor for this CRT.
             for peer in self.members:
                 if peer != self.host:
-                    self.endpoint.send(peer, "crt_executed", {"txn_id": rec.txn_id})
-            self.endpoint.send(self.manager, "crt_executed", {"txn_id": rec.txn_id})
+                    self.endpoint.send(peer, CrtExecuted(txn_id=rec.txn_id))
+            self.endpoint.send(self.manager, CrtExecuted(txn_id=rec.txn_id))
         self._try_execute()
 
     # ------------------------------------------------------------------
@@ -316,12 +338,12 @@ class DastNode(CoordinatorMixin):
         if rec.txn_id not in self.ready_q:
             self.ready_q.insert(ts, rec)
 
-    def on_irt_prepare(self, src: str, payload: dict):
-        txn, ts = payload["txn"], payload["ts"]
-        rec = self._record(txn, is_crt=False, coordinator=payload["coord"], status=TxnStatus.PREPARED)
+    def on_irt_prepare(self, src: str, payload: IrtPrepare):
+        txn, ts = payload.txn, payload.ts
+        rec = self._record(txn, is_crt=False, coordinator=payload.coord, status=TxnStatus.PREPARED)
         if rec.status == TxnStatus.ABORTED:
             return None
-        self._trace("irt_prepare", txn=txn.txn_id, ts=str(ts), coord=payload["coord"])
+        self._trace("irt_prepare", txn=txn.txn_id, ts=str(ts), coord=payload.coord)
         rec.participates = True
         rec.needed = txn.external_needs(self.shard_id)
         rec.t_prepared = self.sim.now
@@ -334,8 +356,8 @@ class DastNode(CoordinatorMixin):
             self._try_execute()
         return {"node": self.host, "shard": self.shard_id}
 
-    def on_irt_commit(self, src: str, payload: dict):
-        txn_id, ts = payload["txn_id"], payload["ts"]
+    def on_irt_commit(self, src: str, payload: IrtCommit):
+        txn_id, ts = payload.txn_id, payload.ts
         rec = self.records.get(txn_id)
         if rec is None or isinstance(rec, _AnnouncedStub):
             # Commit overtook the prepare (reordered network): the prepare
@@ -354,20 +376,20 @@ class DastNode(CoordinatorMixin):
     # ------------------------------------------------------------------
     # CRT handlers (Algorithm 2)
     # ------------------------------------------------------------------
-    def on_crt_locallog(self, src: str, payload: dict):
-        txn = payload["txn"]
-        self.crt_log[txn.txn_id] = {"txn": txn, "coord": payload["coord"], "commit_ts": None}
+    def on_crt_locallog(self, src: str, payload: CrtLocallog):
+        txn = payload.txn
+        self.crt_log[txn.txn_id] = {"txn": txn, "coord": payload.coord, "commit_ts": None}
         return {"node": self.host}
 
-    def on_crt_commitlog(self, src: str, payload: dict) -> None:
-        entry = self.crt_log.get(payload["txn_id"])
+    def on_crt_commitlog(self, src: str, payload: CrtCommitlog) -> None:
+        entry = self.crt_log.get(payload.txn_id)
         if entry is not None:
-            entry["commit_ts"] = payload["commit_ts"]
+            entry["commit_ts"] = payload.commit_ts
 
-    def on_prep_crt(self, src: str, payload: dict) -> None:
-        txn = payload["txn"]
-        anticipated: Timestamp = payload["anticipated_ts"]
-        coord = payload["coord"]
+    def on_prep_crt(self, src: str, payload: PrepCrt) -> None:
+        txn = payload.txn
+        anticipated: Timestamp = payload.anticipated_ts
+        coord = payload.coord
         rec = self._record(txn, is_crt=True, coordinator=coord, status=TxnStatus.PREPARED)
         if rec.status in (TxnStatus.ANNOUNCED, TxnStatus.PREPARED):
             rec.status = TxnStatus.PREPARED
@@ -382,48 +404,46 @@ class DastNode(CoordinatorMixin):
             for peer in self.members:
                 if peer != self.host:
                     self.endpoint.send(
-                        peer, "crt_announce",
-                        {"txn_id": txn.txn_id, "anticipated_ts": anticipated},
+                        peer, CrtAnnounce(txn_id=txn.txn_id, anticipated_ts=anticipated)
                     )
         # ACK straight to the coordinator with our region's anticipation.
         self.endpoint.send(
             coord,
-            "crt_ack",
-            {
-                "txn_id": txn.txn_id,
-                "node": self.host,
-                "shard": self.shard_id,
-                "anticipated_ts": rec.anticipated_ts or anticipated,
-                "region": self.region,
-                "phys_tag": self.dclock.physical(),
-            },
+            CrtAck(
+                txn_id=txn.txn_id,
+                node=self.host,
+                shard=self.shard_id,
+                anticipated_ts=rec.anticipated_ts or anticipated,
+                region=self.region,
+                phys_tag=self.dclock.physical(),
+            ),
         )
 
-    def on_crt_announce(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_crt_announce(self, src: str, payload: CrtAnnounce) -> None:
+        txn_id = payload.txn_id
         rec = self.records.get(txn_id)
         if rec is not None and rec.status != TxnStatus.ANNOUNCED:
             return  # we already know more than the announcement
         if rec is None:
-            self.records[txn_id] = _announced_stub(txn_id, payload["anticipated_ts"])
+            self.records[txn_id] = _announced_stub(txn_id, payload.anticipated_ts)
         if txn_id not in self.wait_q:
-            self.wait_q.insert(txn_id, payload["anticipated_ts"])
+            self.wait_q.insert(txn_id, payload.anticipated_ts)
 
-    def on_crt_commit(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
-        commit_ts: Timestamp = payload["commit_ts"]
-        txn = payload.get("txn")
+    def on_crt_commit(self, src: str, payload: CrtCommit):
+        txn_id = payload.txn_id
+        commit_ts: Timestamp = payload.commit_ts
+        txn = payload.txn
         rec = self.records.get(txn_id)
         if rec is None or isinstance(rec, _AnnouncedStub):
             if txn is None:
                 return {"node": self.host}  # cannot adopt without the body yet
             inputs = rec.inputs if isinstance(rec, _AnnouncedStub) else {}
-            rec = TxnRecord(txn, is_crt=True, coordinator=payload.get("coord", src))
+            rec = TxnRecord(txn, is_crt=True, coordinator=payload.coord or src)
             rec.inputs.update(inputs)
             self.records[txn_id] = rec
         if rec.status in (TxnStatus.COMMITTED, TxnStatus.EXECUTED, TxnStatus.ABORTED):
             return {"node": self.host}
-        tag = payload.get("phys_tag")
+        tag = payload.phys_tag
         src_region = self.topology.region_of_node(src) if "." in src else self.region
         if tag is not None and src_region != self.region:
             # Zero slack: lift clocks that lag the sender, never push ahead.
@@ -454,22 +474,22 @@ class DastNode(CoordinatorMixin):
         # is the notification Lemma 1's proof relies on.
         if not getattr(rec, "_relayed", False):
             rec._relayed = True
-            update = {
-                "txn_id": rec.txn_id,
-                "txn": rec.txn,
-                "coord": rec.coordinator,
-                "commit_ts": commit_ts,
-                "input_ready": rec.input_ready(),
-            }
+            update = CrtUpdate(
+                txn_id=rec.txn_id,
+                txn=rec.txn,
+                coord=rec.coordinator,
+                commit_ts=commit_ts,
+                input_ready=rec.input_ready(),
+            )
             for peer in self.members:
                 if peer != self.host:
-                    self._reliable(peer, "crt_update", update, obligation_ts=commit_ts)
-            self._reliable(self.manager, "crt_update", update, obligation_ts=commit_ts)
+                    self._reliable(peer, update, obligation_ts=commit_ts)
+            self._reliable(self.manager, update, obligation_ts=commit_ts)
         self._try_execute()
 
-    def on_crt_update(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
-        commit_ts = payload["commit_ts"]
+    def on_crt_update(self, src: str, payload: CrtUpdate):
+        txn_id = payload.txn_id
+        commit_ts = payload.commit_ts
         rec = self.records.get(txn_id)
         if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status in (
             TxnStatus.COMMITTED,
@@ -477,12 +497,12 @@ class DastNode(CoordinatorMixin):
             TxnStatus.ABORTED,
         ):
             return {"node": self.host}
-        txn = payload["txn"]
+        txn = payload.txn
         if self.shard_id in txn.shard_ids:
             # We participate: adopt the commit exactly as if crt_commit came.
             inputs = rec.inputs if isinstance(rec, _AnnouncedStub) else (rec.inputs if rec else {})
             real = rec if (rec is not None and not isinstance(rec, _AnnouncedStub)) else TxnRecord(
-                txn, is_crt=True, coordinator=payload["coord"]
+                txn, is_crt=True, coordinator=payload.coord
             )
             real.inputs.update(inputs)
             self.records[txn_id] = real
@@ -493,28 +513,28 @@ class DastNode(CoordinatorMixin):
                 rec = _announced_stub(txn_id, commit_ts)
                 self.records[txn_id] = rec
             rec.status = TxnStatus.COMMITTED
-            if payload["input_ready"]:
+            if payload.input_ready:
                 self.wait_q.remove(txn_id)
             else:
                 self.wait_q.update(txn_id, commit_ts)
             self._try_execute()
         return {"node": self.host}
 
-    def on_crt_executed(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_crt_executed(self, src: str, payload: CrtExecuted) -> None:
+        txn_id = payload.txn_id
         rec = self.records.get(txn_id)
         if rec is not None and isinstance(rec, _AnnouncedStub):
             rec.status = TxnStatus.EXECUTED
         self.wait_q.remove(txn_id)
         self._try_execute()
 
-    def on_send_output(self, src: str, payload: dict) -> None:
-        txn_id = payload["txn_id"]
+    def on_send_output(self, src: str, payload: SendOutput) -> None:
+        txn_id = payload.txn_id
         rec = self.records.get(txn_id)
         if rec is None:
             rec = _announced_stub(txn_id, None)
             self.records[txn_id] = rec
-        for var, value in payload["values"].items():
+        for var, value in payload.values.items():
             rec.inputs.setdefault(var, value)
         if (
             not isinstance(rec, _AnnouncedStub)
@@ -536,10 +556,10 @@ class DastNode(CoordinatorMixin):
         rec._input_announced = True
         for peer in self.members:
             if peer != self.host:
-                self._reliable(peer, "crt_input_ready", {"txn_id": rec.txn_id})
+                self._reliable(peer, CrtInputReady(txn_id=rec.txn_id))
 
-    def on_crt_input_ready(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
+    def on_crt_input_ready(self, src: str, payload: CrtInputReady):
+        txn_id = payload.txn_id
         rec = self.records.get(txn_id)
         if rec is None or isinstance(rec, _AnnouncedStub) or not rec.participates:
             # Only the non-participant floor entry must go; participants
@@ -548,8 +568,8 @@ class DastNode(CoordinatorMixin):
             self._try_execute()
         return {"node": self.host}
 
-    def on_abort_crt(self, src: str, payload: dict):
-        txn_id = payload["txn_id"]
+    def on_abort_crt(self, src: str, payload: AbortCrt):
+        txn_id = payload.txn_id
         rec = self.records.get(txn_id)
         if rec is None:
             rec = _announced_stub(txn_id, None)
@@ -569,8 +589,8 @@ class DastNode(CoordinatorMixin):
             rec._abort_relayed = True
             for peer in self.members:
                 if peer != self.host:
-                    self._reliable(peer, "abort_crt", {"txn_id": txn_id})
-            self._reliable(self.manager, "abort_crt", {"txn_id": txn_id})
+                    self._reliable(peer, AbortCrt(txn_id=txn_id))
+            self._reliable(self.manager, AbortCrt(txn_id=txn_id))
         self._try_execute()
         return {"node": self.host}
 
@@ -590,8 +610,7 @@ class DastNode(CoordinatorMixin):
     def _reliable(
         self,
         dst: str,
-        method: str,
-        payload: dict,
+        msg: WireMessage,
         obligation_ts: Optional[Timestamp] = None,
         timeout: Optional[float] = None,
         on_ack: Optional[Callable] = None,
@@ -607,7 +626,7 @@ class DastNode(CoordinatorMixin):
             try:
                 while True:
                     try:
-                        value = yield self.endpoint.call(dst, method, payload, timeout=timeout)
+                        value = yield self.endpoint.call(dst, msg, timeout=timeout)
                         if on_ack is not None:
                             on_ack(value)
                         return
@@ -624,13 +643,13 @@ class DastNode(CoordinatorMixin):
                 if pending is not None:
                     pending.pop(obl_id, None)
 
-        self.sim.spawn(proc(), name=f"{self.host}.reliable.{method}")
+        self.sim.spawn(proc(), name=f"{self.host}.reliable.{msg.NAME}")
 
     # ------------------------------------------------------------------
     # Failover: node removal (Algorithm 3)
     # ------------------------------------------------------------------
-    def on_remove_prep(self, src: str, payload: dict):
-        to_remove = set(payload["to_remove"])
+    def on_remove_prep(self, src: str, payload: RemovePrep):
+        to_remove = set(payload.to_remove)
         pend_irts, pend_crts = [], []
         for rec in self.records.values():
             if isinstance(rec, _AnnouncedStub):
@@ -659,9 +678,9 @@ class DastNode(CoordinatorMixin):
                 )
         return {"node": self.host, "pend_irts": pend_irts, "pend_crts": pend_crts}
 
-    def on_remove_commit(self, src: str, payload: dict):
-        self.vid = payload["vid"]
-        removed = set(payload["removed"])
+    def on_remove_commit(self, src: str, payload: RemoveCommit):
+        self.vid = payload.vid
+        removed = set(payload.removed)
         self.removed |= removed
         self.members = [m for m in self.members if m not in removed]
         for node in removed:
@@ -670,15 +689,15 @@ class DastNode(CoordinatorMixin):
             for shard_id in self.catalog.shards_on_node(node):
                 self.catalog.remove_replica(shard_id, node)
         # Commit orphaned IRTs seen by at least one node (low latency policy).
-        for entry in payload["commit_irts"]:
+        for entry in payload.commit_irts:
             rec = self.records.get(entry["txn_id"])
             if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status == TxnStatus.PREPARED:
                 rec.status = TxnStatus.COMMITTED
                 rec.t_committed = self.sim.now
         # Abort orphaned CRTs (cross-region status retrieval is too costly).
-        for entry in payload["abort_crts"]:
-            self.on_abort_crt(src, {"txn_id": entry["txn_id"]})
-        for entry in payload.get("commit_crts", []):
+        for entry in payload.abort_crts:
+            self.on_abort_crt(src, AbortCrt(txn_id=entry["txn_id"]))
+        for entry in payload.commit_crts:
             rec = self.records.get(entry["txn_id"])
             if rec is not None and not isinstance(rec, _AnnouncedStub) and rec.status == TxnStatus.PREPARED:
                 self._adopt_commit(rec, entry["commit_ts"])
@@ -688,7 +707,7 @@ class DastNode(CoordinatorMixin):
     # ------------------------------------------------------------------
     # Failover: manager takeover (§4.4)
     # ------------------------------------------------------------------
-    def on_mgr_takeover(self, src: str, payload: dict):
+    def on_mgr_takeover(self, src: str, payload: MgrTakeover):
         old_manager = self.manager
         self.manager = src
         # Report our current view: the standby's membership may be stale
@@ -696,7 +715,7 @@ class DastNode(CoordinatorMixin):
         # view among the replies.
         view = {"vid": self.vid, "members": list(self.members),
                 "removed": sorted(self.removed)}
-        self.vid = max(self.vid, payload["vid"])
+        self.vid = max(self.vid, payload.vid)
         old_ts = self.max_ts.pop(old_manager, ZERO_TS)
         self.max_ts.setdefault(src, old_ts)
         return {"node": self.host, "mgr_max_ts": old_ts,
@@ -705,8 +724,8 @@ class DastNode(CoordinatorMixin):
     # ------------------------------------------------------------------
     # Recovery: adding a replica (Algorithm 4)
     # ------------------------------------------------------------------
-    def on_transfer_ckpt(self, src: str, payload: dict):
-        new_node = payload["node"]
+    def on_transfer_ckpt(self, src: str, payload: TransferCkpt):
+        new_node = payload.node
         ts_ckpt = self.executed_log[-1][0] if self.executed_log else self.dclock.peek()
         snapshot = self.shard.snapshot()
         # Remember what the checkpoint covers: after the view installs we
@@ -716,8 +735,7 @@ class DastNode(CoordinatorMixin):
         def proc():
             yield self.endpoint.call(
                 new_node,
-                "install_ckpt",
-                {"snapshot": snapshot, "ts_ckpt": ts_ckpt, "shard": self.shard_id},
+                InstallCkpt(snapshot=snapshot, ts_ckpt=ts_ckpt, shard=self.shard_id),
                 timeout=4 * self.timing.intra_region_rtt,
             )
             return ts_ckpt
@@ -750,10 +768,10 @@ class DastNode(CoordinatorMixin):
                 "anticipated_ts": rec.anticipated_ts,
             })
         if entries:
-            self._reliable(new_node, "replica_catchup", {"entries": entries})
+            self._reliable(new_node, ReplicaCatchup(entries=entries))
 
-    def on_replica_catchup(self, src: str, payload: dict):
-        for entry in payload["entries"]:
+    def on_replica_catchup(self, src: str, payload: ReplicaCatchup):
+        for entry in payload.entries:
             txn = entry["txn"]
             rec = self._record(txn, entry["is_crt"], entry["coord"],
                                status=TxnStatus.PREPARED)
@@ -774,31 +792,31 @@ class DastNode(CoordinatorMixin):
         self._try_execute()
         return {"node": self.host}
 
-    def on_install_ckpt(self, src: str, payload: dict):
-        self.shard.restore(payload["snapshot"])
-        return {"node": self.host, "ts_ckpt": payload["ts_ckpt"]}
+    def on_install_ckpt(self, src: str, payload: InstallCkpt):
+        self.shard.restore(payload.snapshot)
+        return {"node": self.host, "ts_ckpt": payload.ts_ckpt}
 
-    def on_add_prep(self, src: str, payload: dict):
+    def on_add_prep(self, src: str, payload: AddPrep):
         # The "fake CRT" accessing all nodes: freeze clocks below ts_ins.
-        self.wait_q.insert(f"add:{payload['node']}", payload["ts_ins"])
+        self.wait_q.insert(f"add:{payload.node}", payload.ts_ins)
         return {"node": self.host}
 
-    def on_add_commit(self, src: str, payload: dict):
-        new_node = payload["node"]
-        ts_ins: Timestamp = payload["ts_ins"]
-        self.vid = payload["vid"]
+    def on_add_commit(self, src: str, payload: AddCommit):
+        new_node = payload.node
+        ts_ins: Timestamp = payload.ts_ins
+        self.vid = payload.vid
         self.wait_q.remove(f"add:{new_node}")
         self.removed.discard(new_node)
         if new_node == self.host:
             # We are the new replica: jump our clock past the install point.
             self.dclock.jump_to(ts_ins)
-            self.members = payload["members"]
-            for shard_id in [payload["shard"]]:
+            self.members = list(payload.members)
+            for shard_id in [payload.shard]:
                 self.catalog.add_replica(shard_id, new_node)
         else:
             if new_node not in self.members:
                 self.members.append(new_node)
-            self.catalog.add_replica(payload["shard"], new_node)
+            self.catalog.add_replica(payload.shard, new_node)
             self.max_ts[new_node] = ts_ins
             donor_state = getattr(self, "_ckpt_donor_state", None)
             if donor_state and donor_state["node"] == new_node:

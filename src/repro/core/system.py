@@ -28,6 +28,7 @@ from repro.storage.shard import Shard
 from repro.storage.table import TableSchema
 from repro.txn.model import Transaction
 from repro.util import Stats
+from repro.wire.messages import Submit
 
 __all__ = ["DastSystem"]
 
@@ -174,7 +175,7 @@ class DastSystem:
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
         self.submitted[txn.txn_id] = txn
-        event = endpoint.call(node_host, "submit", txn, timeout=timeout)
+        event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
         if self.tracer is not None:
             trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
         return event

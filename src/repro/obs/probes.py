@@ -94,6 +94,7 @@ def standard_probes(system) -> List[Tuple[str, Callable[[], float]]]:
     if network is not None and hasattr(network, "stats"):
         probes.append(("net_inflight", lambda nw=network: nw.stats.in_flight))
         probes.append(("net_sent", lambda nw=network: nw.stats.messages_sent))
+        probes.append(("net_bytes", lambda nw=network: nw.stats.bytes_sent))
 
     # When a chaos plan is (or gets) installed, sample how many of its fault
     # events have fired — lines probe timeseries up against fault times.

@@ -27,37 +27,55 @@ pre-crash traffic, just as a rebooted server's TCP connections are gone.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError, NetworkError
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.wire.schema import sizeof
 
 __all__ = ["Network", "NetworkStats"]
 
 
 class NetworkStats:
-    """Counters for traffic accounting (used by the scalability analysis)."""
+    """Counters for traffic accounting (used by the scalability analysis).
+
+    Byte totals use the deterministic virtual-byte size model of
+    :mod:`repro.wire.schema` — per-message sizes computed at send time from
+    typed envelopes (opaque legacy payloads fall back to ``sizeof``).
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_duplicated = 0
+        self.bytes_sent = 0
         # Messages scheduled for delivery but not yet delivered/dropped —
         # the "wire occupancy" the observability probes sample over time.
         self.in_flight = 0
         self.per_host_sent: Dict[str, int] = {}
         self.per_host_received: Dict[str, int] = {}
+        # Keyed by message type: the envelope's payload name ("pct_report",
+        # "resp:irt_prepare", "batch", or "opaque" for untyped payloads).
+        self.per_type_sent: Dict[str, int] = {}
+        self.per_type_bytes: Dict[str, int] = {}
 
-    def record_send(self, src: str) -> None:
+    def record_send(self, src: str, type_name: str = "opaque", size: int = 0) -> None:
         self.messages_sent += 1
+        self.bytes_sent += size
         self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
+        self.per_type_sent[type_name] = self.per_type_sent.get(type_name, 0) + 1
+        self.per_type_bytes[type_name] = self.per_type_bytes.get(type_name, 0) + size
 
     def record_receive(self, dst: str) -> None:
         self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
 
     def record_drop(self) -> None:
         self.messages_dropped += 1
+
+    def top_types(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` most-sent message types, by count (deterministic order)."""
+        return sorted(self.per_type_sent.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
 
 
 class Network:
@@ -89,6 +107,16 @@ class Network:
         # extra delay (reorder) / are delivered twice with probability p.
         self.reorder_spread = 0.0
         self.duplicate_probability = 0.0
+        # Bandwidth/serialization cost hooks (virtual bytes -> extra delay).
+        # Both default off so the base delay model — and every pinned timing
+        # in the tier-1 suite — is unchanged unless an experiment opts in.
+        # ``bandwidth_bytes_per_ms`` adds size/bandwidth ms per delivery;
+        # ``serialization_cost_per_kb`` adds a flat encode/decode CPU-ish
+        # cost of ``size/1024 * cost`` ms.  Per-link overrides are keyed by
+        # (src_region, dst_region).
+        self.bandwidth_bytes_per_ms: Optional[float] = None
+        self.serialization_cost_per_kb: float = 0.0
+        self._link_bandwidth: Dict[Tuple[str, str], float] = {}
         self._host_region: Dict[str, str] = {}
         self._handlers: Dict[str, Callable] = {}
         self._rtt_overrides: Dict[Tuple[str, str], float] = {}
@@ -131,6 +159,16 @@ class Network:
         else:
             self._rtt_overrides[(r1, r2)] = rtt
             self._rtt_overrides[(r2, r1)] = rtt
+
+    def set_link_bandwidth(self, src_region: str, dst_region: str,
+                           bytes_per_ms: Optional[float]) -> None:
+        """Per-link bandwidth override (``None`` clears it)."""
+        if bytes_per_ms is not None and bytes_per_ms <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if bytes_per_ms is None:
+            self._link_bandwidth.pop((src_region, dst_region), None)
+        else:
+            self._link_bandwidth[(src_region, dst_region)] = bytes_per_ms
 
     def partition_hosts(self, a: str, b: str) -> None:
         """Silently drop all traffic between hosts ``a`` and ``b``."""
@@ -246,23 +284,42 @@ class Network:
         """Fire-and-forget delivery of ``payload`` from ``src`` to ``dst``.
 
         Lost messages (partition, crash, random drop) vanish silently —
-        reliability is the sender's problem, as on a real network.
+        reliability is the sender's problem, as on a real network.  Typed
+        envelopes (anything exposing ``type_name``/``wire_size``) are
+        accounted per message type and in virtual bytes; legacy opaque
+        payloads are sized with the fallback model.
         """
         if dst not in self._handlers:
             raise NetworkError(f"unknown destination host {dst!r}")
-        self.stats.record_send(src)
+        type_name = getattr(payload, "type_name", "opaque")
+        size = sizeof(payload)
+        self.stats.record_send(src, type_name, size)
         if self._blocked(src, dst) or (
             self.drop_probability and self._rng.random() < self.drop_probability
         ):
             self.stats.record_drop()
             return
-        self._schedule_delivery(src, dst, payload)
+        self._schedule_delivery(src, dst, payload, size)
         if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
             self.stats.messages_duplicated += 1
-            self._schedule_delivery(src, dst, payload)
+            self._schedule_delivery(src, dst, payload, size)
 
-    def _schedule_delivery(self, src: str, dst: str, payload: object) -> None:
-        delay = self.one_way_delay(src, dst)
+    def _byte_delay(self, src: str, dst: str, size: int) -> float:
+        """Extra delay charged by the bandwidth/serialization hooks."""
+        if size <= 0:
+            return 0.0
+        extra = 0.0
+        bandwidth = self._link_bandwidth.get(
+            (self.region_of(src), self.region_of(dst)), self.bandwidth_bytes_per_ms
+        )
+        if bandwidth:
+            extra += size / bandwidth
+        if self.serialization_cost_per_kb:
+            extra += (size / 1024.0) * self.serialization_cost_per_kb
+        return extra
+
+    def _schedule_delivery(self, src: str, dst: str, payload: object, size: int = 0) -> None:
+        delay = self.one_way_delay(src, dst) + self._byte_delay(src, dst, size)
         if self.reorder_spread:
             delay += self._rng.uniform(0.0, self.reorder_spread)
         self.stats.in_flight += 1

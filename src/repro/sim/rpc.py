@@ -10,31 +10,115 @@ the evaluation (Fig 5, Fig 8) depends on.
 Handlers are registered per method name and may be plain functions (returning
 the response directly) or generator coroutines (spawned as kernel processes;
 their return value is the response).
+
+Wire layer: payloads travel as typed envelopes.  A sender may pass a
+:class:`repro.wire.WireMessage` (the method name is taken from the schema and
+the payload is encoded into a sized frame), or a legacy
+``(method, payload)`` pair whose payload rides opaquely.  Encoded frames are
+decoded back into typed messages at delivery — an unknown or malformed frame
+raises :class:`repro.wire.WireError` naming the message.
+
+Batching: with ``batch_window > 0`` the endpoint coalesces *batchable*
+one-way messages (see ``repro.wire.messages``) per destination; the buffer
+flushes ``batch_window`` virtual ms after its first message as a single
+network message carrying all frames, which the receiver unpacks in order.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ProtocolError, RpcTimeout
 from repro.sim.kernel import Event, Process, Simulator
 from repro.sim.network import Network
+from repro.wire.schema import (
+    Encoded,
+    WireMessage,
+    batch_size,
+    decode,
+    encode,
+    schema_for,
+    sizeof,
+)
 
 __all__ = ["Endpoint", "RpcRemoteError"]
 
-_REQ = "req"
-_RESP = "resp"
-_ONEWAY = "oneway"
+# Virtual bytes of framing around a payload (kind tag, rpc id, method name).
+_ENVELOPE_OVERHEAD = 16
 
 
 class RpcRemoteError(ProtocolError):
     """The remote handler raised; the error text travels back to the caller."""
 
 
+class _Request:
+    __slots__ = ("rpc_id", "method", "payload")
+
+    def __init__(self, rpc_id: int, method: str, payload: Any):
+        self.rpc_id = rpc_id
+        self.method = method
+        self.payload = payload
+
+    @property
+    def type_name(self) -> str:
+        return self.method
+
+    def wire_size(self) -> int:
+        return _ENVELOPE_OVERHEAD + len(self.method) + sizeof(self.payload)
+
+
+class _Response:
+    __slots__ = ("rpc_id", "method", "ok", "value")
+
+    def __init__(self, rpc_id: int, method: str, ok: bool, value: Any):
+        self.rpc_id = rpc_id
+        self.method = method
+        self.ok = ok
+        self.value = value
+
+    @property
+    def type_name(self) -> str:
+        return f"resp:{self.method}"
+
+    def wire_size(self) -> int:
+        return _ENVELOPE_OVERHEAD + len(self.method) + sizeof(self.value)
+
+
+class _Oneway:
+    __slots__ = ("method", "payload")
+
+    def __init__(self, method: str, payload: Any):
+        self.method = method
+        self.payload = payload
+
+    @property
+    def type_name(self) -> str:
+        return self.method
+
+    def wire_size(self) -> int:
+        return _ENVELOPE_OVERHEAD + len(self.method) + sizeof(self.payload)
+
+
+class _Batch:
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Tuple[Encoded, ...]):
+        self.frames = frames
+
+    @property
+    def type_name(self) -> str:
+        return "batch"
+
+    def wire_size(self) -> int:
+        return _ENVELOPE_OVERHEAD + batch_size(self.frames)
+
+
 class Endpoint:
     """One RPC endpoint per simulated host."""
 
+    # Class-level id stream: rpc ids are globally unique across endpoints,
+    # so a late response can never be mistaken for a newer call's response.
     _ids = itertools.count(1)
 
     def __init__(
@@ -44,16 +128,19 @@ class Endpoint:
         host: str,
         region: str,
         service_time: float = 0.0,
+        batch_window: float = 0.0,
     ):
         self.sim = sim
         self.network = network
         self.host = host
         self.region = region
         self.service_time = service_time
+        self.batch_window = batch_window
         self._busy_until = 0.0
         self._cheap: set = set()
         self._handlers: Dict[str, Callable] = {}
-        self._pending: Dict[int, Tuple[Event, Optional[Event]]] = {}
+        self._pending: Dict[int, Event] = {}
+        self._batch_buf: Dict[str, List[Encoded]] = {}
         network.register(host, region, self._on_message)
 
     # ------------------------------------------------------------------
@@ -77,8 +164,15 @@ class Endpoint:
         a leader fanning a batch out to many followers)."""
         self._busy_until = max(self.sim.now, self._busy_until) + cost
 
-    def _on_message(self, src: str, envelope: tuple) -> None:
-        if envelope[0] == _ONEWAY and envelope[1] in self._cheap:
+    def _is_cheap(self, envelope: Any) -> bool:
+        if isinstance(envelope, _Oneway):
+            return envelope.method in self._cheap
+        if isinstance(envelope, _Batch):
+            return all(frame.name in self._cheap for frame in envelope.frames)
+        return False
+
+    def _on_message(self, src: str, envelope: Any) -> None:
+        if self._is_cheap(envelope):
             self._process(src, envelope)
             return
         # Serialize processing through the node's single CPU.
@@ -86,19 +180,22 @@ class Endpoint:
         self._busy_until = start + self.service_time
         self.sim.schedule(self._busy_until - self.sim.now, self._process, src, envelope)
 
-    def _process(self, src: str, envelope: tuple) -> None:
-        kind = envelope[0]
-        if kind == _REQ:
-            _, rpc_id, method, payload = envelope
-            self._handle_request(src, rpc_id, method, payload)
-        elif kind == _ONEWAY:
-            _, method, payload = envelope
-            self._invoke(method, src, payload)
-        elif kind == _RESP:
-            _, rpc_id, ok, value = envelope
-            self._handle_response(rpc_id, ok, value)
+    def _process(self, src: str, envelope: Any) -> None:
+        if isinstance(envelope, _Request):
+            self._handle_request(src, envelope)
+        elif isinstance(envelope, _Oneway):
+            self._invoke(envelope.method, src, self._decode(envelope.payload))
+        elif isinstance(envelope, _Batch):
+            for frame in envelope.frames:
+                self._invoke(frame.name, src, decode(frame))
+        elif isinstance(envelope, _Response):
+            self._handle_response(envelope.rpc_id, envelope.ok, envelope.value)
         else:
-            raise ProtocolError(f"{self.host}: bad envelope kind {kind!r}")
+            raise ProtocolError(f"{self.host}: bad envelope {envelope!r}")
+
+    @staticmethod
+    def _decode(payload: Any) -> Any:
+        return decode(payload) if isinstance(payload, Encoded) else payload
 
     def _invoke(self, method: str, src: str, payload: Any):
         handler = self._handlers.get(method)
@@ -109,24 +206,27 @@ class Endpoint:
             return self.sim.spawn(result, name=f"{self.host}.{method}")
         return result
 
-    def _handle_request(self, src: str, rpc_id: int, method: str, payload: Any) -> None:
-        result = self._invoke(method, src, payload)
+    def _handle_request(self, src: str, req: _Request) -> None:
+        result = self._invoke(req.method, src, self._decode(req.payload))
         if isinstance(result, Process):
             result.add_callback(
-                lambda ev: self._reply(src, rpc_id, ev.ok, ev.value if ev.ok else str(ev.exception))
+                lambda ev: self._reply(
+                    src, req, ev.ok, ev.value if ev.ok else str(ev.exception)
+                )
             )
         else:
-            self._reply(src, rpc_id, True, result)
+            self._reply(src, req, True, result)
 
-    def _reply(self, dst: str, rpc_id: int, ok: bool, value: Any) -> None:
-        self.network.send(self.host, dst, (_RESP, rpc_id, ok, value))
+    def _reply(self, dst: str, req: _Request, ok: bool, value: Any) -> None:
+        self.network.send(self.host, dst, _Response(req.rpc_id, req.method, ok, value))
 
     def _handle_response(self, rpc_id: int, ok: bool, value: Any) -> None:
-        entry = self._pending.pop(rpc_id, None)
-        if entry is None:
-            return  # late response after timeout: drop, like a real client stub
-        event, _timer = entry
+        event = self._pending.pop(rpc_id, None)
+        if event is None:
+            return  # late response after timeout/expiry: drop, like a real stub
         if event.triggered:
+            # Defensive: never double-resolve (e.g. a duplicated response
+            # racing an expiry that already failed the event).
             return
         if ok:
             event.succeed(value)
@@ -136,32 +236,85 @@ class Endpoint:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def call(self, dst: str, method: str, payload: Any, timeout: Optional[float] = None) -> Event:
+    def _coerce(
+        self, method: Union[str, WireMessage], payload: Any
+    ) -> Tuple[str, Any]:
+        """Normalize the two calling conventions into (method, wire payload).
+
+        ``send(dst, msg)`` — a typed message; name comes from the schema.
+        ``send(dst, "method", payload)`` — legacy; a typed payload is still
+        encoded, anything else rides opaquely.
+        """
+        if isinstance(method, WireMessage):
+            if payload is not None:
+                raise ProtocolError(
+                    f"{self.host}: passing both a typed message and a payload"
+                )
+            return method.NAME, encode(method)
+        if isinstance(payload, WireMessage):
+            return method, encode(payload)
+        return method, payload
+
+    def call(
+        self,
+        dst: str,
+        method: Union[str, WireMessage],
+        payload: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
         """Send a request; the returned event resolves with the response.
 
         On ``timeout`` (ms) the event fails with :class:`RpcTimeout` and any
         late response is discarded.
         """
+        method, payload = self._coerce(method, payload)
         rpc_id = next(self._ids)
         event = self.sim.event()
-        self._pending[rpc_id] = (event, None)
-        self.network.send(self.host, dst, (_REQ, rpc_id, method, payload))
+        self._pending[rpc_id] = event
+        self.network.send(self.host, dst, _Request(rpc_id, method, payload))
         if timeout is not None:
             self.sim.schedule(timeout, self._expire, rpc_id, dst, method)
         return event
 
     def _expire(self, rpc_id: int, dst: str, method: str) -> None:
-        entry = self._pending.pop(rpc_id, None)
-        if entry is None:
-            return
-        event, _timer = entry
+        event = self._pending.pop(rpc_id, None)
+        if event is None:
+            return  # already resolved (or already expired)
         if not event.triggered:
             event.fail(RpcTimeout(f"{self.host}->{dst} {method} timed out"))
 
-    def send(self, dst: str, method: str, payload: Any) -> None:
-        """One-way message; no response, no delivery guarantee."""
-        self.network.send(self.host, dst, (_ONEWAY, method, payload))
+    def send(self, dst: str, method: Union[str, WireMessage], payload: Any = None) -> None:
+        """One-way message; no response, no delivery guarantee.
 
-    def broadcast(self, dsts, method: str, payload: Any) -> None:
+        Batchable typed messages are coalesced per destination while a batch
+        window is configured; everything else goes out immediately.
+        """
+        method, payload = self._coerce(method, payload)
+        if self.batch_window > 0 and isinstance(payload, Encoded):
+            schema = schema_for(payload.name)
+            if schema is not None and schema.BATCHABLE:
+                buf = self._batch_buf.setdefault(dst, [])
+                buf.append(payload)
+                if len(buf) == 1:
+                    self.sim.schedule(self.batch_window, self._flush_batch, dst)
+                return
+        self.network.send(self.host, dst, _Oneway(method, payload))
+
+    def _flush_batch(self, dst: str) -> None:
+        frames = self._batch_buf.pop(dst, None)
+        if not frames:
+            return
+        if len(frames) == 1:
+            self.network.send(self.host, dst, _Oneway(frames[0].name, frames[0]))
+        else:
+            self.network.send(self.host, dst, _Batch(tuple(frames)))
+
+    def flush(self) -> None:
+        """Flush all pending batches immediately (e.g. on shutdown)."""
+        for dst in sorted(self._batch_buf):
+            self._flush_batch(dst)
+
+    def broadcast(self, dsts, method: Union[str, WireMessage], payload: Any = None) -> None:
+        method, payload = self._coerce(method, payload)
         for dst in dsts:
             self.send(dst, method, payload)

@@ -222,5 +222,22 @@ class Transaction:
                     edges.add((src, piece.shard_id))
         return edges
 
+    def wire_size(self) -> int:
+        """Virtual wire size (see ``docs/WIRE.md``): id + type + params +
+        a fixed per-piece stub (a real system ships piece ids, not closures).
+        Cached — a transaction is immutable once submitted."""
+        size = getattr(self, "_wire_size", None)
+        if size is None:
+            from repro.wire.schema import sizeof
+
+            size = (
+                sizeof(self.txn_id)
+                + sizeof(self.txn_type)
+                + sizeof(self.params)
+                + 16 * len(self.pieces)
+            )
+            self._wire_size = size
+        return size
+
     def __repr__(self) -> str:
         return f"Transaction({self.txn_id}, {self.txn_type}, shards={list(self.shard_ids)})"

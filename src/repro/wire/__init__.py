@@ -1,0 +1,35 @@
+"""Typed wire protocol: schemas, codec, size model, and batching.
+
+``repro.wire.schema`` holds the registry/codec machinery, and
+``repro.wire.messages`` the concrete taxonomy (importing it registers every
+message).  See ``docs/WIRE.md`` for the taxonomy table and the virtual-byte
+size model.
+"""
+
+from repro.wire import messages  # noqa: F401  (imports register all schemas)
+from repro.wire.messages import *  # noqa: F401,F403
+from repro.wire.schema import (
+    Encoded,
+    WireError,
+    WireMessage,
+    batch_size,
+    decode,
+    encode,
+    message,
+    registered_messages,
+    schema_for,
+    sizeof,
+)
+
+__all__ = [
+    "Encoded",
+    "WireError",
+    "WireMessage",
+    "batch_size",
+    "decode",
+    "encode",
+    "message",
+    "registered_messages",
+    "schema_for",
+    "sizeof",
+] + messages.__all__

@@ -1,0 +1,212 @@
+"""Typed wire schemas: the message registry, codec, and size model.
+
+Every protocol hop in the repo used to be an untyped ``dict`` dispatched by
+string method name; malformed fields surfaced as deep ``KeyError``s and the
+network model could not account for wire bytes.  This module provides:
+
+* a **versioned registry** of message schemas — one frozen-field dataclass
+  per message, declared with the :func:`message` decorator;
+* :func:`encode` / :func:`decode` — the codec.  ``encode`` snapshots a
+  message's fields into an :class:`Encoded` frame (with a deterministic
+  virtual byte size); ``decode`` validates the frame against the registry
+  and reconstructs the typed message, raising :class:`WireError` naming the
+  offending message on any unknown name, version mismatch, or missing /
+  unexpected field;
+* :func:`sizeof` — a **deterministic size model in virtual bytes**.  The
+  simulator never serializes real bytes, but per-message sizes let the
+  network account for bandwidth and serialization costs.  The model (see
+  ``docs/WIRE.md``) is: ``None``/``bool`` = 1, numbers = 8, strings =
+  4 + length, containers = 4 + contents, objects with a ``wire_size()``
+  method delegate, anything else a flat 64-byte blob.
+
+Messages double as *read-only mappings* (``msg["ts"]``, ``msg.get("txn")``)
+— the thin adapter that kept handler bodies diff-compatible during the
+migration off raw dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import MISSING, dataclass
+from typing import Any, Callable, ClassVar, Dict, Optional, Tuple, Type
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "WireError",
+    "WireMessage",
+    "Encoded",
+    "message",
+    "encode",
+    "decode",
+    "sizeof",
+    "schema_for",
+    "registered_messages",
+]
+
+# Size-model constants (virtual bytes); documented in docs/WIRE.md.
+_SIZE_SCALAR = 8
+_SIZE_TINY = 1
+_CONTAINER_OVERHEAD = 4
+_OPAQUE_SIZE = 64
+_FRAME_OVERHEAD = 4
+
+
+class WireError(ProtocolError):
+    """Decode/encode failure, always naming the message involved."""
+
+    def __init__(self, reason: str, message_name: str = "<unknown>"):
+        super().__init__(f"wire message {message_name!r}: {reason}")
+        self.message_name = message_name
+        self.reason = reason
+
+
+_REGISTRY: Dict[str, Type["WireMessage"]] = {}
+
+
+class WireMessage:
+    """Base class for registered wire messages (see :func:`message`).
+
+    Subclasses are dataclasses; ``NAME``/``VERSION``/``BATCHABLE`` are set by
+    the decorator.  The mapping-style accessors keep pre-migration handler
+    bodies (``payload["ts"]``, ``payload.get("txn")``) working on typed
+    messages.
+    """
+
+    NAME: ClassVar[str] = ""
+    VERSION: ClassVar[int] = 1
+    BATCHABLE: ClassVar[bool] = False
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: str) -> bool:
+        return hasattr(self, key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return getattr(self, key, default)
+
+    def wire_size(self) -> int:
+        """Virtual wire size of this message's encoded frame."""
+        size = _FRAME_OVERHEAD + len(self.NAME) + _SIZE_TINY  # name + version
+        for field in dataclasses.fields(self):
+            size += sizeof(getattr(self, field.name))
+        return size
+
+
+def message(name: str, *, version: int = 1, batchable: bool = False) -> Callable:
+    """Class decorator: register a dataclass schema under ``name``.
+
+    ``batchable`` marks small one-way messages the endpoint batcher may
+    coalesce (clock reports, commit/abort fan-outs).
+    """
+
+    def wrap(cls: type) -> type:
+        cls = dataclass(cls)
+        if not issubclass(cls, WireMessage):
+            raise WireError("schema must subclass WireMessage", name)
+        if name in _REGISTRY:
+            raise WireError("duplicate schema registration", name)
+        cls.NAME = name
+        cls.VERSION = version
+        cls.BATCHABLE = batchable
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def schema_for(name: str) -> Optional[Type[WireMessage]]:
+    return _REGISTRY.get(name)
+
+
+def registered_messages() -> Dict[str, Type[WireMessage]]:
+    """Snapshot of the registry (used by docs/tests)."""
+    return dict(_REGISTRY)
+
+
+class Encoded:
+    """One encoded message frame travelling over the simulated network."""
+
+    __slots__ = ("name", "version", "fields", "size")
+
+    def __init__(self, name: str, version: int, fields: Dict[str, Any], size: int):
+        self.name = name
+        self.version = version
+        self.fields = fields
+        self.size = size
+
+    @property
+    def type_name(self) -> str:
+        return self.name
+
+    def wire_size(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Encoded({self.name!r}, v{self.version}, {self.size}B)"
+
+
+def encode(msg: WireMessage) -> Encoded:
+    """Snapshot ``msg`` into an :class:`Encoded` frame."""
+    cls = type(msg)
+    if _REGISTRY.get(msg.NAME) is not cls:
+        raise WireError("message type is not registered", msg.NAME or cls.__name__)
+    fields = {f.name: getattr(msg, f.name) for f in dataclasses.fields(msg)}
+    return Encoded(msg.NAME, msg.VERSION, fields, msg.wire_size())
+
+
+def decode(frame: Encoded) -> WireMessage:
+    """Validate ``frame`` against the registry and rebuild the typed message.
+
+    Raises :class:`WireError` (naming the message) for an unknown message
+    name, a version mismatch, a missing required field, or an unexpected
+    field — the typed replacement for the old deep ``KeyError``s.
+    """
+    cls = _REGISTRY.get(frame.name)
+    if cls is None:
+        raise WireError("unknown message name", frame.name)
+    if frame.version != cls.VERSION:
+        raise WireError(
+            f"version mismatch (got v{frame.version}, schema is v{cls.VERSION})",
+            frame.name,
+        )
+    declared = {f.name: f for f in dataclasses.fields(cls)}
+    unexpected = set(frame.fields) - set(declared)
+    if unexpected:
+        raise WireError(f"unexpected field(s) {sorted(unexpected)}", frame.name)
+    missing = [
+        n for n, f in declared.items()
+        if n not in frame.fields
+        and f.default is MISSING
+        and f.default_factory is MISSING
+    ]
+    if missing:
+        raise WireError(f"missing required field(s) {missing}", frame.name)
+    return cls(**frame.fields)
+
+
+def sizeof(value: Any) -> int:
+    """Deterministic virtual byte size of an arbitrary payload value."""
+    if value is None or isinstance(value, bool):
+        return _SIZE_TINY
+    if isinstance(value, (int, float)):
+        return _SIZE_SCALAR
+    if isinstance(value, (str, bytes)):
+        return _CONTAINER_OVERHEAD + len(value)
+    wire_size = getattr(value, "wire_size", None)
+    if callable(wire_size):
+        return wire_size()
+    if isinstance(value, dict):
+        return _CONTAINER_OVERHEAD + sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(sizeof(item) for item in value)
+    return _OPAQUE_SIZE
+
+
+def batch_size(frames: Tuple[Encoded, ...]) -> int:
+    """Virtual size of a coalesced batch: per-entry frames plus one header."""
+    return _CONTAINER_OVERHEAD + sum(f.size for f in frames)

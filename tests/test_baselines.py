@@ -6,6 +6,7 @@ from repro.baselines.janus import JanusSystem
 from repro.baselines.slog import SlogSystem
 from repro.baselines.tapir import TapirSystem
 from repro.txn.model import Transaction
+from repro.wire.messages import JanusCommit, SlogLog
 from tests.conftest import (
     KV_SCHEMA,
     kv_apply_input,
@@ -171,9 +172,9 @@ class TestSlogSpecifics:
         # Deliver log entries out of order directly.
         t1 = Transaction("a", [kv_set(0, 1, 1)])
         t2 = Transaction("b", [kv_set(0, 1, 2)])
-        node.on_log("r0.seq", {"index": 1, "txn": t2, "coord": "r0.n0"})
+        node.on_log("r0.seq", SlogLog(index=1, txn=t2, coord="r0.n0"))
         assert node.next_index == 0  # gap: nothing admitted yet
-        node.on_log("r0.seq", {"index": 0, "txn": t1, "coord": "r0.n0"})
+        node.on_log("r0.seq", SlogLog(index=0, txn=t1, coord="r0.n0"))
         system.run(until=system.sim.now + 100.0)
         assert node.shard.get("kv", ("s0-1",))["v"] == 2  # t1 then t2
 
@@ -211,10 +212,10 @@ class TestJanusSpecifics:
         ta = Transaction("a", [kv_set(0, 0, 10)], txn_id="za")
         tb = Transaction("b", [kv_set(0, 0, 20)], txn_id="zb")
         # Commit both with mutual deps directly at the replica.
-        node.on_commit("x", {"txn_id": "za", "txn": ta, "coord": "r0.n0",
-                             "deps": {"zb": (("s0",), ())}})
-        node.on_commit("x", {"txn_id": "zb", "txn": tb, "coord": "r0.n0",
-                             "deps": {"za": (("s0",), ())}})
+        node.on_commit("x", JanusCommit(txn_id="za", txn=ta, coord="r0.n0",
+                                        deps={"zb": (("s0",), ())}))
+        node.on_commit("x", JanusCommit(txn_id="zb", txn=tb, coord="r0.n0",
+                                        deps={"za": (("s0",), ())}))
         system.run(until=system.sim.now + 100.0)
         assert "za" in node.executed_ids and "zb" in node.executed_ids
         # Deterministic SCC order: za (smaller id) first, zb's write last.

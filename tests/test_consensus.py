@@ -9,6 +9,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.rpc import Endpoint
+from repro.wire.messages import SmrAppend
 
 
 @pytest.fixture
@@ -86,7 +87,7 @@ class TestSmr:
         follower = smr.replicas[1]
         follower.term = 10
         reply = follower.on_append(
-            "r0.smr0", {"term": 3, "index": 0, "entry": (3, "k", 1), "commit_index": -1}
+            "r0.smr0", SmrAppend(term=3, index=0, entry=(3, "k", 1), commit_index=-1)
         )
         assert reply == {"ok": False, "term": 10}
 

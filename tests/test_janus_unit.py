@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.janus import JanusSystem
 from repro.txn.model import Transaction
+from repro.wire.messages import JanusCommit, JanusPreaccept
 from tests.conftest import KV_SCHEMA, kv_set, load_kv, make_topology
 
 
@@ -16,7 +17,7 @@ def node():
 
 
 def preaccept(n, txn, coord="r0.n0"):
-    return n.on_preaccept(coord, {"txn": txn, "coord": coord})
+    return n.on_preaccept(coord, JanusPreaccept(txn=txn, coord=coord))
 
 
 class TestPreAccept:
@@ -54,7 +55,8 @@ class TestPreAccept:
         system, n = node
         t1 = Transaction("a", [kv_set(0, 0, 1)])
         preaccept(n, t1)
-        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        n.on_commit("x", JanusCommit(txn_id=t1.txn_id, txn=t1, coord="r0.n0",
+                                     deps={}))
         system.run(until=system.sim.now + 50.0)
         assert t1.txn_id in n.executed_ids
         reply = preaccept(n, Transaction("b", [kv_set(0, 0, 2)]))
@@ -65,7 +67,8 @@ class TestCommitAndExecution:
     def test_commit_without_preaccept_adopts_body(self, node):
         system, n = node
         t1 = Transaction("a", [kv_set(0, 3, 9)])
-        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        n.on_commit("x", JanusCommit(txn_id=t1.txn_id, txn=t1, coord="r0.n0",
+                                     deps={}))
         system.run(until=system.sim.now + 50.0)
         assert n.shard.get("kv", ("s0-3",))["v"] == 9
 
@@ -75,11 +78,12 @@ class TestCommitAndExecution:
         t2 = Transaction("b", [kv_set(0, 0, 2)])
         preaccept(n, t1)
         preaccept(n, t2)
-        n.on_commit("x", {"txn_id": t2.txn_id, "txn": t2, "coord": "r0.n0",
-                          "deps": {t1.txn_id: (("s0",), ())}})
+        n.on_commit("x", JanusCommit(txn_id=t2.txn_id, txn=t2, coord="r0.n0",
+                                     deps={t1.txn_id: (("s0",), ())}))
         system.run(until=system.sim.now + 50.0)
         assert t2.txn_id not in n.executed_ids  # waits for t1
-        n.on_commit("x", {"txn_id": t1.txn_id, "txn": t1, "coord": "r0.n0", "deps": {}})
+        n.on_commit("x", JanusCommit(txn_id=t1.txn_id, txn=t1, coord="r0.n0",
+                                     deps={}))
         system.run(until=system.sim.now + 50.0)
         assert t1.txn_id in n.executed_ids and t2.txn_id in n.executed_ids
         assert n.shard.get("kv", ("s0-0",))["v"] == 2  # t1 then t2
@@ -89,7 +93,7 @@ class TestCommitAndExecution:
         t2 = Transaction("b", [kv_set(0, 0, 2)])
         # Dep on a transaction that only touches another shard: not relevant
         # at s0, so execution proceeds without it.
-        n.on_commit("x", {"txn_id": t2.txn_id, "txn": t2, "coord": "r0.n0",
-                          "deps": {"ghost": (("s9",), ())}})
+        n.on_commit("x", JanusCommit(txn_id=t2.txn_id, txn=t2, coord="r0.n0",
+                                     deps={"ghost": (("s9",), ())}))
         system.run(until=system.sim.now + 50.0)
         assert t2.txn_id in n.executed_ids

@@ -5,6 +5,7 @@ import pytest
 from repro.clock.hlc import Timestamp
 from repro.core.manager import RttEstimator
 from repro.txn.model import Transaction
+from repro.wire.messages import AbortCrt, CrtUpdate, PrepRemote
 from tests.conftest import kv_set, make_dast
 
 
@@ -28,13 +29,13 @@ def prep_payload(system, txn):
     the 50 ms the message would have spent in flight.
     """
     coord = system.nodes["r0.n0"]
-    return {
-        "txn": txn,
-        "src_ts": coord.dclock.tick(),
-        "coord": coord.host,
-        "vid": 0,
-        "phys": coord.dclock.physical() - system.timing.cross_region_rtt / 2.0,
-    }
+    return PrepRemote(
+        txn=txn,
+        src_ts=coord.dclock.tick(),
+        coord=coord.host,
+        vid=0,
+        phys=coord.dclock.physical() - system.timing.cross_region_rtt / 2.0,
+    )
 
 
 class TestRttEstimator:
@@ -92,14 +93,18 @@ class TestAnticipation:
         txn = crt_txn()
         reply = manager.on_prep_remote("r0.n0", prep_payload(system, txn))
         assert manager._pending_floor() == reply["anticipated_ts"]
-        manager.on_crt_update("r1.n0", {"txn_id": txn.txn_id})
+        manager.on_crt_update(
+            "r1.n0",
+            CrtUpdate(txn_id=txn.txn_id, txn=txn, coord="r0.n0",
+                      commit_ts=Timestamp(0.0, 0, 0), input_ready=True),
+        )
         assert manager._pending_floor() is None
 
     def test_abort_clears_pending(self, mgr):
         system, manager = mgr
         txn = crt_txn()
         manager.on_prep_remote("r0.n0", prep_payload(system, txn))
-        manager.on_abort_crt("r0.mgr", {"txn_id": txn.txn_id})
+        manager.on_abort_crt("r0.mgr", AbortCrt(txn_id=txn.txn_id))
         assert txn.txn_id not in manager.pending
 
     def test_gc_drops_long_stale_entries(self, mgr):
@@ -138,6 +143,6 @@ class TestAnticipationSkewCoupling:
         system, manager = mgr
         txn = crt_txn()
         payload = prep_payload(system, txn)
-        payload["phys"] -= 200.0  # coordinator clock 200ms behind
+        payload.phys -= 200.0  # coordinator clock 200ms behind
         manager.on_prep_remote("r0.n0", payload)
         assert manager.rtt.estimate("r0") > 250.0

@@ -78,6 +78,48 @@ class TestRequestResponse:
         assert isinstance(out["exc"], RpcTimeout)
         sim.run()  # late response arrives and must not blow up
 
+    def test_expired_rpc_never_double_resolves(self, setup):
+        sim, _net, a, b = setup
+
+        def handler(src, payload):
+            yield sim.timeout(50.0)
+            return "late"
+
+        b.register("slow", handler)
+        event = a.call("r0.b", "slow", None, timeout=10.0)
+        resolutions = []
+        event.add_callback(lambda e: resolutions.append(e.exception))
+        sim.run()  # timeout fires, then the late response arrives
+        # The expiry removed the pending entry: the late response is ignored,
+        # the event resolved exactly once, and no stale state remains.
+        assert len(resolutions) == 1
+        assert isinstance(resolutions[0], RpcTimeout)
+        assert a._pending == {}
+
+    def test_duplicated_response_resolves_once(self, setup):
+        sim, net, a, b = setup
+        b.register("echo", lambda src, p: p)
+        net.open_duplicate_window(1.0)  # every message delivered twice
+        resolutions = []
+        event = a.call("r0.b", "echo", 9)
+        event.add_callback(lambda e: resolutions.append(e.value))
+        sim.run()
+        assert resolutions == [9]
+        assert a._pending == {}
+
+    def test_triggered_event_guard_in_handle_response(self, setup):
+        # Defensive path: a pending entry whose event already triggered
+        # (e.g. an expiry raced a response in the same tick) must not be
+        # resolved again.
+        sim, _net, a, _b = setup
+        event = sim.event()
+        event.fail(RpcTimeout("raced"))
+        event.add_callback(lambda e: None)  # observe the failure
+        a._pending[999] = event
+        a._handle_response(999, True, "ghost")  # must be a no-op
+        assert not event.ok
+        assert a._pending == {}
+
     def test_unknown_method_raises_at_server(self, setup):
         sim, _net, a, b = setup
         a.call("r0.b", "ghost", None)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines.tapir import TapirSystem
+from repro.wire.messages import TapirAbort, TapirCommit, TapirPrepare
 from tests.conftest import KV_SCHEMA, load_kv, make_topology
 
 
@@ -15,11 +16,8 @@ def replica():
 
 
 def prepare(node, txn_id, reads=None, writes=None):
-    return node.on_prepare("c", {
-        "txn_id": txn_id,
-        "reads": reads or {},
-        "writes": writes or [],
-    })
+    return node.on_prepare("c", TapirPrepare(
+        txn_id=txn_id, reads=reads or {}, writes=writes or []))
 
 
 class TestOccValidation:
@@ -60,17 +58,17 @@ class TestOccValidation:
     def test_abort_releases_prepared_slot(self, replica):
         _system, node = replica
         prepare(node, "t1", writes=[("kv", ("s0-0",))])
-        node.on_abort("c", {"txn_id": "t1"})
+        node.on_abort("c", TapirAbort(txn_id="t1"))
         reply = prepare(node, "t2", writes=[("kv", ("s0-0",))])
         assert reply["vote"] is True
 
     def test_commit_applies_ops_and_bumps_versions(self, replica):
         _system, node = replica
         prepare(node, "t1", writes=[("kv", ("s0-0",))])
-        node.on_commit("c", {
-            "txn_id": "t1",
-            "s0": [("update", "kv", ("s0-0",), {"v": 42})],
-        })
+        node.on_commit("c", TapirCommit(
+            txn_id="t1",
+            ops_by_shard={"s0": [("update", "kv", ("s0-0",), {"v": 42})]},
+        ))
         assert node.shard.get("kv", ("s0-0",))["v"] == 42
         assert node.versions[("kv", ("s0-0",))] == 1
         assert "t1" not in node.prepared
