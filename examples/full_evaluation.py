@@ -6,13 +6,22 @@ scale and writes paper-style tables to stdout.  The default scale finishes
 in a few minutes; ``--scale large`` gets closer to paper proportions (more
 regions/clients, longer virtual runs) and takes correspondingly longer.
 
-Run:  python examples/full_evaluation.py [--scale small|large] [--only fig2,...]
+Trials run through the ``repro.fleet`` orchestrator: ``--jobs N`` fans them
+out over N worker processes, and unchanged configurations are served from
+the content-addressed result cache (disable with ``--no-cache``, force
+recomputation with ``--refresh``).
+
+Run:  python examples/full_evaluation.py [--scale small|large] [--jobs N]
+          [--only fig2,...]
 """
 
 import argparse
+import sys
+import time
 
 from repro.bench import experiments as exp
 from repro.bench.report import format_series, format_table
+from repro.fleet import DEFAULT_CACHE_DIR, FleetExecutor, ResultCache
 
 
 def main() -> None:
@@ -20,9 +29,24 @@ def main() -> None:
     parser.add_argument("--scale", choices=["small", "large"], default="small")
     parser.add_argument("--only", default="",
                         help="comma-separated subset, e.g. fig2,table3")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for trial fan-out (1 = in-process)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached results but store fresh ones")
     args = parser.parse_args()
     big = args.scale == "large"
     only = {s.strip() for s in args.only.split(",") if s.strip()}
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    fleet = FleetExecutor(
+        jobs=args.jobs, cache=cache, refresh=args.refresh,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    start = time.perf_counter()
 
     def wanted(name: str) -> bool:
         return not only or name in only
@@ -38,7 +62,7 @@ def main() -> None:
         print("=== Figure 2: p99 tail latency, TPC-C ===")
         rows = exp.fig2_tail_latency(
             num_regions=4 if big else 3, clients_per_region=16 if big else 8,
-            duration_ms=12000.0 if big else 6000.0,
+            duration_ms=12000.0 if big else 6000.0, fleet=fleet,
         )
         print(format_table(rows, ["system", "irt_p99_ms", "crt_p99_ms",
                                   "throughput_tps"]))
@@ -56,7 +80,7 @@ def main() -> None:
         print("=== Figure 5: client sweep, TPC-C ===")
         series = exp.fig5_client_sweep(
             client_counts=(4, 8, 16, 32) if big else (2, 8, 16),
-            duration_ms=8000.0 if big else 5000.0,
+            duration_ms=8000.0 if big else 5000.0, fleet=fleet,
         )
         print(format_series(series, ["clients_per_region", "throughput_tps",
                                      "irt_p50_ms", "crt_p50_ms"]))
@@ -66,6 +90,7 @@ def main() -> None:
         print("=== Table 3: DAST CRT breakdown, TPC-C ===")
         breakdown = exp.table3_crt_breakdown(
             num_regions=4 if big else 3, duration_ms=10000.0 if big else 7000.0,
+            fleet=fleet,
         )
         rows = [{"case": k, **{kk: round(vv, 1) for kk, vv in v.items()}}
                 for k, v in breakdown.items() if v]
@@ -76,7 +101,7 @@ def main() -> None:
         print("=== Figure 6: payment-only CRT-ratio sweep ===")
         series = exp.fig6_crt_ratio_sweep(
             ratios=(0.01, 0.1, 0.4, 0.8) if big else (0.01, 0.2, 0.6),
-            duration_ms=8000.0 if big else 5000.0,
+            duration_ms=8000.0 if big else 5000.0, fleet=fleet,
         )
         print(format_series(series, ["crt_ratio", "throughput_tps",
                                      "irt_p99_ms", "crt_p99_ms", "abort_rate"]))
@@ -85,7 +110,7 @@ def main() -> None:
     if wanted("table4"):
         print("=== Table 4: payment-only (40% CRT) breakdown ===")
         breakdown = exp.table4_payment_breakdown(
-            duration_ms=10000.0 if big else 7000.0,
+            duration_ms=10000.0 if big else 7000.0, fleet=fleet,
         )
         rows = [{"case": k, **{kk: round(vv, 1) for kk, vv in v.items()}}
                 for k, v in breakdown.items() if v]
@@ -96,7 +121,7 @@ def main() -> None:
         print("=== Figure 7: TPC-A conflict sweep ===")
         series = exp.fig7_conflict_sweep(
             thetas=(0.5, 0.7, 0.9, 0.99) if big else (0.5, 0.9),
-            duration_ms=8000.0 if big else 5000.0,
+            duration_ms=8000.0 if big else 5000.0, fleet=fleet,
         )
         print(format_series(series, ["theta", "throughput_tps", "irt_p99_ms",
                                      "crt_p99_ms", "abort_rate"]))
@@ -106,7 +131,7 @@ def main() -> None:
         print("=== Figure 8: region scalability ===")
         series = exp.fig8_region_scalability(
             region_counts=(2, 4, 8, 12) if big else (2, 4, 8),
-            duration_ms=6000.0 if big else 4000.0,
+            duration_ms=6000.0 if big else 4000.0, fleet=fleet,
         )
         print(format_series(series, ["regions", "throughput_tps",
                                      "crt_p50_ms", "crt_p99_ms"]))
@@ -114,11 +139,12 @@ def main() -> None:
 
     if wanted("fig9"):
         print("=== Figure 9a: RTT jitter ===")
-        rows = exp.fig9a_rtt_jitter(jitters=(0.0, 10.0, 30.0, 50.0) if big else (0.0, 30.0))
+        rows = exp.fig9a_rtt_jitter(
+            jitters=(0.0, 10.0, 30.0, 50.0) if big else (0.0, 30.0), fleet=fleet)
         print(format_table(rows, ["jitter_ms", "irt_p99_ms", "crt_p99_ms"]))
         print()
         print("=== Figure 9b: abrupt RTT steps (timeline) ===")
-        series = exp.fig9b_rtt_steps(phase_ms=4000.0 if big else 2500.0)
+        series = exp.fig9b_rtt_steps(phase_ms=4000.0 if big else 2500.0, fleet=fleet)
         print(format_table(series, ["t_ms", "throughput_tps", "irt_p50_ms",
                                     "crt_p50_ms"]))
         from repro.bench.plots import sparkline
@@ -129,7 +155,7 @@ def main() -> None:
     if wanted("fig10"):
         print("=== Figure 10a: 200ms clock-skew injection (timeline) ===")
         series = exp.fig10a_clock_skew_timeline(
-            duration_ms=14000.0 if big else 9000.0,
+            duration_ms=14000.0 if big else 9000.0, fleet=fleet,
         )
         print(format_table(series, ["t_ms", "irt_p99_ms", "crt_p50_ms",
                                     "crt_p99_ms"]))
@@ -139,16 +165,21 @@ def main() -> None:
         print()
         print("=== Figure 10b: skew + asymmetric delay ===")
         rows = exp.fig10b_asymmetric_delay(
-            forward_fractions=(0.5, 0.6, 0.7) if big else (0.5, 0.65),
+            forward_fractions=(0.5, 0.6, 0.7) if big else (0.5, 0.65), fleet=fleet,
         )
         print(format_table(rows, ["forward_fraction", "irt_p99_ms", "crt_p50_ms"]))
         print()
 
     if wanted("ablations"):
         print("=== Ablations: DAST design choices ===")
-        rows = exp.ablation_sweep(duration_ms=8000.0 if big else 5000.0)
+        rows = exp.ablation_sweep(duration_ms=8000.0 if big else 5000.0, fleet=fleet)
         print(format_table(rows, ["variant", "throughput_tps", "irt_p99_ms",
                                   "crt_p99_ms", "stretches"]))
+
+    summary = f"done in {time.perf_counter() - start:.1f}s (jobs={args.jobs})"
+    if cache is not None:
+        summary += f"; {cache.describe()}"
+    print(summary, file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -105,12 +105,46 @@ class TrialResult:
         orderer = getattr(self.system, "orderer", None)
         if orderer is not None:
             orderer.stop()
+        # Batch windows coalesce small messages for up to batch_window
+        # virtual ms per destination.  Disable coalescing and flush every
+        # pending buffer so the post-drain audit can never miss tail
+        # messages that were still sitting in an open window.
+        for endpoint in getattr(self.system.network, "endpoints", ()):
+            endpoint.batch_window = 0.0
+            endpoint.flush()
         self.system.run(until=self.system.sim.now + extra_ms)
+
+
+def _reset_global_id_streams() -> None:
+    """Rewind every process-global id stream before a trial.
+
+    Txn/rpc/history ids are drawn from class-level counters, and several
+    leak into a trial's *output* — txn ids are strings whose length feeds
+    the virtual wire-size model, so a trial's byte accounting would depend
+    on how many trials ran earlier in the same process.  Resetting per
+    trial makes results position-independent: an in-process run, a fleet
+    worker run, and a cached result are byte-identical (the fleet's
+    cross-process determinism guard asserts exactly this).
+    """
+    import itertools
+
+    from repro.core.node import DastNode
+    from repro.sim.rpc import Endpoint
+    from repro.txn.model import Transaction
+    from repro.workloads.tpca import TpcaWorkload
+    from repro.workloads.tpcc import transactions as tpcc_transactions
+
+    Transaction._ids = itertools.count(1)
+    Endpoint._ids = itertools.count(1)
+    DastNode._obl_ids = itertools.count(1)
+    TpcaWorkload._history_ids = itertools.count(1)
+    tpcc_transactions._history_ids = itertools.count(1)
 
 
 def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
     """Execute one trial; ``hooks(system, recorder)`` runs after start (for
     fault/anomaly injection schedules)."""
+    _reset_global_id_streams()
     config = TopologyConfig(
         num_regions=trial.num_regions,
         shards_per_region=trial.shards_per_region,

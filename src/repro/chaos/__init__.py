@@ -13,6 +13,7 @@ See ``docs/CHAOS.md`` for the full tour.  Quick start::
 """
 
 from repro.chaos.generator import ChaosProfile, generate_plan
+from repro.chaos.parallel import run_scenarios_parallel
 from repro.chaos.plan import FAULT_KINDS, FaultEvent, FaultPlan
 from repro.chaos.runner import (
     BENIGN_ABORT_REASONS,
@@ -32,6 +33,7 @@ __all__ = [
     "ChaosReport",
     "ChaosRunner",
     "run_chaos_trial",
+    "run_scenarios_parallel",
     "ShrinkResult",
     "shrink_plan",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro run|experiment|audit|obs|chaos``.
+"""Command-line interface: ``python -m repro run|experiment|audit|obs|chaos|bench``.
 
 Examples::
 
@@ -6,17 +6,21 @@ Examples::
     python -m repro run --system slog --workload payment --crt-ratio 0.4
     python -m repro run --regions 3 --trace-out trial.jsonl
     python -m repro experiment fig2 table3
+    python -m repro experiment fig2 fig8 --jobs 4   # parallel, cached
     python -m repro audit --regions 2 --duration-ms 4000
     python -m repro obs --regions 3 --out trial.jsonl --csv-dir obs_csv
     python -m repro chaos --seed 7                  # one generated scenario
     python -m repro chaos --fuzz 10 --seed 0        # seeded scenario matrix
+    python -m repro chaos --fuzz 10 --jobs 4        # parallel scenario matrix
     python -m repro chaos --plan plan.json --out report.txt
+    python -m repro bench --jobs 4                  # pinned wall-clock matrix
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.bench import experiments as exp
@@ -26,27 +30,30 @@ from repro.bench.report import format_series, format_table
 from repro.workloads.tpca import TpcaWorkload
 from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
 
+# Each artifact renderer takes (args, fleet); trial-shaped artifacts hand
+# ``fleet`` down to repro.bench.experiments so --jobs/--cache apply.
 EXPERIMENTS = {
-    "table1": lambda a: format_table(__import__("repro.bench.features", fromlist=["feature_rows"]).feature_rows()),
-    "fig2": lambda a: format_table(exp.fig2_tail_latency()),
-    "table2": lambda a: format_table(
+    "table1": lambda a, f: format_table(
+        __import__("repro.bench.features", fromlist=["feature_rows"]).feature_rows()),
+    "fig2": lambda a, f: format_table(exp.fig2_tail_latency(fleet=f)),
+    "table2": lambda a, f: format_table(
         [{"txn_type": t, **v} for t, v in exp.table2_transaction_mix().items()]
     ),
-    "fig5": lambda a: format_series(exp.fig5_client_sweep()),
-    "table3": lambda a: format_table(
-        [{"case": k, **v} for k, v in exp.table3_crt_breakdown().items() if v]
+    "fig5": lambda a, f: format_series(exp.fig5_client_sweep(fleet=f)),
+    "table3": lambda a, f: format_table(
+        [{"case": k, **v} for k, v in exp.table3_crt_breakdown(fleet=f).items() if v]
     ),
-    "fig6": lambda a: format_series(exp.fig6_crt_ratio_sweep()),
-    "table4": lambda a: format_table(
-        [{"case": k, **v} for k, v in exp.table4_payment_breakdown().items() if v]
+    "fig6": lambda a, f: format_series(exp.fig6_crt_ratio_sweep(fleet=f)),
+    "table4": lambda a, f: format_table(
+        [{"case": k, **v} for k, v in exp.table4_payment_breakdown(fleet=f).items() if v]
     ),
-    "fig7": lambda a: format_series(exp.fig7_conflict_sweep()),
-    "fig8": lambda a: format_series(exp.fig8_region_scalability()),
-    "fig9a": lambda a: format_table(exp.fig9a_rtt_jitter()),
-    "fig9b": lambda a: format_table(exp.fig9b_rtt_steps()),
-    "fig10a": lambda a: format_table(exp.fig10a_clock_skew_timeline()),
-    "fig10b": lambda a: format_table(exp.fig10b_asymmetric_delay()),
-    "ablations": lambda a: format_table(exp.ablation_sweep()),
+    "fig7": lambda a, f: format_series(exp.fig7_conflict_sweep(fleet=f)),
+    "fig8": lambda a, f: format_series(exp.fig8_region_scalability(fleet=f)),
+    "fig9a": lambda a, f: format_table(exp.fig9a_rtt_jitter(fleet=f)),
+    "fig9b": lambda a, f: format_table(exp.fig9b_rtt_steps(fleet=f)),
+    "fig10a": lambda a, f: format_table(exp.fig10a_clock_skew_timeline(fleet=f)),
+    "fig10b": lambda a, f: format_table(exp.fig10b_asymmetric_delay(fleet=f)),
+    "ablations": lambda a, f: format_table(exp.ablation_sweep(fleet=f)),
 }
 
 
@@ -147,24 +154,92 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def _progress(line: str) -> None:
+    """Fleet progress goes to stderr so stdout stays a clean artifact."""
+    print(line, file=sys.stderr)
+    sys.stderr.flush()
+
+
+def _build_fleet(args):
+    """A FleetExecutor from the shared --jobs/--cache/--refresh flags."""
+    from repro.fleet import FleetExecutor, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    fleet = FleetExecutor(jobs=args.jobs, cache=cache, refresh=args.refresh,
+                          progress=_progress)
+    return fleet, cache
+
+
 def cmd_experiment(args) -> int:
     unknown = [n for n in args.names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}",
               file=sys.stderr)
         return 2
-    for name in args.names:
+    fleet, cache = _build_fleet(args)
+    failed: List[str] = []
+    total_start = time.perf_counter()
+    for i, name in enumerate(args.names, 1):
+        _progress(f"[experiment] {i}/{len(args.names)} {name} ...")
+        start = time.perf_counter()
+        try:
+            text = EXPERIMENTS[name](args, fleet)
+        except Exception as exc:  # keep going: report every broken artifact
+            failed.append(name)
+            _progress(f"[experiment] {name} FAILED after "
+                      f"{time.perf_counter() - start:.1f}s: {exc}")
+            continue
         print(f"=== {name} ===")
-        print(EXPERIMENTS[name](args))
+        print(text)
         print()
-    return 0
+        _progress(f"[experiment] {name} done in {time.perf_counter() - start:.1f}s")
+    summary = (f"[experiment] {len(args.names) - len(failed)}/{len(args.names)} "
+               f"artifacts in {time.perf_counter() - total_start:.1f}s")
+    if cache is not None:
+        summary += f" ({cache.describe()})"
+    if failed:
+        summary += f"; FAILED: {', '.join(failed)}"
+    _progress(summary)
+    return 1 if failed else 0
 
 
-def _run_chaos_plan(plan, args):
-    from repro.chaos import run_chaos_trial
+def cmd_bench(args) -> int:
+    """Run the pinned trial matrix and write the BENCH_fleet.json payload."""
+    import json
 
-    return run_chaos_trial(
-        plan,
+    from repro.fleet import run_bench
+
+    error = _check_out_path(args.out, "--out")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    fleet, cache = _build_fleet(args)
+    payload = run_bench(jobs=args.jobs, quick=args.quick, cache=cache,
+                        refresh=args.refresh, progress=_progress,
+                        timeout_s=args.timeout_s)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(format_table([
+        {k: row.get(k, "") for k in ("label", "cached", "wall_clock_s",
+                                     "throughput_tps", "irt_p99_ms", "crt_p99_ms")}
+        for row in payload["rows"]
+    ]))
+    print(f"trials={payload['trials']} executed={payload['executed']} "
+          f"failures={payload['failures']} wall_clock_s={payload['wall_clock_s']} "
+          f"trials_per_min={payload['trials_per_min']}")
+    if payload["cache"] is not None:
+        stats = payload["cache"]
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['stores']} stored")
+    print(f"wrote {args.out}")
+    return 1 if payload["failures"] else 0
+
+
+def _chaos_trial_kwargs(args) -> dict:
+    """run_chaos_trial keyword arguments shared by serial and parallel paths
+    (everything but the per-scenario plan and seed)."""
+    return dict(
         system=args.system,
         workload=args.workload,
         num_regions=args.regions,
@@ -172,10 +247,15 @@ def _run_chaos_plan(plan, args):
         clients_per_region=args.clients,
         duration_ms=args.duration_ms,
         drain_ms=args.drain_ms,
-        seed=args.seed,
         crt_ratio=args.crt_ratio,
         batch_window=_batch_window(args),
     )
+
+
+def _run_chaos_plan(plan, args):
+    from repro.chaos import run_chaos_trial
+
+    return run_chaos_trial(plan, seed=args.seed, **_chaos_trial_kwargs(args))
 
 
 def cmd_chaos(args) -> int:
@@ -215,23 +295,44 @@ def cmd_chaos(args) -> int:
         scenarios = [(args.seed, generated(args.seed))]
 
     report_lines = []
-    failed = None
-    for seed, plan in scenarios:
-        args.seed = seed  # the trial (workload/topology) seed tracks the scenario
-        try:
-            report = _run_chaos_plan(plan, args)
-        except ConfigError as exc:
-            print(f"plan not runnable against --system {args.system}: {exc}",
-                  file=sys.stderr)
-            return 2
-        verdict = "OK" if report.ok else "FAIL"
-        line = (f"seed={seed} events={len(plan)} faults={report.faults_applied} "
-                f"committed={report.committed} aborted={report.aborted} {verdict}")
-        print(line)
-        report_lines.append(line)
-        if not report.ok:
-            failed = (seed, plan, report)
-            break
+    failed = None  # (seed, plan, report_text, shrinkable)
+    if args.jobs > 1 and len(scenarios) > 1:
+        # Fan the matrix out over worker processes; rows come back in
+        # scenario order, so the printed lines match a serial run's (a
+        # serial run stops at the first failure, a parallel one reports
+        # every scenario it already paid for).
+        from repro.chaos.parallel import run_scenarios_parallel
+
+        rows = run_scenarios_parallel(scenarios, _chaos_trial_kwargs(args),
+                                      jobs=args.jobs, progress=_progress)
+        for (seed, plan), row in zip(scenarios, rows):
+            if row.get("crashed"):
+                line = f"seed={seed} worker {row['kind']}: {row['message']}"
+            else:
+                verdict = "OK" if row["ok"] else "FAIL"
+                line = (f"seed={seed} events={row['events']} faults={row['faults_applied']} "
+                        f"committed={row['committed']} aborted={row['aborted']} {verdict}")
+            print(line)
+            report_lines.append(line)
+            if failed is None and not row.get("ok"):
+                failed = (seed, plan, row.get("text", line), not row.get("crashed"))
+    else:
+        for seed, plan in scenarios:
+            args.seed = seed  # the trial (workload/topology) seed tracks the scenario
+            try:
+                report = _run_chaos_plan(plan, args)
+            except ConfigError as exc:
+                print(f"plan not runnable against --system {args.system}: {exc}",
+                      file=sys.stderr)
+                return 2
+            verdict = "OK" if report.ok else "FAIL"
+            line = (f"seed={seed} events={len(plan)} faults={report.faults_applied} "
+                    f"committed={report.committed} aborted={report.aborted} {verdict}")
+            print(line)
+            report_lines.append(line)
+            if not report.ok:
+                failed = (seed, plan, report.to_text(), True)
+                break
 
     if failed is None:
         if args.out:
@@ -240,11 +341,12 @@ def cmd_chaos(args) -> int:
             print(f"wrote report to {args.out}")
         return 0
 
-    seed, plan, report = failed
+    seed, plan, report_text, shrinkable = failed
+    args.seed = seed  # shrinker reruns must use the failing scenario's seed
     print()
-    print(report.to_text())
-    text = "\n".join(report_lines) + "\n\n" + report.to_text() + "\n"
-    if args.shrink:
+    print(report_text)
+    text = "\n".join(report_lines) + "\n\n" + report_text + "\n"
+    if args.shrink and shrinkable:
         result = shrink_plan(
             plan, lambda p: not _run_chaos_plan(p, args).ok, max_runs=args.shrink_budget,
         )
@@ -316,10 +418,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_trial_args(obs_p)
     obs_p.set_defaults(fn=cmd_obs)
 
+    def add_fleet_args(p):
+        from repro.fleet import DEFAULT_CACHE_DIR
+
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for trial fan-out (1 = in-process)")
+        p.add_argument("--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+                       help="content-addressed result cache directory")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+        p.add_argument("--refresh", action="store_true",
+                       help="ignore cached results but store fresh ones")
+
     exp_p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     exp_p.add_argument("names", nargs="+", metavar="NAME",
                        help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    add_fleet_args(exp_p)
     exp_p.set_defaults(fn=cmd_experiment)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the pinned wall-clock benchmark matrix")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="run the trimmed 6-trial matrix")
+    bench_p.add_argument("--out", metavar="PATH", default="BENCH_fleet.json",
+                         help="where to write the benchmark payload JSON")
+    bench_p.add_argument("--timeout-s", type=float, default=None,
+                         help="per-trial wall-clock timeout in seconds")
+    add_fleet_args(bench_p)
+    bench_p.set_defaults(fn=cmd_bench)
 
     audit_p = sub.add_parser("audit", help="run DAST, drain, verify serializability")
     add_trial_args(audit_p)
@@ -344,6 +470,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip delta-debugging a failing scenario")
     chaos_p.add_argument("--shrink-budget", type=int, default=48,
                          help="max trial runs the shrinker may spend")
+    chaos_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for --fuzz matrices (1 = serial)")
     add_trial_args(chaos_p)
     chaos_p.set_defaults(fn=cmd_chaos, shrink=True)
     return parser

@@ -1,0 +1,145 @@
+"""The pinned ``repro bench`` matrix: the repo's wall-clock trajectory.
+
+``BENCH_fleet.json`` is the first (and ongoing) point of a performance
+trajectory: it records how fast this reproduction *runs* — wall-clock
+seconds, trials per minute, per-trial peak RSS — over a **pinned** trial
+matrix.  The matrix must stay stable across PRs so points remain
+comparable; extend it by *appending* labelled specs, never by changing
+existing ones.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.fleet.spec import TrialOutcome, TrialSpec, code_version
+
+__all__ = ["bench_matrix", "run_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro.fleet.bench/1"
+
+
+def bench_matrix(quick: bool = False) -> List[TrialSpec]:
+    """The pinned trial list (12 trials; ``quick`` trims to 6 short ones)."""
+    specs: List[TrialSpec] = []
+    duration = 2500.0 if quick else 6000.0
+    clients = 4 if quick else 8
+    for system in ("dast", "janus", "tapir", "slog"):
+        specs.append(TrialSpec(
+            system=system, workload="tpcc",
+            num_regions=2, shards_per_region=2, clients_per_region=clients,
+            duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+            label=f"tpcc/{system}",
+        ))
+    specs.append(TrialSpec(
+        system="dast", workload="payment", workload_params={"crt_ratio": 0.4},
+        num_regions=2, shards_per_region=2, clients_per_region=clients,
+        duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="payment40/dast",
+    ))
+    specs.append(TrialSpec(
+        system="dast", workload="tpca",
+        workload_params={"theta": 0.9, "crt_ratio": 0.1},
+        num_regions=2, shards_per_region=2, clients_per_region=clients,
+        duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="tpca-zipf0.9/dast",
+    ))
+    if quick:
+        return specs
+    specs.append(TrialSpec(
+        system="dast", workload="tpcc",
+        num_regions=4, shards_per_region=2, clients_per_region=6,
+        duration_ms=5000.0, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="tpcc-4regions/dast",
+    ))
+    specs.append(TrialSpec(
+        system="dast", workload="tpcc",
+        num_regions=8, shards_per_region=1, clients_per_region=6,
+        duration_ms=5000.0, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="tpcc-8regions/dast",
+    ))
+    specs.append(TrialSpec(
+        system="dast", workload="tpcc",
+        num_regions=2, shards_per_region=2, clients_per_region=clients,
+        duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        batch_window=1.25, label="tpcc-batched/dast",
+    ))
+    specs.append(TrialSpec(
+        system="dast", workload="ycsb",
+        workload_params={"theta": 0.7, "crt_ratio": 0.1},
+        num_regions=2, shards_per_region=2, clients_per_region=clients,
+        duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="ycsb/dast",
+    ))
+    for seed in (2, 3):
+        specs.append(TrialSpec(
+            system="dast", workload="tpcc",
+            num_regions=2, shards_per_region=2, clients_per_region=clients,
+            duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0,
+            seed=seed, label=f"tpcc-seed{seed}/dast",
+        ))
+    return specs
+
+
+def run_bench(
+    jobs: int = 1,
+    quick: bool = False,
+    cache=None,
+    refresh: bool = False,
+    progress=None,
+    timeout_s: Optional[float] = None,
+) -> Dict:
+    """Run the pinned matrix and reduce it to the ``BENCH_fleet.json`` payload."""
+    from repro.fleet.executor import FleetExecutor
+
+    specs = bench_matrix(quick=quick)
+    fleet = FleetExecutor(jobs=jobs, cache=cache, refresh=refresh,
+                          timeout_s=timeout_s, progress=progress)
+    start = time.perf_counter()
+    results = fleet.run(specs)
+    wall_clock_s = time.perf_counter() - start
+
+    rows = []
+    failures = 0
+    for spec, result in zip(specs, results):
+        if isinstance(result, TrialOutcome):
+            rows.append({
+                "label": result.label,
+                "fingerprint": result.fingerprint,
+                "cached": result.cached,
+                "wall_clock_s": result.wall_clock_s,
+                "peak_rss_kb": result.peak_rss_kb,
+                "throughput_tps": result.row.get("throughput_tps"),
+                "irt_p99_ms": result.row.get("irt_p99_ms"),
+                "crt_p99_ms": result.row.get("crt_p99_ms"),
+                "msgs_total": result.row.get("msgs_total"),
+            })
+        else:
+            failures += 1
+            rows.append({
+                "label": result.label,
+                "fingerprint": result.fingerprint,
+                "failure": result.kind,
+                "message": result.message,
+            })
+
+    executed = sum(1 for r in results if isinstance(r, TrialOutcome) and not r.cached)
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": int(time.time()),
+        "code_version": code_version(),
+        "quick": quick,
+        "jobs": jobs,
+        "trials": len(specs),
+        "executed": executed,
+        "failures": failures,
+        "wall_clock_s": round(wall_clock_s, 2),
+        "trials_per_min": round(executed / (wall_clock_s / 60.0), 2) if wall_clock_s else 0.0,
+        "cache": cache.stats() if cache is not None else None,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }

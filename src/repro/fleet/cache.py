@@ -1,0 +1,90 @@
+"""Content-addressed on-disk result cache for fleet trials.
+
+One file per spec fingerprint: ``<root>/<fingerprint>.json`` holding the
+spec, the outcome, and the producing :func:`~repro.fleet.spec.code_version`.
+Because the fingerprint already covers config + seed + code version, a
+code change simply addresses different files; the stored ``code_version``
+is verified again on load as a belt-and-braces guard against manually
+copied or corrupted entries.  Unreadable entries are misses, never
+errors — a cache can only ever save work.
+
+Writes go through a temp file + :func:`os.replace` so concurrent fleet
+processes sharing one cache directory never observe half-written JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.fleet.spec import TrialOutcome, TrialSpec, code_version
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".fleet-cache"
+
+
+class ResultCache:
+    """Hit/miss-accounted store of :class:`TrialOutcome` by fingerprint."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: TrialSpec) -> str:
+        return os.path.join(self.root, spec.fingerprint() + ".json")
+
+    def get(self, spec: TrialSpec) -> Optional[TrialOutcome]:
+        """The cached outcome for ``spec``, or None (counted as a miss)."""
+        fingerprint = spec.fingerprint()
+        try:
+            with open(os.path.join(self.root, fingerprint + ".json")) as fh:
+                entry = json.load(fh)
+            if entry.get("code_version") != code_version():
+                raise ValueError("stale code version")
+            if entry.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            outcome = TrialOutcome.from_dict(entry["outcome"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        outcome.cached = True
+        self.hits += 1
+        return outcome
+
+    def put(self, spec: TrialSpec, outcome: TrialOutcome) -> str:
+        """Store ``outcome`` under the spec's fingerprint; returns the path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(spec)
+        entry = {
+            "fingerprint": spec.fingerprint(),
+            "code_version": code_version(),
+            "spec": spec.to_dict(),
+            "outcome": outcome.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def describe(self) -> str:
+        return (f"cache {self.root}: {self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stored")

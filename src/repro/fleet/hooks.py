@@ -1,0 +1,111 @@
+"""Named runtime hooks: serializable replacements for ad-hoc closures.
+
+``repro.bench.experiments`` used to wire runtime anomaly schedules
+(jitter, RTT steps, clock-skew injection) as closures passed to
+:func:`~repro.bench.harness.run_trial`.  Closures cannot cross a process
+boundary, so the fleet names them here: a :class:`TrialSpec` carries
+``hook="rtt_steps"`` plus a JSON parameter dict, and the worker looks the
+hook up at run time.  Every hook runs once, right after system start and
+before the simulation runs, with ``(system, params)``.
+
+The ``debug_*`` hooks exist for testing the fleet harness itself (worker
+crash / hang / error capture); they are never part of a paper artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Mapping
+
+from repro.errors import ConfigError
+
+__all__ = ["HOOKS", "register_hook", "make_hook"]
+
+
+def _rtt_jitter(system, params: Mapping) -> None:
+    """Uniform +/- jitter on the cross-region RTT (Fig 9a)."""
+    system.network.jitter = float(params.get("jitter", 0.0))
+
+
+def _rtt_steps(system, params: Mapping) -> None:
+    """Abrupt cross-region RTT steps over time (Fig 9b).
+
+    ``factors`` scales the base RTT at ``phase_ms`` intervals, starting
+    one phase in: the default reproduces 100 -> 150 -> 100 -> 50 -> 100.
+    """
+    sim = system.sim
+    base = system.network.cross_region_rtt
+    phase_ms = float(params.get("phase_ms", 3000.0))
+    factors = params.get("factors", (1.5, 1.0, 0.5, 1.0))
+    for i, factor in enumerate(factors, start=1):
+        sim.schedule(i * phase_ms, system.network.set_cross_region_rtt,
+                     base * float(factor))
+
+
+def _clock_skew_step(system, params: Mapping) -> None:
+    """Advance one region's manager clock mid-run (Fig 10a)."""
+    skew_ms = float(params.get("skew_ms", 200.0))
+    inject_at_ms = float(params.get("inject_at_ms", 4000.0))
+    region_index = int(params.get("region_index", 1))
+
+    def inject():
+        mgr = system.managers[system.topology.regions[region_index]]
+        system.clock_sources[mgr.host].adjust(skew_ms)
+
+    system.sim.schedule(inject_at_ms, inject)
+
+
+def _asym_delay(system, params: Mapping) -> None:
+    """Constant skew on one region plus asymmetric one-way delay (Fig 10b)."""
+    system.network.forward_fraction = float(params.get("forward_fraction", 0.5))
+    skew_ms = float(params.get("skew_ms", 200.0))
+    region = system.topology.regions[int(params.get("region_index", 1))]
+    for host, source in system.clock_sources.items():
+        if host.startswith(region + "."):
+            source.adjust(skew_ms)
+
+
+def _debug_crash(system, params: Mapping) -> None:
+    """Kill the worker process without cleanup (fleet crash-capture tests)."""
+    os._exit(int(params.get("code", 42)))
+
+
+def _debug_sleep(system, params: Mapping) -> None:
+    """Stall the worker in wall-clock time (fleet timeout tests)."""
+    time.sleep(float(params.get("seconds", 1.0)))
+
+
+def _debug_error(system, params: Mapping) -> None:
+    """Raise inside the trial (fleet structured-error tests)."""
+    raise RuntimeError(str(params.get("message", "debug_error hook")))
+
+
+HOOKS: Dict[str, Callable[[object, Mapping], None]] = {
+    "rtt_jitter": _rtt_jitter,
+    "rtt_steps": _rtt_steps,
+    "clock_skew_step": _clock_skew_step,
+    "asym_delay": _asym_delay,
+    "debug_crash": _debug_crash,
+    "debug_sleep": _debug_sleep,
+    "debug_error": _debug_error,
+}
+
+
+def register_hook(name: str, fn: Callable[[object, Mapping], None]) -> None:
+    """Add a hook under ``name`` (tests and extensions)."""
+    if name in HOOKS:
+        raise ConfigError(f"hook {name!r} already registered")
+    HOOKS[name] = fn
+
+
+def make_hook(name, params: Mapping):
+    """A ``hooks(system, recorder)`` callable for run_trial, or None."""
+    if name is None:
+        return None
+    try:
+        fn = HOOKS[name]
+    except KeyError:
+        raise ConfigError(f"unknown hook {name!r}; choose from {sorted(HOOKS)}") from None
+    frozen = dict(params) if params else {}
+    return lambda system, recorder: fn(system, frozen)

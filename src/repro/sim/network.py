@@ -119,6 +119,9 @@ class Network:
         self._link_bandwidth: Dict[Tuple[str, str], float] = {}
         self._host_region: Dict[str, str] = {}
         self._handlers: Dict[str, Callable] = {}
+        # Every Endpoint built on this network registers itself here so
+        # drain/shutdown paths can flush pending batch windows in one sweep.
+        self.endpoints: List = []
         self._rtt_overrides: Dict[Tuple[str, str], float] = {}
         self._host_partitions: Set[Tuple[str, str]] = set()
         self._region_partitions: Set[Tuple[str, str]] = set()

@@ -142,6 +142,7 @@ class Endpoint:
         self._pending: Dict[int, Event] = {}
         self._batch_buf: Dict[str, List[Encoded]] = {}
         network.register(host, region, self._on_message)
+        network.endpoints.append(self)
 
     # ------------------------------------------------------------------
     # Server side

@@ -2,6 +2,7 @@
 
 from repro.workloads.base import ClientBinding, Workload
 from repro.workloads.client import ClosedLoopClient, spawn_clients
+from repro.workloads.registry import WORKLOADS, register_workload, workload_factory
 from repro.workloads.tpca import TpcaWorkload
 from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
 from repro.workloads.ycsb import YcsbWorkload
@@ -13,8 +14,11 @@ __all__ = [
     "PaymentOnlyWorkload",
     "TpcaWorkload",
     "TpccWorkload",
+    "WORKLOADS",
     "Workload",
     "YcsbWorkload",
     "ZipfGenerator",
+    "register_workload",
     "spawn_clients",
+    "workload_factory",
 ]

@@ -1,0 +1,56 @@
+"""Named workload registry: serializable keys for workload factories.
+
+The fleet orchestrator ships :class:`~repro.fleet.spec.TrialSpec` objects
+to worker processes as plain JSON, so a trial cannot carry a workload
+*callable* — it names a registry key plus a JSON-safe parameter dict, and
+the worker rebuilds the factory on its side.  Every entry takes
+``(topology, params)`` and defaults the workload seed to the topology's
+seed, matching how ``repro.bench.experiments`` has always built workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.config import Topology
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.tpca import TpcaWorkload
+from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+__all__ = ["WORKLOADS", "workload_factory", "register_workload"]
+
+
+def _seeded(params: Mapping, topology: Topology) -> Dict:
+    """Copy ``params`` with the workload seed defaulted to the topology seed."""
+    out = dict(params)
+    out.setdefault("seed", topology.config.seed)
+    return out
+
+
+WORKLOADS: Dict[str, Callable[[Topology, Mapping], Workload]] = {
+    "tpcc": lambda topo, p: TpccWorkload(topo, **_seeded(p, topo)),
+    "payment": lambda topo, p: PaymentOnlyWorkload(topo, **_seeded(p, topo)),
+    "tpca": lambda topo, p: TpcaWorkload(topo, **_seeded(p, topo)),
+    "ycsb": lambda topo, p: YcsbWorkload(topo, **_seeded(p, topo)),
+}
+
+
+def register_workload(name: str, make: Callable[[Topology, Mapping], Workload]) -> None:
+    """Add a workload under ``name`` (tests and extensions)."""
+    if name in WORKLOADS:
+        raise ConfigError(f"workload {name!r} already registered")
+    WORKLOADS[name] = make
+
+
+def workload_factory(name: str, params: Mapping = ()) -> Callable[[Topology], Workload]:
+    """A ``topology -> Workload`` factory for registry key ``name``."""
+    try:
+        make = WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; registered: {sorted(WORKLOADS)}"
+        ) from None
+    params = dict(params) if params else {}
+    return lambda topology: make(topology, params)

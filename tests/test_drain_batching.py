@@ -1,0 +1,57 @@
+"""Drain must flush open batch windows before the post-drain audit.
+
+Regression test: with ``batch_window > 0`` an Endpoint can be holding
+batchable messages in an open per-destination window when the clients
+stop.  ``TrialResult.drain`` must disable coalescing and flush every
+pending buffer so ``repro audit --batching on`` never misses tail
+messages that were still sitting in a window.
+"""
+
+from repro.bench.auditor import audit_dast_run
+from repro.bench.harness import Trial, run_trial
+from repro.workloads.tpca import TpcaWorkload
+
+
+def batched_trial(**overrides) -> Trial:
+    base = dict(
+        num_regions=2, shards_per_region=1, clients_per_region=2,
+        duration_ms=2500.0, warmup_ms=300.0, cooldown_ms=100.0, seed=2,
+        batch_window=1.25,
+    )
+    base.update(overrides)
+    return Trial("dast", lambda topo: TpcaWorkload(topo, theta=0.5, crt_ratio=0.2),
+                 **base)
+
+
+class TestDrainFlushesBatches:
+    def test_network_registers_every_endpoint(self):
+        result = run_trial(batched_trial())
+        network = result.system.network
+        assert network.endpoints, "endpoints must self-register for drain sweeps"
+        assert len({e.host for e in network.endpoints}) == len(network.endpoints)
+
+    def test_drain_empties_all_batch_buffers(self):
+        result = run_trial(batched_trial())
+        result.drain()
+        for endpoint in result.system.network.endpoints:
+            assert endpoint.batch_window == 0.0
+            assert not endpoint._batch_buf, endpoint.host
+
+    def test_audit_passes_with_batching_on(self):
+        result = run_trial(batched_trial())
+        result.drain()
+        report = audit_dast_run(result.system)
+        assert report.ok, report
+
+    def test_flush_delivers_held_frames(self):
+        """A message parked in an open window must reach the wire on flush,
+        not be dropped with the buffer."""
+        result = run_trial(batched_trial())
+        network = result.system.network
+        endpoint = next(e for e in network.endpoints if e.batch_window > 0)
+        sent_before = network.stats.messages_sent
+        held = sum(len(buf) for buf in endpoint._batch_buf.values())
+        endpoint.flush()
+        assert not endpoint._batch_buf
+        if held:
+            assert network.stats.messages_sent > sent_before
