@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Compare a fresh ``repro bench`` run against the committed trajectory.
+
+CI runs the quick matrix and calls::
+
+    python benchmarks/bench_compare.py BENCH_committed.json BENCH_fleet.json
+
+Fresh rows are matched to committed rows by label — a fresh quick row
+``tpcc/dast`` prefers the committed ``quick:tpcc/dast`` row (the full
+matrix carries quick-labelled duplicates for exactly this purpose) and
+falls back to the plain label.  Two gates:
+
+* **Determinism** — virtual-time fields (throughput, p99s, message count)
+  must be byte-equal to the committed row.  A mismatch means the committed
+  ``BENCH_fleet.json`` is stale: regenerate it in the same PR that changed
+  behaviour.
+* **Wall clock** — the geometric-mean slowdown across matched rows must
+  stay under ``--max-regression`` (default 0.25, i.e. 25%).  Per-row noise
+  on shared runners is expected; the aggregate is the gate.
+
+Set ``BENCH_COMPARE_SKIP=1`` (or apply the ``bench-skip`` PR label, which
+CI maps to that variable) to skip both gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+VIRTUAL_FIELDS = ("throughput_tps", "irt_p99_ms", "crt_p99_ms", "msgs_total")
+
+
+def load_rows(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {row["label"]: row for row in payload.get("rows", []) if "failure" not in row}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="committed BENCH_fleet.json (baseline)")
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument("--max-regression", type=float,
+                        default=float(os.environ.get("BENCH_MAX_REGRESSION", "0.25")),
+                        help="max aggregate wall-clock slowdown (fraction)")
+    parser.add_argument("--skip-virtual", action="store_true",
+                        help="only gate wall clock, not virtual-field equality")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("BENCH_COMPARE_SKIP") == "1":
+        print("bench-compare: skipped (BENCH_COMPARE_SKIP=1)")
+        return 0
+
+    committed = load_rows(args.committed)
+    fresh = load_rows(args.fresh)
+    if not fresh:
+        print("bench-compare: FAIL — no successful rows in fresh run")
+        return 1
+
+    drift, ratios, unmatched = [], [], []
+    for label, row in sorted(fresh.items()):
+        base = committed.get(f"quick:{label}") or committed.get(label)
+        if base is None:
+            unmatched.append(label)
+            continue
+        for field in VIRTUAL_FIELDS:
+            if row.get(field) != base.get(field):
+                drift.append(f"  {label}: {field} {base.get(field)!r} -> {row.get(field)!r}")
+        base_wall, wall = base.get("wall_clock_s"), row.get("wall_clock_s")
+        if base_wall and wall:
+            ratios.append(wall / base_wall)
+            print(f"bench-compare: {label}: {base_wall:.2f}s -> {wall:.2f}s "
+                  f"({wall / base_wall:.2f}x)")
+
+    for label in unmatched:
+        print(f"bench-compare: note: no committed row for {label!r}")
+
+    failed = False
+    if drift and not args.skip_virtual:
+        print("bench-compare: FAIL — virtual-time results drifted from the "
+              "committed BENCH_fleet.json (regenerate it in this PR):")
+        print("\n".join(drift))
+        failed = True
+    if ratios:
+        agg = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print(f"bench-compare: aggregate slowdown {agg:.3f}x over "
+              f"{len(ratios)} rows (limit {1 + args.max_regression:.2f}x)")
+        if agg > 1 + args.max_regression:
+            print("bench-compare: FAIL — wall-clock regression exceeds limit")
+            failed = True
+    else:
+        print("bench-compare: FAIL — no rows matched the committed baseline")
+        failed = True
+    if not failed:
+        print("bench-compare: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

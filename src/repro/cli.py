@@ -236,6 +236,48 @@ def cmd_bench(args) -> int:
     return 1 if payload["failures"] else 0
 
 
+def cmd_profile(args) -> int:
+    """Profile one TrialSpec: cProfile + kernel hot-callback accounting."""
+    import json
+
+    from repro.fleet.spec import TrialSpec
+    from repro.perf import profile_spec
+
+    error = _check_out_path(args.out, "--out")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.spec:
+        with open(args.spec) as fh:
+            spec = TrialSpec.from_dict(json.load(fh))
+    else:
+        params = {}
+        if args.workload == "tpca":
+            params = {"theta": args.theta, "crt_ratio": args.crt_ratio}
+        elif args.workload == "payment":
+            params = {"crt_ratio": args.crt_ratio}
+        spec = TrialSpec(
+            system=args.system,
+            workload=args.workload,
+            workload_params=params,
+            num_regions=args.regions,
+            shards_per_region=args.shards_per_region,
+            clients_per_region=args.clients,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            batch_window=_batch_window(args),
+        )
+    report = profile_spec(spec, sort=args.sort, top=args.top,
+                          callsites=args.callsites)
+    print(report.to_text())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _chaos_trial_kwargs(args) -> dict:
     """run_chaos_trial keyword arguments shared by serial and parallel paths
     (everything but the per-scenario plan and seed)."""
@@ -446,6 +488,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-trial wall-clock timeout in seconds")
     add_fleet_args(bench_p)
     bench_p.set_defaults(fn=cmd_bench)
+
+    profile_p = sub.add_parser(
+        "profile", help="profile one trial: cProfile + kernel hot-callback report")
+    profile_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
+    profile_p.add_argument("--spec", metavar="FILE", default=None,
+                           help="profile a TrialSpec loaded from a JSON file "
+                                "(overrides the trial flags)")
+    profile_p.add_argument("--sort", choices=["tottime", "cumtime"],
+                           default="tottime",
+                           help="cProfile ranking for the hot-function table")
+    profile_p.add_argument("--top", type=int, default=20,
+                           help="hot functions to list")
+    profile_p.add_argument("--callsites", type=int, default=15,
+                           help="kernel callsites to list")
+    profile_p.add_argument("--out", metavar="PATH", default=None,
+                           help="also write the full report as JSON to PATH")
+    add_trial_args(profile_p)
+    profile_p.set_defaults(fn=cmd_profile)
 
     audit_p = sub.add_parser("audit", help="run DAST, drain, verify serializability")
     add_trial_args(audit_p)

@@ -92,7 +92,8 @@ class CoordinatorMixin:
         ts = self.dclock.tick()
         state.ts = ts
         state.t_local_prepared = self.sim.now
-        self._trace("irt_ts", txn=txn.txn_id, ts=str(ts))
+        if self.tracer is not None:
+            self._trace("irt_ts", txn=txn.txn_id, ts=str(ts))
         state.prepared_event = self.sim.event()
         participants = self._participants_of(txn)
         # Insert our own record synchronously: nothing this node does later
@@ -113,7 +114,8 @@ class CoordinatorMixin:
             )
         yield state.prepared_event
         state.t_prepared = self.sim.now
-        self._trace("irt_prepared", txn=txn.txn_id)
+        if self.tracer is not None:
+            self._trace("irt_prepared", txn=txn.txn_id)
         state.commit_ts = ts
         self._commit_local(txn.txn_id, ts)
         state.t_commit_sent = self.sim.now
@@ -144,7 +146,8 @@ class CoordinatorMixin:
         # Phase 1: decentralized anticipation via each region's manager.
         src_ts = self.dclock.tick()
         state.ts = src_ts
-        self._trace("crt_src_ts", txn=txn.txn_id, ts=str(src_ts))
+        if self.tracer is not None:
+            self._trace("crt_src_ts", txn=txn.txn_id, ts=str(src_ts))
         state.prepared_event = self.sim.event()
 
         # Note: if we participate, our own ACK arrives via our region's
@@ -171,7 +174,8 @@ class CoordinatorMixin:
         )
         yield state.prepared_event
         state.t_prepared = self.sim.now
-        self._trace("crt_prepared", txn=txn.txn_id)
+        if self.tracer is not None:
+            self._trace("crt_prepared", txn=txn.txn_id)
 
         # Phase 2: commit strictly above the max anticipated timestamp, on a
         # fresh `.time` coordinate: the coordinator-nid lane plus a local
@@ -312,7 +316,8 @@ class CoordinatorMixin:
     def _finish(self, state: CoordState) -> TxnResult:
         state.replied = True
         state.t_replied = self.sim.now
-        self._trace("coord_reply", txn=state.txn.txn_id, crt=state.is_crt)
+        if self.tracer is not None:
+            self._trace("coord_reply", txn=state.txn.txn_id, crt=state.is_crt)
         outputs: Dict[str, Any] = {}
         aborted = False
         reason = ""

@@ -61,7 +61,7 @@ from repro.wire.messages import (
     SendOutput,
     TransferCkpt,
 )
-from repro.wire.schema import WireMessage
+from repro.wire.schema import WireMessage, encode
 
 __all__ = ["DastNode"]
 
@@ -194,14 +194,20 @@ class DastNode(CoordinatorMixin):
             value = just_below(wait_floor)
         targets = [m for m in self.members if m != self.host]
         targets.append(self.manager)
+        # Uncapped reports (the common case) share one encoded frame across
+        # the whole fan-out: frames are immutable snapshots, receivers decode
+        # their own copies, and the byte accounting is per-send regardless.
+        frame = None
         for dst in targets:
-            capped = value
             pending = self._obligations.get(dst)
             if pending:
                 floor = min(pending.values())
-                if capped >= floor:
-                    capped = just_below(floor)
-            self.endpoint.send(dst, PctReport(value=capped))
+                if value >= floor:
+                    self.endpoint.send(dst, PctReport(value=just_below(floor)))
+                    continue
+            if frame is None:
+                frame = encode(PctReport(value=value))
+            self.endpoint.send(dst, "pct_report", frame)
         self._try_execute()
 
     def on_pct_report(self, src: str, payload: PctReport) -> None:
@@ -251,7 +257,8 @@ class DastNode(CoordinatorMixin):
                 return
             if not rec.t_order_ready:
                 rec.t_order_ready = self.sim.now
-                self._trace("ready", txn=rec.txn_id, crt=rec.is_crt)
+                if self.tracer is not None:
+                    self._trace("ready", txn=rec.txn_id, crt=rec.is_crt)
             if not rec.input_ready():
                 return  # strict timestamp order: wait for pushed inputs
             self.ready_q.pop()
@@ -260,7 +267,8 @@ class DastNode(CoordinatorMixin):
     def _execute(self, rec: TxnRecord) -> None:
         rec.status = TxnStatus.EXECUTED
         rec.t_executed = self.sim.now
-        self._trace("execute", txn=rec.txn_id, ts=str(rec.ts), crt=rec.is_crt)
+        if self.tracer is not None:
+            self._trace("execute", txn=rec.txn_id, ts=str(rec.ts), crt=rec.is_crt)
         if not rec.t_input_ready:
             rec.t_input_ready = rec.t_order_ready
         if rec.txn_id in self.wait_q:
@@ -343,7 +351,8 @@ class DastNode(CoordinatorMixin):
         rec = self._record(txn, is_crt=False, coordinator=payload.coord, status=TxnStatus.PREPARED)
         if rec.status == TxnStatus.ABORTED:
             return None
-        self._trace("irt_prepare", txn=txn.txn_id, ts=str(ts), coord=payload.coord)
+        if self.tracer is not None:
+            self._trace("irt_prepare", txn=txn.txn_id, ts=str(ts), coord=payload.coord)
         rec.participates = True
         rec.needed = txn.external_needs(self.shard_id)
         rec.t_prepared = self.sim.now
@@ -397,7 +406,8 @@ class DastNode(CoordinatorMixin):
             rec.needed = txn.external_needs(self.shard_id)
             rec.anticipated_ts = anticipated
             rec.t_prepared = self.sim.now
-            self._trace("crt_prepare", txn=txn.txn_id, anticipated=str(anticipated))
+            if self.tracer is not None:
+                self._trace("crt_prepare", txn=txn.txn_id, anticipated=str(anticipated))
             self.wait_q.insert(txn.txn_id, anticipated)
             # Tell every intra-region node so their dclocks stretch too
             # (§4.3, "a subtlety").
@@ -455,7 +465,8 @@ class DastNode(CoordinatorMixin):
 
     def _adopt_commit(self, rec: TxnRecord, commit_ts: Timestamp) -> None:
         """Atomically move a CRT from prepared/announced to committed."""
-        self._trace("crt_commit", txn=rec.txn_id, ts=str(commit_ts))
+        if self.tracer is not None:
+            self._trace("crt_commit", txn=rec.txn_id, ts=str(commit_ts))
         rec.status = TxnStatus.COMMITTED
         rec.t_committed = self.sim.now
         rec.participates = self._i_participate(rec.txn)
@@ -577,7 +588,8 @@ class DastNode(CoordinatorMixin):
             self.records[txn_id] = rec
         elif rec.status not in (TxnStatus.COMMITTED, TxnStatus.EXECUTED):
             rec.status = TxnStatus.ABORTED
-            self._trace("crt_abort", txn=txn_id)
+            if self.tracer is not None:
+                self._trace("crt_abort", txn=txn_id)
             self.stats.inc("crt_aborted_failover")
         self.wait_q.remove(txn_id)
         # Relay the abort to all intra-region nodes, mirroring the commit

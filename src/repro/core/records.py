@@ -72,26 +72,61 @@ class TxnRecord:
         )
 
 
+# Lazy-deletion heaps below compact once they exceed this many entries AND
+# stale entries outnumber live ones 2:1 — bounding growth under chaos-driven
+# remove/re-key churn without paying a rebuild on ordinary traffic.
+_COMPACT_MIN = 64
+
+
 class ReadyQueue:
-    """Min-heap of records by ordering timestamp with lazy deletion."""
+    """Min-heap of records by ordering timestamp with lazy deletion.
+
+    Heap entries are flattened ``(time, frac, nid, seq, ts, record)`` tuples:
+    the timestamp's precomputed sort key occupies the leading scalar slots so
+    sift comparisons never dispatch into nested-tuple comparison, and ``seq``
+    (unique, monotone) guarantees the comparison never reaches ``ts`` or
+    ``record``.  Ordering is byte-identical to a ``(ts, seq)`` keyed heap.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[Timestamp, int, TxnRecord]] = []
+        self._heap: List[Tuple] = []
         self._seq = itertools.count()
         self._members: Dict[str, TxnRecord] = {}
+        self._sorted: Optional[List[TxnRecord]] = None  # cached records() view
 
     def insert(self, ts: Timestamp, record: TxnRecord) -> None:
         record.ts = ts
         self._members[record.txn_id] = record
-        heapq.heappush(self._heap, (ts, next(self._seq), record))
+        heapq.heappush(self._heap, (ts.time, ts.frac, ts.nid, next(self._seq), ts, record))
+        self._sorted = None
+        if len(self._heap) > _COMPACT_MIN and len(self._heap) > 2 * len(self._members):
+            self._compact()
+
+    def _entry_live(self, entry: Tuple) -> bool:
+        record = entry[5]
+        if self._members.get(record.txn_id) is not record:
+            return False
+        ts = record.ts
+        return ts is entry[4] or ts == entry[4]
+
+    def _compact(self) -> None:
+        # Rebuild from live entries only; original seqs are preserved, so the
+        # pop order (total order on the flattened keys) is unchanged.
+        live = [entry for entry in self._heap if self._entry_live(entry)]
+        heapq.heapify(live)
+        self._heap = live
 
     def head(self) -> Optional[TxnRecord]:
-        while self._heap:
-            ts, _seq, record = self._heap[0]
-            live = self._members.get(record.txn_id)
-            if live is record and record.ts == ts:
-                return record
-            heapq.heappop(self._heap)  # stale (removed or re-keyed) entry
+        heap = self._heap
+        members = self._members
+        while heap:
+            entry = heap[0]
+            record = entry[5]
+            if members.get(record.txn_id) is record:
+                ts = record.ts
+                if ts is entry[4] or ts == entry[4]:
+                    return record
+            heapq.heappop(heap)  # stale (removed or re-keyed) entry
         return None
 
     def pop(self) -> TxnRecord:
@@ -100,10 +135,16 @@ class ReadyQueue:
             raise IndexError("pop from empty ReadyQueue")
         heapq.heappop(self._heap)
         del self._members[record.txn_id]
+        self._sorted = None
         return record
 
     def remove(self, txn_id: str) -> Optional[TxnRecord]:
-        return self._members.pop(txn_id, None)
+        record = self._members.pop(txn_id, None)
+        if record is not None:
+            self._sorted = None
+            if len(self._heap) > _COMPACT_MIN and len(self._heap) > 2 * len(self._members):
+                self._compact()
+        return record
 
     def get(self, txn_id: str) -> Optional[TxnRecord]:
         return self._members.get(txn_id)
@@ -115,35 +156,60 @@ class ReadyQueue:
         return len(self._members)
 
     def records(self) -> List[TxnRecord]:
-        return sorted(self._members.values(), key=lambda r: r.ts)
+        """Members in timestamp order (cached between mutations)."""
+        cache = self._sorted
+        if cache is None:
+            cache = self._sorted = sorted(self._members.values(), key=lambda r: r.ts)
+        return list(cache)
 
 
 class WaitQueue:
-    """Timestamp floor constraints keyed by a constraint id (txn id or tag)."""
+    """Timestamp floor constraints keyed by a constraint id (txn id or tag).
+
+    Uses the same flattened-entry layout and compaction policy as
+    :class:`ReadyQueue`: ``(time, frac, nid, seq, ts, key)``.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[Timestamp, int, str]] = []
+        self._heap: List[Tuple] = []
         self._seq = itertools.count()
         self._entries: Dict[str, Timestamp] = {}
 
     def insert(self, key: str, ts: Timestamp) -> None:
         self._entries[key] = ts
-        heapq.heappush(self._heap, (ts, next(self._seq), key))
+        heapq.heappush(self._heap, (ts.time, ts.frac, ts.nid, next(self._seq), ts, key))
+        if len(self._heap) > _COMPACT_MIN and len(self._heap) > 2 * len(self._entries):
+            self._compact()
 
     def remove(self, key: str) -> None:
         self._entries.pop(key, None)
+        if len(self._heap) > _COMPACT_MIN and len(self._heap) > 2 * len(self._entries):
+            self._compact()
 
     def update(self, key: str, ts: Timestamp) -> None:
         """Atomically re-key an entry (CRT commit: anticipated -> commit ts)."""
         self.insert(key, ts)
 
+    def _compact(self) -> None:
+        entries = self._entries
+        live = [
+            e for e in self._heap
+            if (current := entries.get(e[5])) is not None
+            and (current is e[4] or current == e[4])
+        ]
+        heapq.heapify(live)
+        self._heap = live
+
     def min(self) -> Optional[Timestamp]:
-        while self._heap:
-            ts, _seq, key = self._heap[0]
-            current = self._entries.get(key)
-            if current is not None and current == ts:
+        heap = self._heap
+        entries = self._entries
+        while heap:
+            entry = heap[0]
+            ts = entry[4]
+            current = entries.get(entry[5])
+            if current is not None and (current is ts or current == ts):
                 return ts
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
         return None
 
     def __contains__(self, key: str) -> bool:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import os
 import sys
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.fleet.spec import TrialOutcome, TrialSpec, code_version
@@ -23,7 +24,8 @@ BENCH_SCHEMA = "repro.fleet.bench/1"
 
 
 def bench_matrix(quick: bool = False) -> List[TrialSpec]:
-    """The pinned trial list (12 trials; ``quick`` trims to 6 short ones)."""
+    """The pinned trial list (12 full trials plus the 6 ``quick:``-labelled
+    short ones; ``quick`` trims to just the 6 short ones)."""
     specs: List[TrialSpec] = []
     duration = 2500.0 if quick else 6000.0
     clients = 4 if quick else 8
@@ -81,6 +83,11 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
             duration_ms=duration, warmup_ms=500.0, cooldown_ms=200.0,
             seed=seed, label=f"tpcc-seed{seed}/dast",
         ))
+    # Appended (never reordered): the quick matrix under ``quick:`` labels,
+    # so a committed full run carries comparison rows for CI's quick bench
+    # (see benchmarks/bench_compare.py).
+    for spec in bench_matrix(quick=True):
+        specs.append(replace(spec, label=f"quick:{spec.label}"))
     return specs
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -218,13 +219,28 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+    """The event loop: a heap of ``(time, seq, callback)`` entries plus a
+    FIFO "ready" deque for same-instant work.
+
+    Zero-delay callbacks (``call_soon``, ``schedule(0, ...)``) dominate the
+    event count in protocol-heavy trials — every event trigger and process
+    resume is one.  Pushing them through the heap costs a tuple sift per
+    event; the deque appends/pops in O(1).  Both structures share one
+    monotone sequence counter, and the run loop merges them by ``(time,
+    seq)``, so global firing order is byte-identical to the heap-only
+    kernel (ready entries always carry ``time == now``; a heap entry due at
+    the same instant with a smaller seq fires first).
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List = []
+        # Same-instant FIFO: (seq, fn, args) entries, all due at self.now.
+        self._ready: deque = deque()
         self._seq = itertools.count()
         self._stopped = False
+        # Opt-in hot-callback accounting (repro.perf); None = zero overhead.
+        self._acct = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -233,11 +249,14 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` virtual milliseconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+        if delay == 0:
+            self._ready.append((next(self._seq), fn, args))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
 
     def call_soon(self, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at the current instant, after the running callback."""
-        self.schedule(0.0, fn, *args)
+        self._ready.append((next(self._seq), fn, args))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute virtual time ``when``.
@@ -285,9 +304,23 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next scheduled callback; return False when idle."""
-        if not self._heap:
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            # A heap entry due at the current instant with a smaller seq
+            # predates everything in the ready deque: run it first.
+            if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                t, _seq, fn, args = heapq.heappop(heap)
+                if t < self.now:
+                    raise SimulationError("scheduler heap corrupted: time went backwards")
+                fn(*args)
+            else:
+                _seq, fn, args = ready.popleft()
+                fn(*args)
+            return True
+        if not heap:
             return False
-        t, _seq, fn, args = heapq.heappop(self._heap)
+        t, _seq, fn, args = heapq.heappop(heap)
         if t < self.now:
             raise SimulationError("scheduler heap corrupted: time went backwards")
         self.now = t
@@ -295,20 +328,94 @@ class Simulator:
         return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or virtual time reaches ``until``.
+        """Run until both queues drain or virtual time reaches ``until``.
 
         Returns the final virtual time.  When ``until`` is given, the clock
-        is advanced to exactly ``until`` even if the heap drained earlier, so
-        repeated ``run(until=...)`` calls observe monotonic time.
+        is advanced to exactly ``until`` even if the queues drained earlier,
+        so repeated ``run(until=...)`` calls observe monotonic time.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0][0] > until:
-                break
-            self.step()
+        if self._acct is not None:
+            self._run_accounted(until)
+        else:
+            # Hot loop: locals + inlined step() to avoid per-event attribute
+            # lookups; semantics identical to step() in a while-loop.
+            ready = self._ready
+            heap = self._heap
+            heappop = heapq.heappop
+            while not self._stopped:
+                if ready:
+                    now = self.now
+                    if until is not None and now > until:
+                        break
+                    if heap and heap[0][0] <= now and heap[0][1] < ready[0][0]:
+                        t, _seq, fn, args = heappop(heap)
+                        if t < now:
+                            raise SimulationError(
+                                "scheduler heap corrupted: time went backwards")
+                        fn(*args)
+                    else:
+                        _seq, fn, args = ready.popleft()
+                        fn(*args)
+                    continue
+                if not heap:
+                    break
+                if until is not None and heap[0][0] > until:
+                    break
+                t, _seq, fn, args = heappop(heap)
+                if t < self.now:
+                    raise SimulationError("scheduler heap corrupted: time went backwards")
+                self.now = t
+                fn(*args)
         if until is not None and self.now < until:
             self.now = until
         return self.now
+
+    def _run_accounted(self, until: Optional[float]) -> None:
+        """The run loop with per-event accounting (see :mod:`repro.perf`)."""
+        acct = self._acct
+        ready = self._ready
+        heap = self._heap
+        heappop = heapq.heappop
+        while not self._stopped:
+            hlen = len(heap)
+            if hlen > acct.heap_peak:
+                acct.heap_peak = hlen
+            if ready:
+                now = self.now
+                if until is not None and now > until:
+                    break
+                if heap and heap[0][0] <= now and heap[0][1] < ready[0][0]:
+                    t, _seq, fn, args = heappop(heap)
+                    if t < now:
+                        raise SimulationError(
+                            "scheduler heap corrupted: time went backwards")
+                    acct.record(fn, False, False)
+                    fn(*args)
+                else:
+                    _seq, fn, args = ready.popleft()
+                    acct.record(fn, True, False)
+                    fn(*args)
+                continue
+            if not heap:
+                break
+            if until is not None and heap[0][0] > until:
+                break
+            t, _seq, fn, args = heappop(heap)
+            if t < self.now:
+                raise SimulationError("scheduler heap corrupted: time went backwards")
+            advanced = t > self.now
+            self.now = t
+            acct.record(fn, False, advanced)
+            fn(*args)
+
+    def attach_accounting(self, acct) -> None:
+        """Enable opt-in hot-callback accounting for subsequent :meth:`run`
+        calls.  ``acct`` duck-types :class:`repro.perf.KernelAccounting`."""
+        self._acct = acct
+
+    def detach_accounting(self) -> None:
+        self._acct = None
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the running callback returns."""
@@ -316,4 +423,4 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)

@@ -63,12 +63,24 @@ class NetworkStats:
     def record_send(self, src: str, type_name: str = "opaque", size: int = 0) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
-        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
-        self.per_type_sent[type_name] = self.per_type_sent.get(type_name, 0) + 1
-        self.per_type_bytes[type_name] = self.per_type_bytes.get(type_name, 0) + size
+        # try/except over .get(): the keys exist for all but the first send,
+        # so the happy path is a single dict item assignment.
+        try:
+            self.per_host_sent[src] += 1
+        except KeyError:
+            self.per_host_sent[src] = 1
+        try:
+            self.per_type_sent[type_name] += 1
+            self.per_type_bytes[type_name] += size
+        except KeyError:
+            self.per_type_sent[type_name] = 1
+            self.per_type_bytes[type_name] = size
 
     def record_receive(self, dst: str) -> None:
-        self.per_host_received[dst] = self.per_host_received.get(dst, 0) + 1
+        try:
+            self.per_host_received[dst] += 1
+        except KeyError:
+            self.per_host_received[dst] = 1
 
     def record_drop(self) -> None:
         self.messages_dropped += 1
@@ -126,6 +138,10 @@ class Network:
         self._host_partitions: Set[Tuple[str, str]] = set()
         self._region_partitions: Set[Tuple[str, str]] = set()
         self._down_hosts: Set[str] = set()
+        # Fast-path flag: True while no partition/crash fault is active, so
+        # the per-message block check is one attribute read.  Kept in sync by
+        # _refresh_fault_flag() after every fault/heal mutation.
+        self._fault_free = True
         # Incarnation counter per host, bumped on crash: a message addressed
         # to incarnation k is undeliverable once the host is on k+1.
         self._incarnation: Dict[str, int] = {}
@@ -153,6 +169,11 @@ class Network:
     # ------------------------------------------------------------------
     # Fault / anomaly injection
     # ------------------------------------------------------------------
+    def _refresh_fault_flag(self) -> None:
+        self._fault_free = not (
+            self._down_hosts or self._host_partitions or self._region_partitions
+        )
+
     def set_cross_region_rtt(self, rtt: float, r1: Optional[str] = None, r2: Optional[str] = None) -> None:
         """Change the cross-region RTT; optionally only between two regions."""
         if rtt < 0:
@@ -177,33 +198,41 @@ class Network:
         """Silently drop all traffic between hosts ``a`` and ``b``."""
         self._host_partitions.add((a, b))
         self._host_partitions.add((b, a))
+        self._refresh_fault_flag()
 
     def heal_hosts(self, a: str, b: str) -> None:
         self._host_partitions.discard((a, b))
         self._host_partitions.discard((b, a))
+        self._refresh_fault_flag()
 
     def partition_hosts_oneway(self, src: str, dst: str) -> None:
         """Drop traffic from ``src`` to ``dst`` only (asymmetric partition)."""
         self._host_partitions.add((src, dst))
+        self._refresh_fault_flag()
 
     def heal_hosts_oneway(self, src: str, dst: str) -> None:
         self._host_partitions.discard((src, dst))
+        self._refresh_fault_flag()
 
     def partition_regions(self, r1: str, r2: str) -> None:
         """Silently drop all traffic between two regions."""
         self._region_partitions.add((r1, r2))
         self._region_partitions.add((r2, r1))
+        self._refresh_fault_flag()
 
     def heal_regions(self, r1: str, r2: str) -> None:
         self._region_partitions.discard((r1, r2))
         self._region_partitions.discard((r2, r1))
+        self._refresh_fault_flag()
 
     def partition_regions_oneway(self, src_region: str, dst_region: str) -> None:
         """Drop traffic from ``src_region`` to ``dst_region`` only."""
         self._region_partitions.add((src_region, dst_region))
+        self._refresh_fault_flag()
 
     def heal_regions_oneway(self, src_region: str, dst_region: str) -> None:
         self._region_partitions.discard((src_region, dst_region))
+        self._refresh_fault_flag()
 
     def crash_host(self, host: str) -> None:
         """The host stops receiving messages (process crash).
@@ -214,9 +243,11 @@ class Network:
         self.region_of(host)  # validate
         self._down_hosts.add(host)
         self._incarnation[host] = self._incarnation.get(host, 0) + 1
+        self._refresh_fault_flag()
 
     def restart_host(self, host: str) -> None:
         self._down_hosts.discard(host)
+        self._refresh_fault_flag()
 
     def is_down(self, host: str) -> bool:
         return host in self._down_hosts
@@ -258,8 +289,10 @@ class Network:
     # ------------------------------------------------------------------
     def one_way_delay(self, src: str, dst: str) -> float:
         """Sampled one-way delay for a message from ``src`` to ``dst``."""
-        r_src = self.region_of(src)
-        r_dst = self.region_of(dst)
+        return self._one_way_delay(src, dst, self.region_of(src), self.region_of(dst))
+
+    def _one_way_delay(self, src: str, dst: str, r_src: str, r_dst: str) -> float:
+        """Delay model with the region lookups hoisted out (hot path)."""
         if src == dst:
             return 0.01  # loopback: negligible but non-zero to keep ordering sane
         if r_src == r_dst:
@@ -274,6 +307,8 @@ class Network:
         return max(0.01, rtt * fraction)
 
     def _blocked(self, src: str, dst: str) -> bool:
+        if self._fault_free:
+            return False
         if dst in self._down_hosts:
             return True
         if (src, dst) in self._host_partitions:
@@ -294,8 +329,15 @@ class Network:
         """
         if dst not in self._handlers:
             raise NetworkError(f"unknown destination host {dst!r}")
-        type_name = getattr(payload, "type_name", "opaque")
-        size = sizeof(payload)
+        # Typed envelopes expose wire_size(); calling it directly skips the
+        # sizeof() dispatch that would land on the same method anyway.
+        wire_size = getattr(payload, "wire_size", None)
+        if wire_size is not None and callable(wire_size):
+            type_name = getattr(payload, "type_name", "opaque")
+            size = wire_size()
+        else:
+            type_name = getattr(payload, "type_name", "opaque")
+            size = sizeof(payload)
         self.stats.record_send(src, type_name, size)
         if self._blocked(src, dst) or (
             self.drop_probability and self._rng.random() < self.drop_probability
@@ -309,12 +351,13 @@ class Network:
 
     def _byte_delay(self, src: str, dst: str, size: int) -> float:
         """Extra delay charged by the bandwidth/serialization hooks."""
+        return self._byte_delay_r(size, self.region_of(src), self.region_of(dst))
+
+    def _byte_delay_r(self, size: int, r_src: str, r_dst: str) -> float:
         if size <= 0:
             return 0.0
         extra = 0.0
-        bandwidth = self._link_bandwidth.get(
-            (self.region_of(src), self.region_of(dst)), self.bandwidth_bytes_per_ms
-        )
+        bandwidth = self._link_bandwidth.get((r_src, r_dst), self.bandwidth_bytes_per_ms)
         if bandwidth:
             extra += size / bandwidth
         if self.serialization_cost_per_kb:
@@ -322,7 +365,18 @@ class Network:
         return extra
 
     def _schedule_delivery(self, src: str, dst: str, payload: object, size: int = 0) -> None:
-        delay = self.one_way_delay(src, dst) + self._byte_delay(src, dst, size)
+        regions = self._host_region
+        try:
+            r_src = regions[src]
+            r_dst = regions[dst]
+        except KeyError as missing:
+            raise NetworkError(f"unknown host {missing.args[0]!r}") from None
+        delay = self._one_way_delay(src, dst, r_src, r_dst)
+        # Byte-cost hooks are off in the base model; skip the per-link
+        # lookup entirely unless an experiment opted in.
+        if self.bandwidth_bytes_per_ms is not None or self._link_bandwidth \
+                or self.serialization_cost_per_kb:
+            delay += self._byte_delay_r(size, r_src, r_dst)
         if self.reorder_spread:
             delay += self._rng.uniform(0.0, self.reorder_spread)
         self.stats.in_flight += 1

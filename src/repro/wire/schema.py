@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import MISSING, dataclass
-from typing import Any, Callable, ClassVar, Dict, Optional, Tuple, Type
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Optional, Tuple, Type
 
+from repro.clock.hlc import Timestamp
 from repro.errors import ProtocolError
 
 __all__ = [
@@ -76,6 +77,11 @@ class WireMessage:
     NAME: ClassVar[str] = ""
     VERSION: ClassVar[int] = 1
     BATCHABLE: ClassVar[bool] = False
+    # Shape metadata precomputed by the :func:`message` decorator so the hot
+    # codec paths never re-walk ``dataclasses.fields`` per message instance.
+    _WIRE_FIELDS: ClassVar[Optional[Tuple[str, ...]]] = None
+    _WIRE_FIELD_SET: ClassVar[FrozenSet[str]] = frozenset()
+    _WIRE_BASE: ClassVar[int] = 0
 
     def __getitem__(self, key: str) -> Any:
         try:
@@ -91,9 +97,16 @@ class WireMessage:
 
     def wire_size(self) -> int:
         """Virtual wire size of this message's encoded frame."""
-        size = _FRAME_OVERHEAD + len(self.NAME) + _SIZE_TINY  # name + version
-        for field in dataclasses.fields(self):
-            size += sizeof(getattr(self, field.name))
+        names = self._WIRE_FIELDS
+        if names is None:  # unregistered subclass: fall back to introspection
+            size = _FRAME_OVERHEAD + len(self.NAME) + _SIZE_TINY  # name + version
+            for field in dataclasses.fields(self):
+                size += sizeof(getattr(self, field.name))
+            return size
+        size = self._WIRE_BASE
+        values = self.__dict__
+        for name in names:
+            size += sizeof(values[name])
         return size
 
 
@@ -113,6 +126,11 @@ def message(name: str, *, version: int = 1, batchable: bool = False) -> Callable
         cls.NAME = name
         cls.VERSION = version
         cls.BATCHABLE = batchable
+        # Shape precomputation: field-name tuple, the set used by the decode
+        # fast path, and the size-model constant part of every frame.
+        cls._WIRE_FIELDS = tuple(f.name for f in dataclasses.fields(cls))
+        cls._WIRE_FIELD_SET = frozenset(cls._WIRE_FIELDS)
+        cls._WIRE_BASE = _FRAME_OVERHEAD + len(name) + _SIZE_TINY  # name + version
         _REGISTRY[name] = cls
         return cls
 
@@ -155,7 +173,8 @@ def encode(msg: WireMessage) -> Encoded:
     cls = type(msg)
     if _REGISTRY.get(msg.NAME) is not cls:
         raise WireError("message type is not registered", msg.NAME or cls.__name__)
-    fields = {f.name: getattr(msg, f.name) for f in dataclasses.fields(msg)}
+    values = msg.__dict__
+    fields = {name: values[name] for name in cls._WIRE_FIELDS}
     return Encoded(msg.NAME, msg.VERSION, fields, msg.wire_size())
 
 
@@ -174,23 +193,62 @@ def decode(frame: Encoded) -> WireMessage:
             f"version mismatch (got v{frame.version}, schema is v{cls.VERSION})",
             frame.name,
         )
+    fields = frame.fields
+    if fields.keys() == cls._WIRE_FIELD_SET:
+        # Fast path: the frame carries exactly the declared shape (always
+        # true for frames produced by :func:`encode`), so skip field
+        # validation and ``__init__`` and restore the instance directly.
+        msg = object.__new__(cls)
+        msg.__dict__.update(fields)
+        return msg
     declared = {f.name: f for f in dataclasses.fields(cls)}
-    unexpected = set(frame.fields) - set(declared)
+    unexpected = set(fields) - set(declared)
     if unexpected:
         raise WireError(f"unexpected field(s) {sorted(unexpected)}", frame.name)
     missing = [
         n for n, f in declared.items()
-        if n not in frame.fields
+        if n not in fields
         and f.default is MISSING
         and f.default_factory is MISSING
     ]
     if missing:
         raise WireError(f"missing required field(s) {missing}", frame.name)
-    return cls(**frame.fields)
+    return cls(**fields)
+
+
+# Exact-type dispatch for the hot sizeof cases.  Keyed by ``value.__class__``
+# so subclasses still take the general path below (bool before int, custom
+# ``wire_size`` hooks, Timestamp-like named tuples) with unchanged results.
+_TS_SIZE = _CONTAINER_OVERHEAD + 3 * _SIZE_SCALAR  # (time, frac, nid)
+_SCALAR_SIZES: Dict[type, int] = {
+    type(None): _SIZE_TINY,
+    bool: _SIZE_TINY,
+    int: _SIZE_SCALAR,
+    float: _SIZE_SCALAR,
+    Timestamp: _TS_SIZE,
+}
 
 
 def sizeof(value: Any) -> int:
     """Deterministic virtual byte size of an arbitrary payload value."""
+    cls = value.__class__
+    size = _SCALAR_SIZES.get(cls)
+    if size is not None:
+        return size
+    if cls is str or cls is bytes:
+        return _CONTAINER_OVERHEAD + len(value)
+    if cls is Encoded:
+        return value.size
+    if cls is dict:
+        return _CONTAINER_OVERHEAD + sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    if cls is tuple or cls is list or cls is set or cls is frozenset:
+        return _CONTAINER_OVERHEAD + sum(sizeof(item) for item in value)
+    return _sizeof_general(value)
+
+
+def _sizeof_general(value: Any) -> int:
+    """The original isinstance-based model, kept for subclasses and objects
+    with a ``wire_size()`` hook; byte-for-byte identical results."""
     if value is None or isinstance(value, bool):
         return _SIZE_TINY
     if isinstance(value, (int, float)):

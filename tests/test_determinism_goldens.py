@@ -1,0 +1,92 @@
+"""Cross-kernel determinism goldens and hot-path hygiene guards.
+
+The two golden digests below were captured from the pre-optimization
+(heap-only, no fast-path) kernel.  Any change that perturbs virtual-time
+results — event ordering, RNG draw order, byte accounting, batching — moves
+a digest and fails here.  Wall-clock optimizations must keep both
+byte-identical.
+
+The digests intentionally exclude the spec fingerprint: it embeds
+``code_version()`` (a digest over all source files) and therefore moves on
+every PR by design.
+"""
+
+import hashlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.spec import TrialSpec, canonical_json
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _virtual_digest(outcome) -> str:
+    """Digest of everything the simulation computed (no provenance, no
+    fingerprint — see module docstring)."""
+    blob = canonical_json({
+        "row": outcome.row,
+        "extras": outcome.extras,
+        "committed": outcome.committed,
+        "aborted": outcome.aborted,
+    }).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestGoldens:
+    def test_dast_trial_golden(self):
+        from repro.fleet.executor import run_spec
+
+        spec = TrialSpec(
+            system="dast", workload="tpcc",
+            num_regions=2, shards_per_region=2, clients_per_region=4,
+            duration_ms=1500.0, warmup_ms=300.0, cooldown_ms=200.0, seed=1,
+            label="golden/dast",
+        )
+        outcome = run_spec(spec)
+        assert outcome.ok, outcome
+        assert _virtual_digest(outcome) == (
+            "44c476ca98b753b6e25e9d988cc34b689ce90e4ae45e62d3ceeca2477c440726"
+        )
+
+    def test_chaos_trial_golden(self):
+        from repro.chaos.generator import generate_plan
+        from repro.chaos.runner import run_chaos_trial
+
+        plan = generate_plan(3, num_regions=2, shards_per_region=2)
+        report = run_chaos_trial(
+            plan, seed=3, system="dast", workload="tpca",
+            num_regions=2, shards_per_region=2, clients_per_region=3,
+            duration_ms=2000.0, drain_ms=3000.0,
+        )
+        assert report.ok
+        digest = hashlib.sha256(report.to_text().encode()).hexdigest()
+        assert digest == (
+            "d81dc19f1f385687b2e2cb7340c56f3ffb882c2b503513af00c18db9874c1aeb"
+        )
+
+
+class TestHotPathHygiene:
+    """Mirror of the ruff TID251 guard: the deterministic core must never
+    read a wall clock or the process-global random module."""
+
+    BANNED = re.compile(
+        r"(?<![\w.])(?:time\.time|time\.monotonic|time\.perf_counter)\s*\("
+        r"|(?<![\w.])random\.(?!Random\b)\w+\s*\("
+        r"|from\s+time\s+import\s+.*\b(?:time|monotonic|perf_counter)\b"
+        r"|from\s+random\s+import\s+(?!Random\b)"
+    )
+
+    @pytest.mark.parametrize("package", ["sim", "core"])
+    def test_no_wall_clock_or_global_random(self, package):
+        offenders = []
+        for path in sorted((SRC / package).rglob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = line.split("#", 1)[0]
+                if self.BANNED.search(code):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "wall-clock / global-random use in deterministic code:\n"
+            + "\n".join(offenders)
+        )

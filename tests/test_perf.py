@@ -1,0 +1,282 @@
+"""Tests for the perf subsystem and the kernel hot-path optimizations.
+
+Covers the determinism contract of the same-instant ready deque (FIFO
+across ``call_soon`` / ``schedule(0)`` / triggered-event callbacks and
+correct interleaving with heap entries), equivalence against a reference
+heap-only kernel, and the opt-in profiling layer
+(:class:`KernelAccounting`, :func:`profile_spec`).
+"""
+
+import heapq
+import itertools
+import random
+
+import pytest
+
+from repro.perf import KernelAccounting, ProfileReport, profile_spec
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# Same-instant FIFO ordering (microbench-shaped: the exact mixes the ready
+# deque optimizes must execute in global (time, seq) order).
+# ---------------------------------------------------------------------------
+class TestSameInstantFifo:
+    def test_call_soon_fifo(self, sim):
+        seen = []
+        for i in range(50):
+            sim.call_soon(seen.append, i)
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_schedule_zero_fifo(self, sim):
+        seen = []
+        for i in range(50):
+            sim.schedule(0.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_call_soon_and_schedule_zero_interleave(self, sim):
+        seen = []
+        for i in range(40):
+            if i % 2:
+                sim.call_soon(seen.append, i)
+            else:
+                sim.schedule(0.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(40))
+
+    def test_triggered_event_callbacks_fifo(self, sim):
+        seen = []
+        events = [sim.event() for _ in range(10)]
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda ev, i=i: seen.append(i))
+        for ev in events:
+            ev.succeed(None)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_heap_entry_with_smaller_seq_runs_before_ready(self, sim):
+        # A positive-delay entry scheduled *before* zero-delay work lands at
+        # the same instant with a smaller seq, so it must run first even
+        # though it lives on the heap and the zero-delay work on the deque.
+        seen = []
+        sim.schedule(5.0, seen.append, "heap-early")
+
+        def at_five():
+            seen.append("arrived")
+            sim.call_soon(seen.append, "soon")
+            sim.schedule(0.0, seen.append, "zero")
+
+        # Scheduled after, so its seq is larger than heap-early's.
+        sim.schedule(5.0, at_five)
+        sim.run()
+        assert seen == ["heap-early", "arrived", "soon", "zero"]
+
+    def test_nested_same_instant_work_runs_before_later_heap(self, sim):
+        seen = []
+
+        def spawner(depth):
+            seen.append(f"d{depth}")
+            if depth < 3:
+                sim.call_soon(spawner, depth + 1)
+
+        sim.schedule(1.0, spawner, 0)
+        sim.schedule(1.5, seen.append, "later")
+        sim.run()
+        assert seen == ["d0", "d1", "d2", "d3", "later"]
+        assert sim.now == 1.5
+
+    def test_run_until_before_now_skips_zero_delay_work(self, sim):
+        # run(until=t) with t < now must not execute anything (pre-deque
+        # behavior: the heap head's time exceeded `until`).
+        sim.run(until=10.0)
+        seen = []
+        sim.call_soon(seen.append, "x")
+        sim.run(until=5.0)
+        assert seen == []
+        assert sim.now == 10.0
+        sim.run()
+        assert seen == ["x"]
+
+    def test_pending_events_counts_ready_deque(self, sim):
+        sim.call_soon(lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending_events == 2
+
+
+# ---------------------------------------------------------------------------
+# Equivalence against a reference heap-only kernel.
+# ---------------------------------------------------------------------------
+class ReferenceKernel:
+    """The pre-optimization kernel semantics: one heap, (time, seq) order."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay, fn, *args):
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def call_soon(self, fn, *args):
+        self.schedule(0.0, fn, *args)
+
+    def run(self):
+        while self._heap:
+            t, _seq, fn, args = heapq.heappop(self._heap)
+            if t > self.now:
+                self.now = t
+            fn(*args)
+
+
+class TestReferenceEquivalence:
+    def _workload(self, kernel, log, seed):
+        rng = random.Random(seed)
+
+        def cb(tag, fanout):
+            log.append((round(kernel.now, 6), tag))
+            for j in range(fanout):
+                choice = rng.random()
+                if len(log) > 4000:
+                    return
+                if choice < 0.4:
+                    kernel.call_soon(cb, f"{tag}.s{j}", rng.randint(0, 2))
+                elif choice < 0.6:
+                    kernel.schedule(0.0, cb, f"{tag}.z{j}", rng.randint(0, 2))
+                else:
+                    kernel.schedule(round(rng.uniform(0.1, 5.0), 3),
+                                    cb, f"{tag}.d{j}", rng.randint(0, 2))
+
+        for i in range(20):
+            kernel.schedule(round(rng.uniform(0.0, 3.0), 3), cb, f"root{i}", 3)
+
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_same_execution_order(self, seed):
+        ref_log, opt_log = [], []
+        ref = ReferenceKernel()
+        self._workload(ref, ref_log, seed)
+        ref.run()
+
+        opt = Simulator()
+        self._workload(opt, opt_log, seed)
+        opt.run()
+
+        assert opt_log == ref_log
+        assert opt.now == ref.now
+
+
+# ---------------------------------------------------------------------------
+# Kernel accounting.
+# ---------------------------------------------------------------------------
+class TestKernelAccounting:
+    def test_counts_ready_vs_heap(self, sim):
+        acct = KernelAccounting()
+        sim.attach_accounting(acct)
+        sim.call_soon(lambda: None)
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        sim.detach_accounting()
+        assert acct.events_total == 4
+        assert acct.ready_events == 2
+        assert acct.heap_events == 2
+        # Two ready events at t=0 plus the second heap event at t=2 fire
+        # without advancing the clock.
+        assert acct.same_instant_events == 3
+        assert acct.heap_peak >= 2
+
+    def test_ratios_and_top_callsites(self):
+        acct = KernelAccounting()
+
+        def alpha():
+            pass
+
+        def beta():
+            pass
+
+        acct.record(alpha, from_ready=True, advanced=False)
+        acct.record(alpha, from_ready=True, advanced=False)
+        acct.record(beta, from_ready=False, advanced=True)
+        assert acct.same_instant_ratio == pytest.approx(2 / 3)
+        assert acct.heap_churn_ratio == pytest.approx(1 / 3)
+        top = acct.top_callsites(5)
+        assert top[0][0].endswith("alpha") and top[0][1] == 2
+
+    def test_top_callsites_tie_break_by_name(self):
+        acct = KernelAccounting()
+
+        def zeta():
+            pass
+
+        def alpha():
+            pass
+
+        acct.record(zeta, from_ready=False, advanced=False)
+        acct.record(alpha, from_ready=False, advanced=False)
+        names = [name for name, _ in acct.top_callsites(5)]
+        assert names == sorted(names)
+
+    def test_empty_ratios_are_zero(self):
+        acct = KernelAccounting()
+        assert acct.same_instant_ratio == 0.0
+        assert acct.heap_churn_ratio == 0.0
+        assert acct.to_dict()["events_total"] == 0
+
+    def test_accounting_does_not_perturb_results(self, sim):
+        # Same workload with and without accounting → identical trace.
+        def run_once(with_acct):
+            k = Simulator()
+            log = []
+            if with_acct:
+                k.attach_accounting(KernelAccounting())
+            for i in range(10):
+                k.schedule(float(i % 3), log.append, i)
+                k.call_soon(log.append, 100 + i)
+            k.run()
+            return log, k.now
+
+        assert run_once(True) == run_once(False)
+
+
+# ---------------------------------------------------------------------------
+# Profiler.
+# ---------------------------------------------------------------------------
+class TestProfiler:
+    def test_profile_spec_smoke(self):
+        from repro.fleet.spec import TrialSpec
+
+        spec = TrialSpec(
+            system="dast", workload="tpca",
+            num_regions=2, shards_per_region=1, clients_per_region=2,
+            duration_ms=600.0, warmup_ms=100.0, cooldown_ms=100.0, seed=1,
+            label="perf-smoke",
+        )
+        report = profile_spec(spec, top=5, callsites=5)
+        assert isinstance(report, ProfileReport)
+        assert report.label == "perf-smoke"
+        assert report.events_total > 0
+        assert report.ready_events + report.heap_events == report.events_total
+        assert report.wall_clock_s > 0
+        assert report.virtual_ms > 0
+        assert report.events_per_s > 0
+        assert len(report.callsites) <= 5
+        assert len(report.functions) <= 5
+        assert report.callsites and report.callsites[0][1] > 0
+        text = report.to_text()
+        assert "hot callbacks" in text and "hot functions" in text
+        payload = report.to_dict()
+        assert payload["events_total"] == report.events_total
+
+    def test_profile_spec_rejects_bad_sort(self):
+        from repro.fleet.spec import TrialSpec
+
+        spec = TrialSpec(system="dast", workload="tpca", label="x")
+        with pytest.raises(ValueError):
+            profile_spec(spec, sort="ncalls")

@@ -138,3 +138,59 @@ class TestTxnRecord:
 
     def test_repr_mentions_status(self):
         assert "prepared" in repr(rec("a"))
+
+
+class TestReadyQueueCacheAndCompaction:
+    def test_records_cached_view_is_a_copy(self):
+        q = ReadyQueue()
+        q.insert(ts(2), rec("b"))
+        q.insert(ts(1), rec("a"))
+        first = q.records()
+        first.append("junk")
+        assert [r.txn_id for r in q.records()] == ["a", "b"]
+
+    def test_records_cache_invalidated_by_mutation(self):
+        q = ReadyQueue()
+        q.insert(ts(2), rec("b"))
+        assert [r.txn_id for r in q.records()] == ["b"]
+        q.insert(ts(1), rec("a"))
+        assert [r.txn_id for r in q.records()] == ["a", "b"]
+        q.remove("b")
+        assert [r.txn_id for r in q.records()] == ["a"]
+        q.pop()
+        assert q.records() == []
+
+    def test_compaction_drops_stale_entries_preserving_order(self):
+        q = ReadyQueue()
+        # Far past the compaction threshold: every reinsert strands a stale
+        # heap entry, so the heap would grow ~4x the live membership.
+        for i in range(200):
+            q.insert(ts(i), rec(f"t{i}"))
+        for i in range(200):
+            q.insert(ts(1000 + (199 - i)), q.get(f"t{i}"))  # reschedule all
+        for i in range(200):
+            q.insert(ts(2000 + i), q.get(f"t{i}"))  # and again
+        assert len(q) == 200
+        assert len(q._heap) < 450  # stale entries were compacted away
+        popped = [q.pop().txn_id for _ in range(200)]
+        assert popped == [f"t{i}" for i in range(200)]
+
+    def test_head_after_heavy_remove_churn(self):
+        q = ReadyQueue()
+        for i in range(150):
+            q.insert(ts(i), rec(f"t{i}"))
+        for i in range(149):
+            q.remove(f"t{i}")
+        assert q.head().txn_id == "t149"
+        assert len(q._heap) < 10
+
+
+class TestWaitQueueCompaction:
+    def test_min_after_churn(self):
+        q = WaitQueue()
+        for i in range(200):
+            q.insert(f"k{i}", ts(i))
+        for i in range(200):
+            q.insert(f"k{i}", ts(500 + i))  # re-key everything upward
+        assert q.min() == ts(500)
+        assert len(q._heap) < 300

@@ -296,3 +296,24 @@ class TestCrashRestartSemantics:
         network.send("r0.a", "r0.b", "ok")
         sim.run()
         assert [p for _t, _s, p in inboxes["r0.b"]] == ["ok"]
+
+
+class TestNetworkStats:
+    def test_top_types_tie_break_deterministic(self):
+        from repro.sim.network import NetworkStats
+
+        stats = NetworkStats()
+        # Insert in an order that disagrees with the expected output: ties
+        # must break by name ascending, higher counts first, regardless of
+        # dict insertion order.
+        for name, count in (("zeta", 2), ("alpha", 2), ("mid", 3), ("omega", 1)):
+            for _ in range(count):
+                stats.record_send("h0", name, 10)
+        assert stats.top_types(4) == [
+            ("mid", 3), ("alpha", 2), ("zeta", 2), ("omega", 1)]
+        # And it is stable across a differently-ordered rebuild.
+        other = NetworkStats()
+        for name, count in (("omega", 1), ("alpha", 2), ("zeta", 2), ("mid", 3)):
+            for _ in range(count):
+                other.record_send("h0", name, 10)
+        assert other.top_types(4) == stats.top_types(4)
