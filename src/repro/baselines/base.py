@@ -112,9 +112,14 @@ class BaselineSystem:
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
         self.submitted[txn.txn_id] = txn
-        event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
-        if self.tracer is not None:
-            trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
+        tracer = self.tracer
+        if tracer is not None and tracer.causal:
+            event = tracer.traced_submit(endpoint, client, node_host,
+                                         Submit(txn=txn), txn.txn_id, timeout)
+        else:
+            event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
+        if tracer is not None:
+            trace_client_rpc(self.sim, tracer, client, txn.txn_id, event)
         return event
 
     # -- fault injection -------------------------------------------------------
@@ -128,11 +133,13 @@ class BaselineSystem:
         return touched
 
     # -- observability ---------------------------------------------------------
-    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000):
+    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000,
+                      causal: bool = False):
         """Attach a system-wide tracer (client + node events)."""
         from repro.obs.bundle import attach_tracer
 
-        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity)
+        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity,
+                             causal=causal)
 
     def attach_registry(self, registry=None):
         from repro.obs.bundle import attach_registry
@@ -140,11 +147,11 @@ class BaselineSystem:
         return attach_registry(self, registry=registry)
 
     def attach_obs(self, kinds=None, hosts=None, capacity: int = 200_000,
-                   probe_interval: float = 50.0):
+                   probe_interval: float = 50.0, causal: bool = False):
         from repro.obs.bundle import attach_obs
 
         return attach_obs(self, kinds=kinds, hosts=hosts, capacity=capacity,
-                          probe_interval=probe_interval)
+                          probe_interval=probe_interval, causal=causal)
 
     # -- shared introspection -------------------------------------------------
     def replicas_digest(self, shard_id: str) -> List[str]:

@@ -50,6 +50,7 @@ class Trial:
         obs: bool = False,
         obs_interval: float = 50.0,
         obs_capacity: int = 500_000,
+        obs_causal: bool = False,
         fault_plan=None,
         request_timeout: float = 10000.0,
         batch_window: float = 0.0,
@@ -74,6 +75,10 @@ class Trial:
         self.obs = obs
         self.obs_interval = obs_interval
         self.obs_capacity = obs_capacity
+        # Causal tracing: record cross-node span trees (implies obs).  The
+        # trace context rides the RPC envelopes in a separate byte lane, so
+        # latency/byte results are identical with this on or off.
+        self.obs_causal = obs_causal
         # A repro.chaos.FaultPlan compiled onto the system after start; with
         # lossy plans a short request timeout keeps closed-loop clients live.
         self.fault_plan = fault_plan
@@ -168,11 +173,12 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         warm_end=trial.duration_ms - trial.cooldown_ms,
     )
     bundle = None
-    if trial.obs:
+    if trial.obs or trial.obs_causal:
         from repro.obs import attach_obs
 
         bundle = attach_obs(system, capacity=trial.obs_capacity,
-                            probe_interval=trial.obs_interval)
+                            probe_interval=trial.obs_interval,
+                            causal=trial.obs_causal)
     system.start()
     clients = spawn_clients(system, workload, recorder.record,
                             request_timeout=trial.request_timeout)

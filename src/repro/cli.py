@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro run|experiment|audit|obs|chaos|bench``.
+"""Command-line interface: ``python -m repro run|experiment|audit|obs|trace|canary|chaos|bench``.
 
 Examples::
 
@@ -9,6 +9,10 @@ Examples::
     python -m repro experiment fig2 fig8 --jobs 4   # parallel, cached
     python -m repro audit --regions 2 --duration-ms 4000
     python -m repro obs --regions 3 --out trial.jsonl --csv-dir obs_csv
+    python -m repro trace --workload tpcc           # causal trace + attribution
+    python -m repro trace --chrome-out t.json       # load in chrome://tracing
+    python -m repro canary capture                  # pin golden traces
+    python -m repro canary compare                  # gate a candidate build
     python -m repro chaos --seed 7                  # one generated scenario
     python -m repro chaos --fuzz 10 --seed 0        # seeded scenario matrix
     python -m repro chaos --fuzz 10 --jobs 4        # parallel scenario matrix
@@ -71,7 +75,7 @@ def _workload_factory(args):
     return lambda topo: PaymentOnlyWorkload(topo, crt_ratio=args.crt_ratio)
 
 
-def _build_trial(args, obs: bool = False) -> Trial:
+def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
     return Trial(
         args.system,
         _workload_factory(args),
@@ -82,6 +86,7 @@ def _build_trial(args, obs: bool = False) -> Trial:
         seed=args.seed,
         obs=obs,
         obs_interval=getattr(args, "interval", 50.0),
+        obs_causal=causal,
         batch_window=_batch_window(args),
     )
 
@@ -152,6 +157,119 @@ def cmd_obs(args) -> int:
         paths = export_csv(bundle, args.csv_dir)
         print(f"wrote CSV files: {', '.join(sorted(paths.values()))}")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one causally-traced trial: attribution tables, slow-transaction
+    exemplars, and a chrome://tracing-loadable trace-event export."""
+    from repro.obs import (attribution, export_chrome, export_jsonl,
+                           render_attribution, render_exemplar, slowest)
+
+    for path, what in ((args.chrome_out, "--chrome-out"),
+                       (args.jsonl_out, "--jsonl-out")):
+        error = _check_out_path(path, what)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+    result = run_trial(_build_trial(args, causal=True))
+    bundle = result.obs
+    bundle.stop()
+    print(format_table([result.summary.as_row()]))
+    traces = bundle.traces()
+    for label, crt in (("CRT", True), ("IRT", False)):
+        table = attribution(traces.values(), crt=crt)
+        if table["txns"]:
+            print()
+            print(render_attribution(table, f"{label} critical-path attribution"))
+    top = slowest(traces.values(), k=args.top)
+    if top:
+        print()
+        print(f"== slowest {len(top)} transaction(s) ==")
+        for trace, path_result in top:
+            print(render_exemplar(trace, path_result))
+    partial = bundle.partial_count()
+    orphans = sum(len(t.orphans()) for t in traces.values())
+    print()
+    print(f"traces={len(traces)} partial_spans={partial} "
+          f"orphan_spans={orphans} "
+          f"trace_ctx_bytes={result.system.network.stats.trace_bytes_sent}")
+    if args.chrome_out:
+        n = export_chrome(traces.values(), args.chrome_out, limit=args.limit)
+        print(f"wrote {n} trace events to {args.chrome_out} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl_out:
+        n = export_jsonl(bundle, args.jsonl_out)
+        print(f"wrote {n} obs records to {args.jsonl_out}")
+    return 0
+
+
+def _worst_canary_label(report) -> Optional[str]:
+    """The failing scenario with the largest band overshoot (for artifacts)."""
+    worst, score = None, 0.0
+    for label, entry in report["scenarios"].items():
+        if entry["status"] != "fail":
+            continue
+        overshoot = max(
+            (abs(v["delta"]) / v["band"]
+             for v in entry.get("violations", ()) if v.get("band")),
+            default=0.0,
+        )
+        if worst is None or overshoot > score:
+            worst, score = label, overshoot
+    return worst
+
+
+def cmd_canary(args) -> int:
+    """Golden-trace canary: ``capture`` pins the scenario goldens,
+    ``compare`` replays the candidate build and gates on the diff."""
+    import json
+    import os
+
+    from repro.obs.canary import (SCENARIOS, capture, compare, render_report,
+                                  scenario_by_label)
+
+    specs = SCENARIOS
+    if args.scenario:
+        try:
+            specs = tuple(scenario_by_label(s) for s in args.scenario)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    if args.mode == "capture":
+        error = _check_out_path(args.goldens, "--goldens")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        doc = capture(specs, progress=_progress)
+        with open(args.goldens, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"captured {len(doc['scenarios'])} golden scenario(s) "
+              f"to {args.goldens}")
+        return 0
+
+    try:
+        with open(args.goldens) as fh:
+            golden = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read goldens from {args.goldens}: {exc}", file=sys.stderr)
+        return 2
+    candidate = capture(specs, progress=_progress)
+    report = compare(golden, candidate, tolerance=args.tolerance)
+    print(render_report(report))
+    if args.chrome_dir and not report["ok"]:
+        worst = _worst_canary_label(report)
+        if worst is not None:
+            from repro.obs import export_chrome
+            from repro.obs.canary import run_scenario
+
+            os.makedirs(args.chrome_dir, exist_ok=True)
+            result = run_scenario(scenario_by_label(worst))
+            path = os.path.join(args.chrome_dir, f"{worst}.trace.json")
+            export_chrome(result.obs.traces().values(), path, limit=200)
+            print(f"wrote Chrome trace for worst scenario {worst!r} to {path}")
+    return 0 if report["ok"] else 1
 
 
 def _progress(line: str) -> None:
@@ -226,12 +344,15 @@ def cmd_bench(args) -> int:
         for row in payload["rows"]
     ]))
     print(f"trials={payload['trials']} executed={payload['executed']} "
+          f"cached={payload.get('cached', 0)} "
           f"failures={payload['failures']} wall_clock_s={payload['wall_clock_s']} "
           f"trials_per_min={payload['trials_per_min']}")
     if payload["cache"] is not None:
         stats = payload["cache"]
-        print(f"cache: {stats['hits']} hits, {stats['misses']} misses, "
-              f"{stats['stores']} stored")
+        hits = stats["hits"] + stats["misses"]
+        rate = (stats["hits"] / hits * 100.0) if hits else 0.0
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({rate:.0f}% hit rate), {stats['stores']} stored")
     print(f"wrote {args.out}")
     return 1 if payload["failures"] else 0
 
@@ -459,6 +580,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probe sampling interval in virtual ms")
     add_trial_args(obs_p)
     obs_p.set_defaults(fn=cmd_obs)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one causally-traced trial: critical-path "
+                      "attribution + Chrome trace export")
+    trace_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
+    trace_p.add_argument("--chrome-out", metavar="PATH", default="trace_events.json",
+                         help="Chrome trace-event JSON output "
+                              "(chrome://tracing / ui.perfetto.dev)")
+    trace_p.add_argument("--no-chrome", dest="chrome_out", action="store_const",
+                         const=None, help="skip the Chrome trace export")
+    trace_p.add_argument("--jsonl-out", metavar="PATH", default=None,
+                         help="also write the obs bundle as JSONL to PATH")
+    trace_p.add_argument("--top", type=int, default=3,
+                         help="slow-transaction exemplars to print")
+    trace_p.add_argument("--limit", type=int, default=200,
+                         help="max transactions in the Chrome export")
+    add_trial_args(trace_p)
+    trace_p.set_defaults(fn=cmd_trace)
+
+    canary_p = sub.add_parser(
+        "canary", help="golden-trace canary: capture pinned scenarios or "
+                       "gate a candidate build against them")
+    canary_p.add_argument("mode", choices=["capture", "compare"])
+    canary_p.add_argument("--goldens", metavar="PATH", default="CANARY_golden.json",
+                          help="golden document to write (capture) or read (compare)")
+    canary_p.add_argument("--scenario", action="append", metavar="LABEL",
+                          help="restrict to named pinned scenario(s); repeatable")
+    canary_p.add_argument("--tolerance", type=float, default=None,
+                          help="override every metric's relative tolerance band")
+    canary_p.add_argument("--chrome-dir", metavar="DIR", default=None,
+                          help="on failure, write the worst-regressing "
+                               "scenario's Chrome trace into DIR")
+    canary_p.set_defaults(fn=cmd_canary)
 
     def add_fleet_args(p):
         from repro.fleet import DEFAULT_CACHE_DIR

@@ -175,22 +175,32 @@ class DastSystem:
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
         self.submitted[txn.txn_id] = txn
-        event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
-        if self.tracer is not None:
-            trace_client_rpc(self.sim, self.tracer, client, txn.txn_id, event)
+        tracer = self.tracer
+        if tracer is not None and tracer.causal:
+            # Causal tracing: open the root span and issue the submit under
+            # its context so the request hop parents to it.
+            event = tracer.traced_submit(endpoint, client, node_host,
+                                         Submit(txn=txn), txn.txn_id, timeout)
+        else:
+            event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
+        if tracer is not None:
+            trace_client_rpc(self.sim, tracer, client, txn.txn_id, event)
         return event
 
     def home_nodes(self, region: str) -> List[str]:
         return self.topology.nodes_in_region(region)
 
-    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000):
+    def attach_tracer(self, kinds=None, hosts=None, capacity: int = 200_000,
+                      causal: bool = False):
         """Attach a :class:`repro.sim.trace.Tracer` to every node/manager.
 
-        Returns the tracer; tracing is off unless this is called.
+        Returns the tracer; tracing is off unless this is called.  With
+        ``causal=True`` the tracer also records cross-node span trees.
         """
         from repro.obs.bundle import attach_tracer
 
-        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity)
+        return attach_tracer(self, kinds=kinds, hosts=hosts, capacity=capacity,
+                             causal=causal)
 
     def attach_registry(self, registry=None):
         """Attach a metrics registry; all Stats bags mirror into it."""
@@ -199,12 +209,12 @@ class DastSystem:
         return attach_registry(self, registry=registry)
 
     def attach_obs(self, kinds=None, hosts=None, capacity: int = 200_000,
-                   probe_interval: float = 50.0):
+                   probe_interval: float = 50.0, causal: bool = False):
         """Full observability: tracer + registry + periodic probes."""
         from repro.obs.bundle import attach_obs
 
         return attach_obs(self, kinds=kinds, hosts=hosts, capacity=capacity,
-                          probe_interval=probe_interval)
+                          probe_interval=probe_interval, causal=causal)
 
     # ------------------------------------------------------------------
     # Fault injection

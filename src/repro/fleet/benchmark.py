@@ -134,6 +134,7 @@ def run_bench(
             })
 
     executed = sum(1 for r in results if isinstance(r, TrialOutcome) and not r.cached)
+    cached = sum(1 for r in results if isinstance(r, TrialOutcome) and r.cached)
     return {
         "schema": BENCH_SCHEMA,
         "generated_unix": int(time.time()),
@@ -142,6 +143,7 @@ def run_bench(
         "jobs": jobs,
         "trials": len(specs),
         "executed": executed,
+        "cached": cached,
         "failures": failures,
         "wall_clock_s": round(wall_clock_s, 2),
         "trials_per_min": round(executed / (wall_clock_s / 60.0), 2) if wall_clock_s else 0.0,

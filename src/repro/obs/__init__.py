@@ -16,7 +16,18 @@ from repro.obs.bundle import (
     attach_registry,
     attach_tracer,
 )
+from repro.obs.chrome import chrome_events, export_chrome
+from repro.obs.critical_path import (
+    PathResult,
+    Segment,
+    attribution,
+    critical_path,
+    render_attribution,
+    render_exemplar,
+    slowest,
+)
 from repro.obs.export import export_csv, export_jsonl, render_report, sparkline
+from repro.obs.trace import CausalTracer, HopSpan, RootSpan, TxnTrace, build_traces
 from repro.obs.probes import ProbeRunner, standard_probes
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Series
 from repro.obs.spans import (
@@ -49,4 +60,18 @@ __all__ = [
     "PhaseSpan",
     "assemble_spans",
     "phase_breakdown",
+    "CausalTracer",
+    "HopSpan",
+    "RootSpan",
+    "TxnTrace",
+    "build_traces",
+    "PathResult",
+    "Segment",
+    "attribution",
+    "critical_path",
+    "render_attribution",
+    "render_exemplar",
+    "slowest",
+    "chrome_events",
+    "export_chrome",
 ]

@@ -26,11 +26,23 @@ def _observables(system) -> List:
     return out
 
 
-def attach_tracer(system, kinds=None, hosts=None, capacity: int = 200_000):
-    """Attach one shared :class:`~repro.sim.trace.Tracer` system-wide."""
-    from repro.sim.trace import Tracer
+def attach_tracer(system, kinds=None, hosts=None, capacity: int = 200_000,
+                  causal: bool = False):
+    """Attach one shared :class:`~repro.sim.trace.Tracer` system-wide.
 
-    tracer = Tracer(kinds=kinds, hosts=hosts, capacity=capacity)
+    With ``causal=True`` a :class:`repro.obs.trace.CausalTracer` is attached
+    instead and hooked into the network's RPC layer, so every message hop is
+    recorded into per-transaction span trees (see ``docs/TRACING.md``).
+    """
+    if causal:
+        from repro.obs.trace import CausalTracer
+
+        tracer = CausalTracer(kinds=kinds, hosts=hosts, capacity=capacity)
+        system.network.causal = tracer
+    else:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer(kinds=kinds, hosts=hosts, capacity=capacity)
     for component in _observables(system):
         if hasattr(component, "tracer"):
             component.tracer = tracer
@@ -83,11 +95,33 @@ class ObsBundle:
         self.registry = registry
         self.probes = probes
         self._spans: Optional[List[PhaseSpan]] = None
+        self._traces = None
 
-    def spans(self, refresh: bool = False) -> List[PhaseSpan]:
+    def spans(self, refresh: bool = False,
+              include_partial: bool = False) -> List[PhaseSpan]:
         if self._spans is None or refresh:
-            self._spans = assemble_spans(self.tracer)
-        return self._spans
+            self._spans = assemble_spans(self.tracer, include_partial=True)
+        if include_partial:
+            return self._spans
+        return [s for s in self._spans if not s.partial]
+
+    def partial_count(self) -> int:
+        """Transactions surfaced as partial spans (truncated or in flight)."""
+        return sum(1 for s in self.spans(include_partial=True) if s.partial)
+
+    @property
+    def causal(self) -> bool:
+        return bool(getattr(self.tracer, "causal", False))
+
+    def traces(self, refresh: bool = False):
+        """Per-transaction causal trees (causal attachment only)."""
+        if not self.causal:
+            return {}
+        if self._traces is None or refresh:
+            from repro.obs.trace import build_traces
+
+            self._traces = build_traces(self.tracer)
+        return self._traces
 
     def breakdown(self, crt: Optional[bool] = None) -> List[Dict]:
         return phase_breakdown(self.spans(), crt=crt)
@@ -98,11 +132,12 @@ class ObsBundle:
 
 
 def attach_obs(system, kinds=None, hosts=None, capacity: int = 200_000,
-               probe_interval: float = 50.0) -> ObsBundle:
+               probe_interval: float = 50.0, causal: bool = False) -> ObsBundle:
     """One-call full attachment: tracer + registry + probes."""
     tracer = getattr(system, "tracer", None)
     if tracer is None:
-        tracer = attach_tracer(system, kinds=kinds, hosts=hosts, capacity=capacity)
+        tracer = attach_tracer(system, kinds=kinds, hosts=hosts,
+                               capacity=capacity, causal=causal)
     registry = attach_registry(system)
     probes = attach_probes(system, interval=probe_interval, registry=registry)
     bundle = ObsBundle(system, tracer, registry, probes)

@@ -67,11 +67,12 @@ def export_jsonl(bundle: ObsBundle, path: str) -> int:
             emit({"type": "gauge", "name": name, "value": value})
         for name, stats in snapshot["histograms"].items():
             emit({"type": "histogram", "name": name, **stats})
-        for span in bundle.spans():
+        for span in bundle.spans(include_partial=True):
             emit({
                 "type": "span", "txn": span.txn_id, "is_crt": span.is_crt,
                 "start_ms": span.start, "end_ms": span.end,
                 "total_ms": span.total, "retries": span.retries,
+                "partial": span.partial,
                 "phases": span.phases,
             })
         for name, points in snapshot["series"].items():
@@ -134,6 +135,12 @@ def render_report(bundle: ObsBundle, max_series: Optional[int] = None) -> str:
             chunks.append("")
     if not spans:
         chunks.append("(no complete spans — was the tracer attached before traffic?)")
+        chunks.append("")
+    partial = bundle.partial_count()
+    if partial:
+        chunks.append(f"partial spans: {partial} transaction(s) without a "
+                      f"complete submit..reply pair (in flight at trial end "
+                      f"or events truncated) — excluded from the breakdown")
         chunks.append("")
 
     series = sorted(bundle.registry.series.items())

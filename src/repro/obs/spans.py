@@ -20,6 +20,13 @@ always telescope: their sum equals the client-observed latency *exactly*.
 A re-submitted transaction (client retry) contributes one span from its
 first ``submit`` to its last ``reply``, with ``retries`` counting the
 extra submissions.
+
+Transactions whose events were truncated (tracer capacity hit, or still in
+flight at trial end) have no complete submit..reply pair.  By default they
+are skipped; with ``include_partial=True`` they are surfaced as explicit
+**partial** spans (``span.partial`` set, phases covering whatever events
+survived) so summaries can report how many transactions were dropped from
+the breakdown instead of silently under-counting.
 """
 
 from __future__ import annotations
@@ -51,10 +58,12 @@ IRT_PHASES: Tuple[Tuple[str, str], ...] = (
 class PhaseSpan:
     """One transaction's phase decomposition (all durations in virtual ms)."""
 
-    __slots__ = ("txn_id", "is_crt", "start", "end", "phases", "retries", "events")
+    __slots__ = ("txn_id", "is_crt", "start", "end", "phases", "retries",
+                 "events", "partial")
 
     def __init__(self, txn_id: str, is_crt: bool, start: float, end: float,
-                 phases: Dict[str, float], retries: int, events: int):
+                 phases: Dict[str, float], retries: int, events: int,
+                 partial: bool = False):
         self.txn_id = txn_id
         self.is_crt = is_crt
         self.start = start
@@ -62,6 +71,10 @@ class PhaseSpan:
         self.phases = phases  # ordered phase -> duration
         self.retries = retries
         self.events = events
+        # True when the submit..reply pair was incomplete (truncated tracer
+        # buffer or still in flight); such spans carry best-effort phases and
+        # are excluded from phase_breakdown.
+        self.partial = partial
 
     @property
     def total(self) -> float:
@@ -69,6 +82,8 @@ class PhaseSpan:
 
     def __repr__(self) -> str:
         kind = "CRT" if self.is_crt else "IRT"
+        if self.partial:
+            kind += " partial"
         inner = ", ".join(f"{k}={v:.2f}" for k, v in self.phases.items())
         return f"PhaseSpan({self.txn_id} {kind} total={self.total:.2f}: {inner})"
 
@@ -80,12 +95,16 @@ def _boundary(times: Sequence[float], prev: float, end: float) -> float:
     return min(max(t, prev), end)
 
 
-def assemble_spans(tracer, txn: Optional[str] = None) -> List[PhaseSpan]:
+def assemble_spans(tracer, txn: Optional[str] = None,
+                   include_partial: bool = False) -> List[PhaseSpan]:
     """Build spans for every transaction with a complete submit..reply pair.
 
     ``tracer`` is a :class:`repro.sim.trace.Tracer` (or anything with an
     ``events`` list of objects carrying ``time``/``kind``/``txn_id``).
-    Transactions still in flight (no reply) are skipped.
+    Transactions without a complete pair (still in flight, or their events
+    truncated at the tracer's capacity) are skipped unless
+    ``include_partial=True``, in which case they become explicit spans with
+    ``partial=True`` spanning whatever events survived.
     """
     by_txn: Dict[str, List] = {}
     for ev in tracer.events:
@@ -101,9 +120,14 @@ def assemble_spans(tracer, txn: Optional[str] = None) -> List[PhaseSpan]:
             times.setdefault(ev.kind, []).append(ev.time)
         submits = sorted(times.get("submit", ()))
         replies = sorted(times.get("reply", ()))
-        if not submits or not replies:
-            continue  # still in flight, or client events not traced
-        start, end = submits[0], replies[-1]
+        partial = not submits or not replies
+        if partial:
+            if not include_partial:
+                continue  # still in flight, or events truncated
+            ev_times = sorted(ev.time for ev in events)
+            start, end = ev_times[0], ev_times[-1]
+        else:
+            start, end = submits[0], replies[-1]
         if end < start:
             continue
         # Classification: the client reply carries the authoritative flag;
@@ -136,14 +160,20 @@ def assemble_spans(tracer, txn: Optional[str] = None) -> List[PhaseSpan]:
             phases[name] = t - prev
             prev = t
         spans.append(PhaseSpan(tid, is_crt, start, end, phases,
-                               retries=len(submits) - 1, events=len(events)))
+                               retries=max(len(submits) - 1, 0),
+                               events=len(events), partial=partial))
     spans.sort(key=lambda s: s.start)
     return spans
 
 
 def phase_breakdown(spans: Iterable[PhaseSpan], crt: Optional[bool] = None) -> List[Dict]:
-    """Reduce spans to per-phase rows (mean/p50/p99), Tables 3/4 style."""
-    selected = [s for s in spans if crt is None or s.is_crt == crt]
+    """Reduce spans to per-phase rows (mean/p50/p99), Tables 3/4 style.
+
+    Partial spans (truncated submit..reply) are excluded — their phases are
+    best-effort and would skew the telescoping durations.
+    """
+    selected = [s for s in spans
+                if not s.partial and (crt is None or s.is_crt == crt)]
     if not selected:
         return []
     order: List[str] = []

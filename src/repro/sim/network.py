@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.errors import ConfigError, NetworkError
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
-from repro.wire.schema import sizeof
+from repro.wire.schema import TRACE_CTX_BYTES, sizeof
 
 __all__ = ["Network", "NetworkStats"]
 
@@ -50,6 +50,11 @@ class NetworkStats:
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.bytes_sent = 0
+        # Trace-context bytes (envelope schema v2) live in their own lane:
+        # they are real wire cost when tracing is on, but are never folded
+        # into ``bytes_sent`` so byte accounting — and every golden digest —
+        # is identical with tracing attached or detached.
+        self.trace_bytes_sent = 0
         # Messages scheduled for delivery but not yet delivered/dropped —
         # the "wire occupancy" the observability probes sample over time.
         self.in_flight = 0
@@ -146,6 +151,10 @@ class Network:
         # to incarnation k is undeliverable once the host is on k+1.
         self._incarnation: Dict[str, int] = {}
         self.stats = NetworkStats()
+        # Causal tracer (repro.obs.trace.CausalTracer) or None.  Every
+        # tracing touchpoint in the send/deliver path is guarded by a single
+        # ``is None`` check on this attribute.
+        self.causal = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -339,10 +348,19 @@ class Network:
             type_name = getattr(payload, "type_name", "opaque")
             size = sizeof(payload)
         self.stats.record_send(src, type_name, size)
+        causal = self.causal
+        ctx = None
+        if causal is not None:
+            ctx = getattr(payload, "trace_ctx", None)
+            if ctx is not None:
+                self.stats.trace_bytes_sent += TRACE_CTX_BYTES
+                causal.stamp_send(ctx, self.sim.now, size)
         if self._blocked(src, dst) or (
             self.drop_probability and self._rng.random() < self.drop_probability
         ):
             self.stats.record_drop()
+            if ctx is not None:
+                causal.mark_dropped(ctx)
             return
         self._schedule_delivery(src, dst, payload, size)
         if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
@@ -390,6 +408,10 @@ class Network:
         # crash/restart cycle (new incarnation) voids stale pre-crash traffic.
         if self._blocked(src, dst) or self._incarnation.get(dst, 0) != incarnation:
             self.stats.record_drop()
+            if self.causal is not None:
+                ctx = getattr(payload, "trace_ctx", None)
+                if ctx is not None:
+                    self.causal.mark_dropped(ctx)
             return
         self.stats.record_receive(dst)
         self._handlers[dst](src, payload)

@@ -22,6 +22,16 @@ Batching: with ``batch_window > 0`` the endpoint coalesces *batchable*
 one-way messages (see ``repro.wire.messages``) per destination; the buffer
 flushes ``batch_window`` virtual ms after its first message as a single
 network message carrying all frames, which the receiver unpacks in order.
+
+Envelope schema v2 (causal tracing): every envelope carries an optional
+``trace_ctx`` — a compact ``(trace_id, span_id)`` pair stamped at send time
+when a :class:`repro.obs.trace.CausalTracer` is attached to the network
+(``network.causal``), and ``None`` otherwise.  The context's virtual wire
+cost is modelled by ``repro.wire.schema.TRACE_CTX_BYTES`` and accounted in
+the *separate* ``NetworkStats.trace_bytes_sent`` lane, so ``wire_size()``
+(and therefore every golden byte count) is identical with tracing on or
+off.  All tracing work below is guarded by a single ``network.causal is
+None`` check per site: a detached run does no extra work.
 """
 
 from __future__ import annotations
@@ -42,10 +52,15 @@ from repro.wire.schema import (
     sizeof,
 )
 
-__all__ = ["Endpoint", "RpcRemoteError"]
+__all__ = ["Endpoint", "RpcRemoteError", "ENVELOPE_VERSION"]
 
 # Virtual bytes of framing around a payload (kind tag, rpc id, method name).
 _ENVELOPE_OVERHEAD = 16
+# Envelope schema version: bumped to 2 when the optional trace_ctx field was
+# added (see module docstring and docs/WIRE.md).  The context is a local
+# object reference in the simulator, so no version negotiation is needed —
+# the constant documents the wire-format lineage for the size model.
+ENVELOPE_VERSION = 2
 
 
 class RpcRemoteError(ProtocolError):
@@ -53,12 +68,13 @@ class RpcRemoteError(ProtocolError):
 
 
 class _Request:
-    __slots__ = ("rpc_id", "method", "payload")
+    __slots__ = ("rpc_id", "method", "payload", "trace_ctx")
 
-    def __init__(self, rpc_id: int, method: str, payload: Any):
+    def __init__(self, rpc_id: int, method: str, payload: Any, trace_ctx=None):
         self.rpc_id = rpc_id
         self.method = method
         self.payload = payload
+        self.trace_ctx = trace_ctx
 
     @property
     def type_name(self) -> str:
@@ -71,13 +87,15 @@ class _Request:
 
 
 class _Response:
-    __slots__ = ("rpc_id", "method", "ok", "value")
+    __slots__ = ("rpc_id", "method", "ok", "value", "trace_ctx")
 
-    def __init__(self, rpc_id: int, method: str, ok: bool, value: Any):
+    def __init__(self, rpc_id: int, method: str, ok: bool, value: Any,
+                 trace_ctx=None):
         self.rpc_id = rpc_id
         self.method = method
         self.ok = ok
         self.value = value
+        self.trace_ctx = trace_ctx
 
     @property
     def type_name(self) -> str:
@@ -88,11 +106,12 @@ class _Response:
 
 
 class _Oneway:
-    __slots__ = ("method", "payload")
+    __slots__ = ("method", "payload", "trace_ctx")
 
-    def __init__(self, method: str, payload: Any):
+    def __init__(self, method: str, payload: Any, trace_ctx=None):
         self.method = method
         self.payload = payload
+        self.trace_ctx = trace_ctx
 
     @property
     def type_name(self) -> str:
@@ -105,10 +124,11 @@ class _Oneway:
 
 
 class _Batch:
-    __slots__ = ("frames",)
+    __slots__ = ("frames", "trace_ctx")
 
     def __init__(self, frames: Tuple[Encoded, ...]):
         self.frames = frames
+        self.trace_ctx = None  # batches aggregate many txns; never traced
 
     @property
     def type_name(self) -> str:
@@ -178,13 +198,24 @@ class Endpoint:
         return False
 
     def _on_message(self, src: str, envelope: Any) -> None:
+        causal = self.network.causal
         # Cheap one-ways (clock reports) dominate traffic: dispatch them
         # inline without the _is_cheap/_process indirection.
         if envelope.__class__ is _Oneway and envelope.method in self._cheap:
             payload = envelope.payload
             if payload.__class__ is Encoded:
                 payload = decode(payload)
-            self._invoke(envelope.method, src, payload)
+            if causal is None:
+                self._invoke(envelope.method, src, payload)
+                return
+            ctx = envelope.trace_ctx
+            if ctx is not None:
+                causal.end_hop(ctx, self.sim.now, 0.0, 0.0)
+            causal.push_active(ctx)
+            try:
+                self._invoke(envelope.method, src, payload)
+            finally:
+                causal.pop_active()
             return
         if envelope.__class__ is _Batch and self._is_cheap(envelope):
             self._process(src, envelope)
@@ -192,9 +223,29 @@ class Endpoint:
         # Serialize processing through the node's single CPU.
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + self.service_time
+        if causal is not None:
+            ctx = envelope.trace_ctx
+            if ctx is not None:
+                # The receive-side split: CPU queueing behind earlier
+                # messages, then this message's own service time.
+                causal.end_hop(ctx, self.sim.now,
+                               start - self.sim.now, self.service_time)
         self.sim.schedule(self._busy_until - self.sim.now, self._process, src, envelope)
 
     def _process(self, src: str, envelope: Any) -> None:
+        causal = self.network.causal
+        if causal is None:
+            self._dispatch(src, envelope)
+            return
+        # Handlers run under the envelope's trace context so every send they
+        # make synchronously parents to this hop (repro.obs.trace).
+        causal.push_active(envelope.trace_ctx)
+        try:
+            self._dispatch(src, envelope)
+        finally:
+            causal.pop_active()
+
+    def _dispatch(self, src: str, envelope: Any) -> None:
         # Dispatch ordered by observed frequency: one-way fan-outs (clock
         # reports) dominate, then request/response pairs, then batches.
         kind = envelope.__class__
@@ -235,7 +286,16 @@ class Endpoint:
             self._reply(src, req, True, result)
 
     def _reply(self, dst: str, req: _Request, ok: bool, value: Any) -> None:
-        self.network.send(self.host, dst, _Response(req.rpc_id, req.method, ok, value))
+        causal = self.network.causal
+        ctx = None
+        if causal is not None and req.trace_ctx is not None:
+            # The response hop parents to the request hop explicitly: with a
+            # coroutine handler the reply fires from a process callback,
+            # outside any active handler context.
+            ctx = causal.begin_hop(self.host, dst, f"resp:{req.method}",
+                                   None, parent=req.trace_ctx)
+        self.network.send(self.host, dst,
+                          _Response(req.rpc_id, req.method, ok, value, ctx))
 
     def _handle_response(self, rpc_id: int, ok: bool, value: Any) -> None:
         event = self._pending.pop(rpc_id, None)
@@ -288,7 +348,11 @@ class Endpoint:
         rpc_id = next(self._ids)
         event = self.sim.event()
         self._pending[rpc_id] = event
-        self.network.send(self.host, dst, _Request(rpc_id, method, payload))
+        causal = self.network.causal
+        ctx = None
+        if causal is not None:
+            ctx = causal.begin_hop(self.host, dst, method, payload)
+        self.network.send(self.host, dst, _Request(rpc_id, method, payload, ctx))
         if timeout is not None:
             self.sim.schedule(timeout, self._expire, rpc_id, dst, method)
         return event
@@ -307,15 +371,24 @@ class Endpoint:
         window is configured; everything else goes out immediately.
         """
         method, payload = self._coerce(method, payload)
+        causal = self.network.causal
         if self.batch_window > 0 and isinstance(payload, Encoded):
             schema = schema_for(payload.name)
             if schema is not None and schema.BATCHABLE:
+                if causal is not None:
+                    # Buffered frames are recorded (for message-count
+                    # honesty) but never carry a context: the batch that
+                    # eventually flushes aggregates many transactions.
+                    causal.note_batched(self.host, dst, payload, self.sim.now)
                 buf = self._batch_buf.setdefault(dst, [])
                 buf.append(payload)
                 if len(buf) == 1:
                     self.sim.schedule(self.batch_window, self._flush_batch, dst)
                 return
-        self.network.send(self.host, dst, _Oneway(method, payload))
+        ctx = None
+        if causal is not None:
+            ctx = causal.begin_hop(self.host, dst, method, payload)
+        self.network.send(self.host, dst, _Oneway(method, payload, ctx))
 
     def _flush_batch(self, dst: str) -> None:
         frames = self._batch_buf.pop(dst, None)

@@ -60,6 +60,11 @@ class TraceEvent:
 class Tracer:
     """Collects trace events, optionally restricted to certain kinds/hosts."""
 
+    # Flat tracers carry no causal span tree; repro.obs.trace.CausalTracer
+    # overrides this.  Attach sites (system.submit, the RPC layer) check the
+    # flag instead of importing the obs layer.
+    causal = False
+
     def __init__(
         self,
         kinds: Optional[Iterable[str]] = None,

@@ -9,6 +9,7 @@ size model.
 from repro.wire import messages  # noqa: F401  (imports register all schemas)
 from repro.wire.messages import *  # noqa: F401,F403
 from repro.wire.schema import (
+    TRACE_CTX_BYTES,
     Encoded,
     WireError,
     WireMessage,
@@ -32,4 +33,5 @@ __all__ = [
     "registered_messages",
     "schema_for",
     "sizeof",
+    "TRACE_CTX_BYTES",
 ] + messages.__all__

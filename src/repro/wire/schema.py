@@ -43,6 +43,7 @@ __all__ = [
     "sizeof",
     "schema_for",
     "registered_messages",
+    "TRACE_CTX_BYTES",
 ]
 
 # Size-model constants (virtual bytes); documented in docs/WIRE.md.
@@ -51,6 +52,12 @@ _SIZE_TINY = 1
 _CONTAINER_OVERHEAD = 4
 _OPAQUE_SIZE = 64
 _FRAME_OVERHEAD = 4
+
+# Envelope schema v2 trace context (see repro.sim.rpc / docs/TRACING.md):
+# a container holding (trace-id hash, span id, parent span id), each modelled
+# as an 8-byte scalar.  Accounted in NetworkStats.trace_bytes_sent — a
+# separate lane from bytes_sent, so enabling tracing never moves a golden.
+TRACE_CTX_BYTES = _CONTAINER_OVERHEAD + 3 * _SIZE_SCALAR
 
 
 class WireError(ProtocolError):

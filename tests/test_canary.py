@@ -1,0 +1,88 @@
+"""Golden-trace canary: exact-match pass, tolerance bands, regression gate."""
+
+import pytest
+
+from repro.fleet.spec import TrialSpec
+from repro.obs.canary import (BANDS, CANARY_SCHEMA, SCENARIOS, capture,
+                              compare, render_report, repro_command,
+                              scenario_by_label)
+
+# A trimmed scenario so the test suite stays fast; the pinned SCENARIOS run
+# in CI's canary job, not here.
+SMALL = (
+    TrialSpec(system="dast", workload="tpcc", clients_per_region=4,
+              duration_ms=1200.0, warmup_ms=300.0, cooldown_ms=200.0,
+              seed=1, label="small-tpcc"),
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return capture(SMALL)
+
+
+class TestCapture:
+    def test_document_shape(self, golden):
+        assert golden["schema"] == CANARY_SCHEMA
+        entry = golden["scenarios"]["small-tpcc"]
+        assert len(entry["trace_digest"]) == 64
+        assert entry["traced_txns"] > 100
+        assert entry["coverage"] >= 0.95
+        assert entry["trace_bytes_sent"] > 0
+        assert entry["hops"] and entry["msgs_by_type"]
+        assert "crt_p99_ms" in entry["row"]
+
+    def test_pinned_scenarios_resolve(self):
+        for spec in SCENARIOS:
+            assert scenario_by_label(spec.label) is spec
+            cmd = repro_command(spec)
+            assert cmd.startswith("python -m repro trace")
+            assert f"--seed {spec.seed}" in cmd
+        with pytest.raises(KeyError):
+            scenario_by_label("nope")
+
+
+class TestCompare:
+    def test_identical_build_is_exact_byte_match(self, golden):
+        candidate = capture(SMALL)
+        report = compare(golden, candidate)
+        assert report["ok"]
+        assert report["scenarios"]["small-tpcc"]["status"] == "exact"
+        assert "exact trace match" in render_report(report)
+
+    def test_injected_regression_fails_naming_cross_region_hop(self, golden):
+        """+40% cross-region RTT (=> well over +20% CRT p99) must trip the
+        gate, name a cross-region hop, and print a repro command."""
+        candidate = capture(SMALL, timing_override={"cross_region_rtt": 140.0})
+        report = compare(golden, candidate)
+        assert not report["ok"]
+        entry = report["scenarios"]["small-tpcc"]
+        assert entry["status"] == "fail"
+        metrics = {v["metric"] for v in entry["violations"]}
+        assert "crt_p99_ms" in metrics
+        assert "(cross)" in entry["offending_hop"]["segment"]
+        assert entry["offending_hop"]["delta_ms"] > 0
+        text = render_report(report)
+        assert "FAIL" in text and "offending hop" in text
+
+    def test_missing_scenario_fails(self, golden):
+        candidate = {"schema": CANARY_SCHEMA, "code_version": "x",
+                     "scenarios": {}}
+        report = compare(golden, candidate)
+        assert not report["ok"]
+        assert report["scenarios"]["small-tpcc"]["status"] == "missing"
+
+    def test_schema_mismatch_rejected(self, golden):
+        with pytest.raises(ValueError):
+            compare({"schema": "bogus", "scenarios": {}}, golden)
+
+    def test_tolerance_override_widens_bands(self, golden):
+        candidate = capture(SMALL, timing_override={"cross_region_rtt": 140.0})
+        lax = compare(golden, candidate, tolerance=10.0)
+        assert lax["ok"]  # digest differs, but every band passes
+        assert lax["scenarios"]["small-tpcc"]["status"] == "band"
+
+    def test_bands_cover_tail_metrics(self):
+        assert "crt_p99_ms" in BANDS and "msgs_total" in BANDS
+        rel, _ = BANDS["crt_p99_ms"]
+        assert rel <= 0.15  # a +20% p99 regression can never slip through

@@ -1,0 +1,81 @@
+"""Trace-context propagation under chaos (satellite: crash + partition +
+reorder): every committed transaction must still yield one connected span
+tree — no orphan spans, no cross-tree leakage."""
+
+import pytest
+
+from repro.bench.harness import Trial, run_trial
+from repro.chaos.plan import FaultPlan
+from repro.workloads.tpcc import TpccWorkload
+
+
+@pytest.fixture(scope="module")
+def chaotic_result():
+    plan = (FaultPlan(name="trace-chaos")
+            .add(300.0, "crash_node", host="r1.n1")
+            .add(450.0, "set_reorder", spread=3.0)
+            .add(500.0, "partition_regions", r1="r0", r2="r1")
+            .add(800.0, "heal_regions", r1="r0", r2="r1"))
+    trial = Trial("dast", lambda topo: TpccWorkload(topo),
+                  clients_per_region=4, duration_ms=2500.0,
+                  warmup_ms=300.0, cooldown_ms=200.0, seed=11,
+                  obs_causal=True, fault_plan=plan, request_timeout=1500.0)
+    result = run_trial(trial)
+    return result, result.obs.traces()
+
+
+class TestChaosTracePropagation:
+    def test_faults_actually_applied(self, chaotic_result):
+        result, _ = chaotic_result
+        assert result.chaos is not None
+        assert len(result.chaos.applied) == 4
+
+    def test_committed_txns_yield_single_connected_trees(self, chaotic_result):
+        _, traces = chaotic_result
+        committed = [t for t in traces.values()
+                     if t.complete and t.root.ok]
+        assert len(committed) > 50
+        for trace in committed:
+            assert trace.orphans() == []
+            root = trace.root
+            by_id = {h.span_id: h for h in trace.hops}
+            for hop in trace.hops:
+                assert hop.trace_id == root.trace_id
+                # The parent chain must terminate at this trace's root.
+                seen = set()
+                pid = hop.parent_id
+                while pid is not None and pid != root.span_id:
+                    assert pid not in seen, "parent cycle"
+                    seen.add(pid)
+                    parent = by_id.get(pid)
+                    assert parent is not None, "orphaned parent pointer"
+                    pid = parent.parent_id
+                assert pid == root.span_id
+
+    def test_partition_produces_dropped_hops(self, chaotic_result):
+        """The chaos actually bit: some traced hops died on the wire, and
+        they are recorded as dropped rather than silently vanishing."""
+        _, traces = chaotic_result
+        dropped = sum(1 for t in traces.values()
+                      for h in t.hops if h.status == "dropped")
+        assert dropped > 0
+
+    def test_timed_out_txns_still_yield_connected_trees(self, chaotic_result):
+        """The closed-loop client abandons a txn on timeout (it never
+        resubmits the same txn_id), so failures show up as roots with
+        ok=False — their partial trees must still be connected."""
+        _, traces = chaotic_result
+        failed = [t for t in traces.values()
+                  if t.complete and not t.root.ok]
+        assert failed, "expected request timeouts under partition"
+        for trace in failed:
+            assert trace.orphans() == []
+            assert trace.root.retries == 0
+
+    def test_no_span_id_collisions_across_traces(self, chaotic_result):
+        _, traces = chaotic_result
+        seen = set()
+        for trace in traces.values():
+            for hop in trace.hops:
+                assert hop.span_id not in seen
+                seen.add(hop.span_id)

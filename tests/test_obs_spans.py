@@ -148,3 +148,43 @@ class TestSyntheticSpans:
 
     def test_breakdown_empty(self):
         assert phase_breakdown([]) == []
+
+
+class TestPartialSpans:
+    """Truncated transactions surface as explicit partial spans instead of
+    silently vanishing from the summary."""
+
+    def test_in_flight_txn_surfaces_as_partial(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "c", "submit", txn="t1")
+        tracer.emit(1.0, "n", "irt_ts", txn="t1")
+        assert assemble_spans(tracer) == []  # default behaviour unchanged
+        (span,) = assemble_spans(tracer, include_partial=True)
+        assert span.partial
+        assert span.start == 0.0 and span.end == 1.0
+
+    def test_truncated_head_is_partial(self):
+        """Tracer capacity evicted the submit: reply alone is partial."""
+        tracer = Tracer()
+        tracer.emit(5.0, "n", "execute", txn="t1")
+        tracer.emit(8.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer, include_partial=True)
+        assert span.partial and span.retries == 0
+
+    def test_partial_excluded_from_breakdown(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "c", "submit", txn="done")
+        tracer.emit(4.0, "c", "reply", txn="done", ok=True, crt=False)
+        tracer.emit(1.0, "c", "submit", txn="cut")
+        spans = assemble_spans(tracer, include_partial=True)
+        assert len(spans) == 2
+        assert sum(1 for s in spans if s.partial) == 1
+        rows = phase_breakdown(spans)
+        assert rows[-1]["count"] == 1  # only the complete txn counted
+
+    def test_complete_spans_not_marked_partial(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "c", "submit", txn="t1")
+        tracer.emit(3.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer, include_partial=True)
+        assert not span.partial
