@@ -54,6 +54,7 @@ class Trial:
         fault_plan=None,
         request_timeout: float = 10000.0,
         batch_window: float = 0.0,
+        open_loop: Optional[dict] = None,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -87,6 +88,12 @@ class Trial:
         # non-zero window overrides timing.batch_window for this trial.
         if batch_window:
             self.timing.batch_window = batch_window
+        # Open-loop mode: a non-None dict of OpenLoopConfig knobs replaces
+        # the closed-loop clients with the aggregate arrival engine and the
+        # LatencyRecorder with the (coordinated-omission-free) open-loop
+        # recorder.  None (the default) leaves every existing trial —
+        # including all pinned golden digests — byte-identical.
+        self.open_loop = open_loop
 
 
 class TrialResult:
@@ -168,10 +175,21 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         topology, workload.schemas(), workload.load,
         seed=trial.seed, clock_skew=trial.clock_skew, **kwargs,
     )
-    recorder = LatencyRecorder(
-        warm_start=trial.warmup_ms,
-        warm_end=trial.duration_ms - trial.cooldown_ms,
-    )
+    open_cfg = None
+    if trial.open_loop is not None:
+        from repro.bench.metrics import OpenLoopRecorder
+        from repro.workloads.openloop import OpenLoopConfig
+
+        open_cfg = OpenLoopConfig.from_dict(trial.open_loop)
+        recorder = OpenLoopRecorder(
+            warm_start=trial.warmup_ms,
+            warm_end=trial.duration_ms - trial.cooldown_ms,
+        )
+    else:
+        recorder = LatencyRecorder(
+            warm_start=trial.warmup_ms,
+            warm_end=trial.duration_ms - trial.cooldown_ms,
+        )
     bundle = None
     if trial.obs or trial.obs_causal:
         from repro.obs import attach_obs
@@ -180,8 +198,16 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
                             probe_interval=trial.obs_interval,
                             causal=trial.obs_causal)
     system.start()
-    clients = spawn_clients(system, workload, recorder.record,
-                            request_timeout=trial.request_timeout)
+    if open_cfg is not None:
+        from repro.workloads.openloop import OpenLoopEngine
+
+        engine = OpenLoopEngine(system, workload, open_cfg, recorder,
+                                request_timeout=trial.request_timeout)
+        engine.start(until=trial.duration_ms)
+        clients = [engine]
+    else:
+        clients = spawn_clients(system, workload, recorder.record,
+                                request_timeout=trial.request_timeout)
     chaos = None
     if trial.fault_plan is not None:
         from repro.chaos.runner import ChaosRunner
@@ -189,5 +215,22 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         chaos = ChaosRunner(system, trial.fault_plan, origin=0.0).install()
     if hooks is not None:
         hooks(system, recorder)
-    system.run(until=trial.duration_ms)
+    if open_cfg is not None:
+        # Open-loop trials churn through millions of short-lived objects
+        # whose lifetimes are purely refcounted (pools hold the rest);
+        # cyclic-GC passes are pure overhead at that rate.
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            system.run(until=trial.duration_ms)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        # The express path batches its traffic accounting; fold it into
+        # network.stats before the summary below reads the totals.
+        engine.flush_stats()
+    else:
+        system.run(until=trial.duration_ms)
     return TrialResult(trial, system, recorder, clients, obs=bundle, chaos=chaos)

@@ -8,11 +8,13 @@ retries, measured inside a warm window (the paper uses the middle 15 s of a
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.txn.result import TxnResult
 
-__all__ = ["LatencyRecorder", "percentile", "Summary"]
+__all__ = ["LatencyRecorder", "OpenLoopRecorder", "OpenLoopSummary",
+           "percentile", "Summary"]
 
 
 def percentile(values: Sequence[float], p: float, interpolate: bool = False) -> float:
@@ -190,3 +192,218 @@ class LatencyRecorder:
         out["total"] = sum(r.latency for r in rows) / len(rows)
         out["count"] = float(len(rows))
         return out
+
+
+class OpenLoopSummary(Summary):
+    """Summary for open-loop trials.
+
+    The headline IRT/CRT percentiles are anchored at the **intended
+    arrival time**, not the submit time — the coordinated-omission-free
+    measurement.  The service-anchored (submit→finish) percentiles and the
+    queue delay (intended→submit) are carried alongside, so a stalled
+    system shows up as a widening open-vs-service gap rather than being
+    hidden by deferred submissions.
+    """
+
+    def __init__(self, system: str, window: float):
+        super().__init__(system, window)
+        self.irt_p50_svc = 0.0
+        self.irt_p99_svc = 0.0
+        self.crt_p99_svc = 0.0
+        self.queue_p99 = 0.0
+        self.arrivals = 0
+        self.failed = 0
+
+    def as_row(self) -> Dict[str, float]:
+        row = super().as_row()
+        row["open_loop"] = True
+        row["irt_p50_svc_ms"] = round(self.irt_p50_svc, 2)
+        row["irt_p99_svc_ms"] = round(self.irt_p99_svc, 2)
+        row["crt_p99_svc_ms"] = round(self.crt_p99_svc, 2)
+        row["queue_p99_ms"] = round(self.queue_p99, 2)
+        row["arrivals"] = self.arrivals
+        row["failed"] = self.failed
+        return row
+
+
+class _RegionSeries:
+    """Compact per-region latency arrays (8 bytes/sample, not a TxnResult)."""
+
+    __slots__ = ("irt_open", "irt_svc", "irt_finish",
+                 "crt_open", "crt_svc", "crt_finish",
+                 "committed", "aborted")
+
+    def __init__(self) -> None:
+        self.irt_open = array("d")
+        self.irt_svc = array("d")
+        self.irt_finish = array("d")
+        self.crt_open = array("d")
+        self.crt_svc = array("d")
+        self.crt_finish = array("d")
+        self.committed = 0
+        self.aborted = 0
+
+
+class OpenLoopRecorder:
+    """Aggregate recorder for open-loop trials.
+
+    Unlike :class:`LatencyRecorder` it never retains TxnResult objects —
+    at millions of transactions that would dominate memory — only packed
+    float arrays of (intended-anchored, submit-anchored, finish) samples,
+    split per region so coordinated-omission tests can compare a stalled
+    region against the rest.
+    """
+
+    def __init__(self, warm_start: float = 0.0, warm_end: float = float("inf")):
+        self.warm_start = warm_start
+        self.warm_end = warm_end
+        self.all_count = 0
+        self.failed = 0
+        self._regions: Dict[str, _RegionSeries] = {}
+
+    # ------------------------------------------------------------------
+    def record_result(self, result: TxnResult, intended: float, region: str) -> None:
+        """Fold one completed transaction in; ``result`` may be recycled by
+        the caller immediately after this returns."""
+        self.all_count += 1
+        finish = result.finish_time
+        if not (self.warm_start <= finish <= self.warm_end):
+            return
+        series = self._regions.get(region)
+        if series is None:
+            series = self._regions[region] = _RegionSeries()
+        if result.committed:
+            series.committed += 1
+        else:
+            series.aborted += 1
+        if result.is_crt:
+            series.crt_open.append(finish - intended)
+            series.crt_svc.append(finish - result.submit_time)
+            series.crt_finish.append(finish)
+        else:
+            series.irt_open.append(finish - intended)
+            series.irt_svc.append(finish - result.submit_time)
+            series.irt_finish.append(finish)
+
+    def record_irt(self, committed: bool, intended: float, submit: float,
+                   finish: float, region: str) -> None:
+        """Express fast path: fold one non-CRT completion from scalars,
+        without materialising (or recycling) a TxnResult at all."""
+        self.all_count += 1
+        if finish < self.warm_start or finish > self.warm_end:
+            return
+        series = self._regions.get(region)
+        if series is None:
+            series = self._regions[region] = _RegionSeries()
+        if committed:
+            series.committed += 1
+        else:
+            series.aborted += 1
+        series.irt_open.append(finish - intended)
+        series.irt_svc.append(finish - submit)
+        series.irt_finish.append(finish)
+
+    def record_failure(self) -> None:
+        self.all_count += 1
+        self.failed += 1
+
+    # ------------------------------------------------------------------
+    def _merged(self, field: str, region: Optional[str] = None) -> List[float]:
+        if region is not None:
+            series = self._regions.get(region)
+            return list(getattr(series, field)) if series is not None else []
+        out: List[float] = []
+        for name in sorted(self._regions):
+            out.extend(getattr(self._regions[name], field))
+        return out
+
+    def open_latencies(self, crt: Optional[bool] = None,
+                       region: Optional[str] = None) -> List[float]:
+        """Intended-arrival-anchored latencies (the open-loop measurement)."""
+        if crt is True:
+            return self._merged("crt_open", region)
+        if crt is False:
+            return self._merged("irt_open", region)
+        return self._merged("irt_open", region) + self._merged("crt_open", region)
+
+    def service_latencies(self, crt: Optional[bool] = None,
+                          region: Optional[str] = None) -> List[float]:
+        """Submit-anchored latencies (what a closed-loop client would see)."""
+        if crt is True:
+            return self._merged("crt_svc", region)
+        if crt is False:
+            return self._merged("irt_svc", region)
+        return self._merged("irt_svc", region) + self._merged("crt_svc", region)
+
+    # Compatibility with LatencyRecorder call sites (CDF export & CLI):
+    # open-loop latencies are the honest headline numbers.
+    def latencies(self, crt: Optional[bool] = None) -> List[float]:
+        return self.open_latencies(crt)
+
+    # ------------------------------------------------------------------
+    def summarize(self, system: str = "") -> OpenLoopSummary:
+        finishes = self._merged("irt_finish") + self._merged("crt_finish")
+        window = min(self.warm_end, max(finishes, default=0.0)) - self.warm_start
+        window = max(window, 1e-9)
+        summary = OpenLoopSummary(system, window)
+        summary.committed = sum(s.committed for s in self._regions.values())
+        summary.aborted = sum(s.aborted for s in self._regions.values())
+        summary.arrivals = self.all_count
+        summary.failed = self.failed
+        total = summary.committed + summary.aborted
+        summary.throughput = total / (window / 1000.0)
+        irts_open = self.open_latencies(crt=False)
+        crts_open = self.open_latencies(crt=True)
+        irts_svc = self.service_latencies(crt=False)
+        crts_svc = self.service_latencies(crt=True)
+        summary.irt_median = percentile(irts_open, 50)
+        summary.irt_p99 = percentile(irts_open, 99)
+        summary.crt_median = percentile(crts_open, 50)
+        summary.crt_p99 = percentile(crts_open, 99)
+        summary.irt_p50_svc = percentile(irts_svc, 50)
+        summary.irt_p99_svc = percentile(irts_svc, 99)
+        summary.crt_p99_svc = percentile(crts_svc, 99)
+        queue = [o - s for o, s in zip(irts_open, irts_svc)]
+        queue.extend(o - s for o, s in zip(crts_open, crts_svc))
+        summary.queue_p99 = percentile(queue, 99)
+        summary.abort_rate = (summary.aborted / total) if total else 0.0
+        summary.mean_retries = 0.0
+        return summary
+
+    # ------------------------------------------------------------------
+    def cdf(self, crt: Optional[bool] = None, points: int = 50) -> List[Tuple[float, float]]:
+        values = sorted(self.open_latencies(crt))
+        if not values:
+            return []
+        step = max(1, len(values) // points)
+        out = []
+        for i in range(0, len(values), step):
+            out.append((values[i], (i + 1) / len(values)))
+        out.append((values[-1], 1.0))
+        return out
+
+    def timeseries(self, bucket_ms: float = 500.0) -> List[Dict[str, float]]:
+        buckets: Dict[int, Dict[str, List[float]]] = {}
+        for crt, fin_field, lat_field in (
+            (False, "irt_finish", "irt_open"),
+            (True, "crt_finish", "crt_open"),
+        ):
+            key = "crt" if crt else "irt"
+            for finish, lat in zip(self._merged(fin_field), self._merged(lat_field)):
+                bucket = buckets.setdefault(int(finish // bucket_ms), {"irt": [], "crt": []})
+                bucket[key].append(lat)
+        series = []
+        for b in sorted(buckets):
+            irts, crts = buckets[b]["irt"], buckets[b]["crt"]
+            series.append({
+                "t_ms": b * bucket_ms,
+                "throughput_tps": (len(irts) + len(crts)) / (bucket_ms / 1000.0),
+                "irt_p50_ms": percentile(irts, 50),
+                "irt_p99_ms": percentile(irts, 99),
+                "crt_p50_ms": percentile(crts, 50),
+                "crt_p99_ms": percentile(crts, 99),
+            })
+        return series
+
+    def phase_breakdown(self, with_dependency: Optional[bool] = None) -> Dict[str, float]:
+        return {}  # open-loop trials do not retain per-txn phase maps

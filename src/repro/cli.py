@@ -33,6 +33,7 @@ from repro.bench.harness import SYSTEMS, Trial, run_trial
 from repro.bench.report import format_series, format_table
 from repro.workloads.tpca import TpcaWorkload
 from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
 
 # Each artifact renderer takes (args, fleet); trial-shaped artifacts hand
 # ``fleet`` down to repro.bench.experiments so --jobs/--cache apply.
@@ -72,7 +73,32 @@ def _workload_factory(args):
         return lambda topo: TpccWorkload(topo)
     if args.workload == "tpca":
         return lambda topo: TpcaWorkload(topo, theta=args.theta, crt_ratio=args.crt_ratio)
+    if args.workload == "ycsb":
+        return lambda topo: YcsbWorkload(topo, theta=args.theta,
+                                         crt_ratio=args.crt_ratio)
     return lambda topo: PaymentOnlyWorkload(topo, crt_ratio=args.crt_ratio)
+
+
+def _open_loop_dict(args) -> Optional[dict]:
+    """OpenLoopConfig knobs from the ``--open-loop-*`` / ``--ol-*`` flags
+    (None when ``--open-loop-users`` is absent or 0: closed-loop clients)."""
+    users = getattr(args, "open_loop_users", 0)
+    if not users:
+        return None
+    out = {
+        "users_per_region": users,
+        "txn_per_user_s": args.ol_rate,
+        "model": args.ol_model,
+        "max_inflight_per_region": args.ol_max_inflight,
+    }
+    if args.ol_flash_at > 0:
+        out.update(
+            flash_at_ms=args.ol_flash_at,
+            flash_duration_ms=args.ol_flash_duration,
+            flash_mult=args.ol_flash_mult,
+            flash_redirect=args.ol_flash_redirect,
+        )
+    return out
 
 
 def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
@@ -88,6 +114,7 @@ def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
         obs_interval=getattr(args, "interval", 50.0),
         obs_causal=causal,
         batch_window=_batch_window(args),
+        open_loop=_open_loop_dict(args),
     )
 
 
@@ -113,7 +140,13 @@ def cmd_run(args) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    result = run_trial(_build_trial(args, obs=trace_out is not None))
+    from repro.errors import ConfigError
+
+    try:
+        result = run_trial(_build_trial(args, obs=trace_out is not None))
+    except ConfigError as exc:
+        print(f"bad trial configuration: {exc}", file=sys.stderr)
+        return 2
     print(format_table([result.summary.as_row()]))
     if args.breakdown and args.system == "dast":
         for label, dep in (("without value deps", False), ("with value deps", True)):
@@ -547,7 +580,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_trial_args(p):
-        p.add_argument("--workload", choices=["tpcc", "tpca", "payment"], default="tpcc")
+        p.add_argument("--workload", choices=["tpcc", "tpca", "payment", "ycsb"],
+                       default="tpcc")
         p.add_argument("--regions", type=int, default=2)
         p.add_argument("--shards-per-region", type=int, default=2)
         p.add_argument("--clients", type=int, default=8)
@@ -555,6 +589,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--theta", type=float, default=0.5, help="TPC-A zipf coefficient")
         p.add_argument("--crt-ratio", type=float, default=0.1)
+        p.add_argument("--open-loop-users", type=int, default=0, metavar="N",
+                       help="simulated users per region; >0 replaces the "
+                            "closed-loop clients with the open-loop arrival "
+                            "engine (docs/WORKLOADS.md)")
+        p.add_argument("--ol-rate", type=float, default=1.0, metavar="TPS",
+                       help="open loop: transactions per user per second")
+        p.add_argument("--ol-model", choices=["poisson", "mmpp"],
+                       default="poisson", help="open loop: arrival process")
+        p.add_argument("--ol-max-inflight", type=int, default=0, metavar="N",
+                       help="open loop: per-region in-flight cap (0 = unlimited)")
+        p.add_argument("--ol-flash-at", type=float, default=0.0, metavar="MS",
+                       help="open loop: flash-crowd start (virtual ms; 0 = off)")
+        p.add_argument("--ol-flash-duration", type=float, default=200.0,
+                       metavar="MS", help="open loop: flash-crowd duration")
+        p.add_argument("--ol-flash-mult", type=float, default=4.0, metavar="X",
+                       help="open loop: flash-crowd rate multiplier")
+        p.add_argument("--ol-flash-redirect", type=float, default=0.5,
+                       metavar="P", help="open loop: fraction of flash-region "
+                                         "arrivals redirected to the hot shard")
         p.add_argument("--batching", choices=["off", "on"], default="off",
                        help="coalesce batchable small messages per destination "
                             f"within a {BATCH_WINDOW_MS} ms flush window")

@@ -34,7 +34,7 @@ from repro.sim.network import Network
 from repro.sim.rpc import Endpoint, RpcRemoteError
 from repro.storage.catalog import Catalog
 from repro.storage.shard import Shard
-from repro.txn.executor import execute_on_shard
+from repro.txn.executor import ExpressExecutor, execute_on_shard
 from repro.util import Stats
 from repro.wire.messages import (
     AbortCrt,
@@ -65,6 +65,9 @@ from repro.wire.schema import WireMessage, encode
 
 __all__ = ["DastNode"]
 
+# Shared empty needs-set for express IRTs (single local piece).
+_NO_NEEDS = frozenset()
+
 
 class DastNode(CoordinatorMixin):
     """One edge server: shard replica, PCT participant, coordinator."""
@@ -92,6 +95,8 @@ class DastNode(CoordinatorMixin):
         self.region = topology.region_of_node(host)
         self.shard = shard
         self.shard_id = shard.shard_id
+        # Reusable zero-allocation executor for express submissions.
+        self._express = ExpressExecutor(shard)
         self.nid = nid
         self.managers = managers  # region -> manager host
         self.manager = managers[self.region]
@@ -107,6 +112,9 @@ class DastNode(CoordinatorMixin):
         self.records: Dict[str, TxnRecord] = {}
         self.crt_log: Dict[str, dict] = {}  # failover-retrieval log (§4.4)
         self.executed_log: List = []  # (ts, txn_id) in execution order
+        # Open-loop scale trials disable this: at millions of transactions
+        # the log is pure memory growth (audits re-enable it explicitly).
+        self.keep_executed_log = True
         self.dclock = DClock(clock_source, nid, floor_fn=self.wait_q.min)
 
         self.members: List[str] = topology.nodes_in_region(self.region)
@@ -237,23 +245,42 @@ class DastNode(CoordinatorMixin):
         return self.max_ts.get(self.manager, ZERO_TS) > ts
 
     def _try_execute(self) -> None:
+        # Hoisted PCT threshold: a record is peer-clock-eligible iff its ts
+        # is strictly below every peer's latest report — i.e. below their
+        # minimum, computed once per sweep instead of once per record.  The
+        # local-clock peek/tick dance stays per record (it has the tick side
+        # effect and must run in exactly the order _clocks_passed ran it).
+        max_get = self.max_ts.get
+        threshold = max_get(self.manager, ZERO_TS)
+        host = self.host
+        for member in self.members:
+            if member != host:
+                reported = max_get(member, ZERO_TS)
+                if reported < threshold:
+                    threshold = reported
+        dclock = self.dclock
         while True:
             rec = self.ready_q.head()
             if rec is None:
                 return
             if rec.status == TxnStatus.ABORTED:
-                self.ready_q.pop()
+                self.ready_q.pop_head(rec)
                 continue
             if rec.status != TxnStatus.COMMITTED:
                 return
+            ts = rec.ts
             floor = self.wait_q.min()
-            if floor is not None and rec.ts >= floor:
+            if floor is not None and ts >= floor:
                 # An unresolved CRT may still commit below rec.ts: executing
                 # past it would break the promise.  With stretching enabled
                 # the frozen clocks enforce this implicitly; the explicit
                 # check keeps safety independent of the ablation switches.
                 return
-            if not self._clocks_passed(rec.ts):
+            if dclock.peek() <= ts:
+                dclock.tick()
+                if dclock.peek() <= ts:
+                    return
+            if ts >= threshold:
                 return
             if not rec.t_order_ready:
                 rec.t_order_ready = self.sim.now
@@ -261,7 +288,7 @@ class DastNode(CoordinatorMixin):
                     self._trace("ready", txn=rec.txn_id, crt=rec.is_crt)
             if not rec.input_ready():
                 return  # strict timestamp order: wait for pushed inputs
-            self.ready_q.pop()
+            self.ready_q.pop_head(rec)
             self._execute(rec)
 
     def _execute(self, rec: TxnRecord) -> None:
@@ -274,9 +301,25 @@ class DastNode(CoordinatorMixin):
         if rec.txn_id in self.wait_q:
             self.wait_q.remove(rec.txn_id)
         txn = rec.txn
-        outcome = execute_on_shard(txn, self.shard_id, self.shard, rec.inputs)
-        self.executed_log.append((rec.ts, rec.txn_id))
+        cb = rec.exec_cb
+        if cb is not None and len(txn.pieces) == 1:
+            # Express: sole-participant single-piece IRT with no external
+            # inputs — the write-through executor skips the write buffer.
+            outcome = self._express.run(txn)
+        else:
+            outcome = execute_on_shard(txn, self.shard_id, self.shard, rec.inputs)
+        if self.keep_executed_log:
+            self.executed_log.append((rec.ts, rec.txn_id))
         self.stats.inc("executed")
+        if cb is not None:
+            # Express completion: the submitter is in-process (the open-loop
+            # engine), the transaction is a sole-participant IRT, so there
+            # are no output pushes, no ExecDone hop, and no record-ledger
+            # entry to drop (submit_express never registered one).  Hand the
+            # outcome straight back; the _try_execute sweep that popped this
+            # record continues with the next head — no tail recursion.
+            cb(rec, outcome)
+            return
         # Push produced values to consumer shards (the §4.1 push mechanism).
         pushes: Dict[str, Dict[str, Any]] = {}
         for var, value in outcome.outputs.items():
@@ -345,6 +388,46 @@ class DastNode(CoordinatorMixin):
         rec.t_prepared = self.sim.now
         if rec.txn_id not in self.ready_q:
             self.ready_q.insert(ts, rec)
+
+    def submit_express(self, txn, exec_cb) -> bool:
+        """Sole-participant IRT fast path for the aggregate open-loop engine.
+
+        The caller guarantees ``txn`` touches exactly this node's shard and
+        that the shard has no other replicas, so Algorithm 1 degenerates to:
+        tick the dclock, self-prepare, self-commit, and let the ordinary
+        readyQ/waitQ/PCT machinery execute it when every intra-region clock
+        has passed its timestamp.  No RPC envelopes, timeouts, or coroutines
+        are involved; ``exec_cb(rec, outcome)`` fires at execution time (the
+        engine models the client-side network delays around this call).
+        Returns False when the node is stopped (crashed) — the engine counts
+        the submission as failed.
+        """
+        if not self._running:
+            return False
+        txn.home_region = self.region
+        txn.participating_regions = (self.region,)
+        ts = self.dclock.tick()
+        # Inlined prepare+commit: the txn id is fresh (no existing record or
+        # early-commit entry can exist) and a single local piece has no
+        # external needs.  The usual post-commit ``_try_execute`` is skipped
+        # because it is provably a no-op here: the fresh timestamp exceeds
+        # every PCT report seen so far, so neither this record nor the head
+        # (which the last report already tried) can execute before the next
+        # report arrives — and ``on_pct_report`` runs the check then.
+        rec = TxnRecord(txn, is_crt=False, coordinator=self.host,
+                        status=TxnStatus.COMMITTED)
+        rec.exec_cb = exec_cb
+        rec.participates = True
+        rec.needed = _NO_NEEDS
+        now = self.sim.now
+        rec.t_prepared = now
+        rec.t_committed = now
+        # Express records live only in the readyQ: nothing ever looks them
+        # up by id (no output pushes, no aborts, no recovery — they are
+        # committed on arrival and gone at execution), so the records
+        # ledger is skipped entirely.
+        self.ready_q.insert(ts, rec)
+        return True
 
     def on_irt_prepare(self, src: str, payload: IrtPrepare):
         txn, ts = payload.txn, payload.ts

@@ -35,6 +35,13 @@ class TxnStatus:
 class TxnRecord:
     """One node's view of one relevant transaction."""
 
+    __slots__ = (
+        "txn", "txn_id", "is_crt", "coordinator", "status", "ts",
+        "anticipated_ts", "participates", "inputs", "needed", "exec_cb",
+        "t_prepared", "t_committed", "t_order_ready", "t_input_ready",
+        "t_executed", "_relayed", "_input_announced", "_abort_relayed",
+    )
+
     def __init__(
         self,
         txn: Transaction,
@@ -43,6 +50,11 @@ class TxnRecord:
         status: str = TxnStatus.PREPARED,
     ):
         self.txn = txn
+        # Materialized copy of txn.txn_id: record ids key every queue and map
+        # on the hot path, and a record's txn is never swapped after
+        # construction (pool recycling re-ids a txn only after its express
+        # record has already been executed and dropped).
+        self.txn_id = txn.txn_id
         self.is_crt = is_crt
         self.coordinator = coordinator
         self.status = status
@@ -51,16 +63,16 @@ class TxnRecord:
         self.participates = False  # does this node host a participating shard?
         self.inputs: Dict[str, Any] = {}
         self.needed: FrozenSet[str] = frozenset()
+        # Express-path completion hook (repro.workloads.openloop): when set,
+        # execution calls ``exec_cb(rec, outcome)`` instead of sending an
+        # ExecDone RPC, and the record is garbage-collected immediately.
+        self.exec_cb = None
         # Phase instrumentation (virtual ms), used for Tables 3 and 4.
         self.t_prepared = 0.0
         self.t_committed = 0.0
         self.t_order_ready = 0.0  # head-of-queue and all clocks passed
         self.t_input_ready = 0.0
         self.t_executed = 0.0
-
-    @property
-    def txn_id(self) -> str:
-        return self.txn.txn_id
 
     def input_ready(self) -> bool:
         return self.needed <= frozenset(self.inputs)
@@ -137,6 +149,14 @@ class ReadyQueue:
         del self._members[record.txn_id]
         self._sorted = None
         return record
+
+    def pop_head(self, record: TxnRecord) -> None:
+        """Pop ``record``, already known to be the live heap top (i.e. the
+        value a ``head()`` call just returned, with no mutation since) —
+        skips re-walking stale entries on the sweep hot path."""
+        heapq.heappop(self._heap)
+        del self._members[record.txn_id]
+        self._sorted = None
 
     def remove(self, txn_id: str) -> Optional[TxnRecord]:
         record = self._members.pop(txn_id, None)

@@ -72,6 +72,10 @@ class DastSystem:
         self.loader = loader
         self.stats = Stats()
         self.submitted: Dict[str, Transaction] = {}
+        # The submitted-transaction ledger feeds the post-hoc serializability
+        # audit; open-loop scale trials opt out (millions of retained txn
+        # objects) via the engine, which sets this False.
+        self.track_submitted = True
         # Observability attachments (None/absent -> zero instrumentation work).
         self.tracer = None
         self.registry = None
@@ -174,7 +178,8 @@ class DastSystem:
             region = client.split(".", 1)[0]
             endpoint = Endpoint(self.sim, self.network, client, region)
             self.client_endpoints[client] = endpoint
-        self.submitted[txn.txn_id] = txn
+        if self.track_submitted:
+            self.submitted[txn.txn_id] = txn
         tracer = self.tracer
         if tracer is not None and tracer.causal:
             # Causal tracing: open the root span and issue the submit under

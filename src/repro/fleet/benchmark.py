@@ -24,8 +24,8 @@ BENCH_SCHEMA = "repro.fleet.bench/1"
 
 
 def bench_matrix(quick: bool = False) -> List[TrialSpec]:
-    """The pinned trial list (12 full trials plus the 6 ``quick:``-labelled
-    short ones; ``quick`` trims to just the 6 short ones)."""
+    """The pinned trial list (14 full trials plus the 7 ``quick:``-labelled
+    short ones; ``quick`` trims to just the 7 short ones)."""
     specs: List[TrialSpec] = []
     duration = 2500.0 if quick else 6000.0
     clients = 4 if quick else 8
@@ -50,6 +50,19 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
         label="tpca-zipf0.9/dast",
     ))
     if quick:
+        # Appended: open-loop smoke — 10k simulated users through the
+        # aggregate arrival engine (docs/WORKLOADS.md).  Rides into the
+        # full matrix via the quick: block below.
+        specs.append(TrialSpec(
+            system="dast", workload="ycsb",
+            workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                             "read_ratio": 0.95, "ops_per_txn": 2},
+            num_regions=2, shards_per_region=2, replication=1,
+            clients_per_region=8,
+            duration_ms=800.0, warmup_ms=100.0, cooldown_ms=50.0, seed=1,
+            open_loop={"users_per_region": 5000, "txn_per_user_s": 4.0},
+            label="openloop-10k/dast",
+        ))
         return specs
     specs.append(TrialSpec(
         system="dast", workload="tpcc",
@@ -88,6 +101,37 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
     # (see benchmarks/bench_compare.py).
     for spec in bench_matrix(quick=True):
         specs.append(replace(spec, label=f"quick:{spec.label}"))
+    # Appended: the open-loop scale row — 100k simulated users, ~1M+
+    # committed transactions through the express submission path.  The
+    # read-heavy 2-op YCSB shape keeps per-transaction work small so the
+    # row times the *arrival engine* at scale, not the storage layer.
+    specs.append(TrialSpec(
+        system="dast", workload="ycsb",
+        workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                         "read_ratio": 0.95, "ops_per_txn": 2},
+        num_regions=2, shards_per_region=4, replication=1,
+        clients_per_region=64,
+        duration_ms=1820.0, warmup_ms=60.0, cooldown_ms=30.0, seed=1,
+        timing={"service_time": 0.01},
+        open_loop={"users_per_region": 50_000, "txn_per_user_s": 6.0},
+        label="openloop-100k/dast",
+    ))
+    # Appended: bursty arrivals + a flash crowd on the first region's hot
+    # shard — exercises the MMPP/diurnal/flash generator paths end to end.
+    specs.append(TrialSpec(
+        system="dast", workload="ycsb",
+        workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                         "read_ratio": 0.95, "ops_per_txn": 2},
+        num_regions=2, shards_per_region=2, replication=1,
+        clients_per_region=8,
+        duration_ms=1000.0, warmup_ms=100.0, cooldown_ms=50.0, seed=1,
+        open_loop={"users_per_region": 5000, "txn_per_user_s": 4.0,
+                   "model": "mmpp", "burst_mult": 6.0,
+                   "diurnal_period_ms": 400.0,
+                   "flash_at_ms": 500.0, "flash_duration_ms": 150.0,
+                   "flash_mult": 3.0, "flash_redirect": 0.5},
+        label="openloop-flash/dast",
+    ))
     return specs
 
 

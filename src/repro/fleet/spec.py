@@ -97,6 +97,10 @@ class TrialSpec:
     hook: Optional[str] = None
     hook_params: Mapping = field(default_factory=dict)
     collect: Mapping = field(default_factory=dict)
+    # Open-loop mode: None = closed-loop clients (every pre-existing spec
+    # keeps its exact semantics); a mapping of OpenLoopConfig knobs runs
+    # the aggregate arrival engine instead (docs/WORKLOADS.md).
+    open_loop: Optional[Mapping] = None
     label: str = ""
 
     # ------------------------------------------------------------------
@@ -115,6 +119,11 @@ class TrialSpec:
         bad = sorted(set(self.timing) - _TIMING_FIELDS())
         if bad:
             raise ConfigError(f"unknown timing overrides {bad}")
+        if self.open_loop is not None:
+            from repro.workloads.openloop import OpenLoopConfig
+
+            # Raises ConfigError on unknown keys or bad values.
+            OpenLoopConfig.from_dict(self.open_loop)
 
     # ------------------------------------------------------------------
     def payload(self) -> Dict[str, Any]:
@@ -180,6 +189,7 @@ class TrialSpec:
             variant=dict(self.variant) if self.variant else None,
             request_timeout=self.request_timeout,
             batch_window=self.batch_window,
+            open_loop=dict(self.open_loop) if self.open_loop is not None else None,
         )
 
 

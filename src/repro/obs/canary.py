@@ -45,9 +45,10 @@ __all__ = [
 CANARY_SCHEMA = "repro.canary/1"
 
 # Pinned scenario set: small (≈1.4s measured window) but covering the CRT
-# cross-region path (tpcc), a CRT-heavy mix (payment 40%), and a skewed
-# contention profile (tpca zipf).  Labels are the golden-document keys —
-# renaming one orphans its golden.
+# cross-region path (tpcc), a CRT-heavy mix (payment 40%), a skewed
+# contention profile (tpca zipf), and the open-loop arrival engine with a
+# binding in-flight cap (queue metrics + arrival-anchored roots).  Labels
+# are the golden-document keys — renaming one orphans its golden.
 SCENARIOS: Tuple[TrialSpec, ...] = (
     TrialSpec(system="dast", workload="tpcc",
               duration_ms=2000.0, warmup_ms=400.0, cooldown_ms=200.0,
@@ -60,6 +61,14 @@ SCENARIOS: Tuple[TrialSpec, ...] = (
               workload_params={"theta": 0.9},
               duration_ms=2000.0, warmup_ms=400.0, cooldown_ms=200.0,
               seed=3, label="dast-tpca-zipf"),
+    TrialSpec(system="dast", workload="ycsb",
+              workload_params={"theta": 0.7, "crt_ratio": 0.1},
+              duration_ms=1200.0, warmup_ms=300.0, cooldown_ms=150.0,
+              seed=4,
+              open_loop={"users_per_region": 300, "txn_per_user_s": 2.0,
+                         "model": "mmpp", "burst_mult": 4.0,
+                         "max_inflight_per_region": 16},
+              label="dast-openloop"),
 )
 
 # metric -> (relative tolerance, absolute floor).  A candidate value v
@@ -75,6 +84,10 @@ BANDS: Dict[str, Tuple[float, float]] = {
     "abort_rate": (0.0, 0.02),
     "msgs_total": (0.10, 50.0),
     "bytes_total": (0.10, 5000.0),
+    # Open-loop rows only (closed-loop rows lack the keys, so the band is
+    # skipped there): service-time tail and client-side queueing tail.
+    "irt_p99_svc_ms": (0.10, 1.0),
+    "queue_p99_ms": (0.10, 0.5),
 }
 
 

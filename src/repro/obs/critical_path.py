@@ -150,8 +150,16 @@ def critical_path(trace: TxnTrace) -> Optional[PathResult]:
     t0, t1 = root.t0, root.t1
     total = t1 - t0
     # Marks grouped by host (phase marks only carry time/host/kind).
+    # ``arrival`` marks are kept aside: an open-loop root is anchored at the
+    # *intended* arrival time while the arrival mark sits at the launch
+    # instant, and the gap between the two is client-side queueing — it gets
+    # its own named segment below instead of a generic host:arrival split.
     marks_by_host: Dict[str, List[Tuple[float, str]]] = {}
+    arrival_marks: List[float] = []
     for t, host, kind in trace.marks:
+        if kind == "arrival":
+            arrival_marks.append(t)
+            continue
         marks_by_host.setdefault(host, []).append((t, kind))
     delivered = [h for h in trace.hops
                  if h.status == "delivered" and h.t_recv is not None]
@@ -196,10 +204,22 @@ def critical_path(trace: TxnTrace) -> Optional[PathResult]:
                                     best.t_send, t_recv, best.src))
         pos_host, pos_t = best.src, best.t_send
         out_method = best.method
+    # Open-loop roots: the stretch from the intended arrival (t0) to the
+    # launch instant (the arrival mark) is attributed client-side queueing,
+    # not unexplained time — so coverage stays honest at 100% for a txn
+    # that merely waited in the client backlog.
+    residual_lo = t0
+    if arrival_marks and pos_host == root.client:
+        launch = max((t for t in arrival_marks if t <= pos_t + _EPS),
+                     default=None)
+        if launch is not None and launch - t0 > _EPS:
+            segments.append(Segment("client-queue@client", "queue",
+                                    t0, launch, pos_host))
+            residual_lo = launch
     # Residual gap back to the submit instant (client think/emit, or an
     # unattributed stretch when the chain broke, e.g. a retried txn whose
     # first attempt's hops were dropped).
-    segments.extend(_gap_segments(pos_host, t0, pos_t,
+    segments.extend(_gap_segments(pos_host, residual_lo, pos_t,
                                   marks_by_host.get(pos_host, ()), out_method))
     segments.sort(key=lambda s: (s.start, s.end))
     unattributed = sum(s.duration for s in segments if s.kind == "unattributed")

@@ -13,6 +13,12 @@ coordinator bookkeeping:
 * **IRT**: ``submit -> timestamp -> execute -> reply``.
 * Systems without phase events (the baselines) degrade to a single
   ``reply`` phase covering the whole round trip.
+* **Open-loop** transactions (:mod:`repro.workloads.openloop`) carry an
+  ``arrival`` event whose ``intended`` field is the arrival instant the
+  generator drew.  Such spans are anchored at the *intended* time and gain
+  a leading ``queue`` phase (intended -> first submit) covering client-side
+  backlog delay, so the span total is the open-loop latency — immune to
+  coordinated omission, matching ``OpenLoopRecorder``.
 
 Boundary times are picked from the **critical path** — the latest event of
 each kind not after the reply — and clamped monotone, so phase durations
@@ -26,7 +32,10 @@ flight at trial end) have no complete submit..reply pair.  By default they
 are skipped; with ``include_partial=True`` they are surfaced as explicit
 **partial** spans (``span.partial`` set, phases covering whatever events
 survived) so summaries can report how many transactions were dropped from
-the breakdown instead of silently under-counting.
+the breakdown instead of silently under-counting.  A span whose ``submit``
+event was truncated but whose ``arrival`` survived is *not* partial — the
+arrival anchors its start, so the submit..reply pair is recoverable (this
+previously under-counted complete open-loop spans).
 """
 
 from __future__ import annotations
@@ -120,14 +129,29 @@ def assemble_spans(tracer, txn: Optional[str] = None,
             times.setdefault(ev.kind, []).append(ev.time)
         submits = sorted(times.get("submit", ()))
         replies = sorted(times.get("reply", ()))
-        partial = not submits or not replies
+        # Open-loop anchoring: the arrival event's ``intended`` field is the
+        # instant the generator drew; it precedes (or equals) the submit.
+        intended: Optional[float] = None
+        for ev in events:
+            if ev.kind == "arrival":
+                t = ev.fields.get("intended", ev.time)
+                if intended is None or t < intended:
+                    intended = t
+        # A span is partial only when its *end* is missing, or when it has
+        # no start anchor at all — an arrival event is a valid anchor even
+        # if the submit was truncated at tracer capacity.
+        partial = not replies or (not submits and intended is None)
         if partial:
             if not include_partial:
                 continue  # still in flight, or events truncated
             ev_times = sorted(ev.time for ev in events)
-            start, end = ev_times[0], ev_times[-1]
+            start = ev_times[0] if intended is None else min(intended, ev_times[0])
+            end = ev_times[-1]
         else:
-            start, end = submits[0], replies[-1]
+            start = submits[0] if submits else replies[-1]
+            if intended is not None:
+                start = min(intended, start)
+            end = replies[-1]
         if end < start:
             continue
         # Classification: the client reply carries the authoritative flag;
@@ -152,6 +176,13 @@ def assemble_spans(tracer, txn: Optional[str] = None,
         layout = (layout[0],) + interior + (layout[-1],)
         phases: Dict[str, float] = {}
         prev = start
+        if intended is not None and submits:
+            # Open-loop: the gap from the intended arrival to the *first*
+            # submit is client-side queueing (backlog under an in-flight
+            # cap).  Zero-width when the arrival launched immediately.
+            t = min(max(submits[0], prev), end)
+            phases["queue"] = t - prev
+            prev = t
         for name, kind in layout[1:]:
             if kind == "reply":
                 t = end

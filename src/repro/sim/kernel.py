@@ -267,6 +267,28 @@ class Simulator:
         """
         self.schedule(max(0.0, when - self.now), fn, *args)
 
+    def schedule_abs(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at **exactly** absolute virtual time ``when``.
+
+        Unlike :meth:`schedule_at` there is no ``now + (when - now)`` float
+        round-trip: the heap entry carries ``when`` verbatim.  The open-loop
+        workload engine uses this so arrival instants drawn from a seeded
+        stream replay bit-identically no matter when the pump was scheduled.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when} < now={self.now})")
+        if when == self.now:
+            self._ready.append((next(self._seq), fn, args))
+        else:
+            heapq.heappush(self._heap, (when, next(self._seq), fn, args))
+
+    def peek_time(self) -> Optional[float]:
+        """The instant the next scheduled callback fires, or None when idle."""
+        if self._ready:
+            return self.now
+        return self._heap[0][0] if self._heap else None
+
     def event(self) -> Event:
         return Event(self)
 

@@ -37,6 +37,9 @@ class TableSchema:
         self.columns = tuple(columns)
         self.primary_key = tuple(primary_key)
         self.indexes = {iname: tuple(cols) for iname, cols in (indexes or {}).items()}
+        # Columns an update may touch (everything but the primary key) —
+        # precomputed so hot update paths can validate with one set check.
+        self.updatable = frozenset(self.columns) - frozenset(self.primary_key)
         for iname, cols in self.indexes.items():
             bad = [c for c in cols if c not in columns]
             if bad:

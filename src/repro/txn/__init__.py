@@ -2,6 +2,7 @@
 
 from repro.txn.executor import BufferedStore, ExecOutcome, execute_on_shard
 from repro.txn.model import ConditionalAbort, Piece, PieceContext, Transaction
+from repro.txn.pool import ResultPool, TransactionPool
 from repro.txn.result import TxnResult
 
 __all__ = [
@@ -10,7 +11,9 @@ __all__ = [
     "ExecOutcome",
     "Piece",
     "PieceContext",
+    "ResultPool",
     "Transaction",
+    "TransactionPool",
     "TxnResult",
     "execute_on_shard",
 ]

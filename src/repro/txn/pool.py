@@ -1,0 +1,109 @@
+"""Slot-recycled transaction and result pools for the open-loop hot loop.
+
+At millions of transactions per trial, allocating a fresh
+:class:`~repro.txn.model.Transaction` (pieces, validation DFS, producer
+map) and a fresh :class:`~repro.txn.result.TxnResult` per submission
+dominates the kernel hot loop.  These pools recycle fully-reset instances
+instead.
+
+A pooled transaction is keyed by a **structural signature** chosen by the
+caller (e.g. ``("ycsb", shard_id)``): all transactions sharing a signature
+have identical piece structure (indexes, shards, needs/produces), so the
+validation work done when the first instance was constructed holds for
+every reuse and is skipped.  Only the per-instance fields change between
+uses: ``txn_id`` (freshly drawn from the same global counter a fresh
+``Transaction`` would use, so pooled and fresh runs see identical id
+streams), the mutable piece body state, ``lock_keys``, and the cached wire
+size (id strings change length, so it must be recomputed).
+
+Correctness contract, enforced by ``tests/test_txn_pool.py``: a trial run
+with pools enabled is byte-identical (canonical JSON of its outcome) to
+the same trial with pools disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.txn.model import Transaction
+from repro.txn.result import TxnResult
+
+__all__ = ["TransactionPool", "ResultPool"]
+
+
+class TransactionPool:
+    """Free-lists of recycled :class:`Transaction` objects by signature."""
+
+    def __init__(self) -> None:
+        self._free: Dict[Hashable, List[Transaction]] = {}
+        self.created = 0
+        self.reused = 0
+
+    def acquire(self, signature: Hashable,
+                build: Callable[[], Transaction]) -> Transaction:
+        """A transaction for ``signature``: recycled if available, else
+        freshly built via ``build()`` (which must construct a Transaction
+        whose structure is the same for every instance of the signature)."""
+        free = self._free.get(signature)
+        if free:
+            self.reused += 1
+            txn = free.pop()
+            # Reset the per-instance fields a fresh construction would set.
+            # The id draw matches Transaction.__init__, so pooled and fresh
+            # runs consume the global id stream identically.
+            old_id = txn.txn_id
+            txn.txn_id = f"t{next(Transaction._ids)}"
+            txn.home_region = None
+            txn.participating_regions = ()
+            txn.params.clear()
+            # Only the id string's length feeds the cached wire size
+            # (sizeof(str) is overhead + len and the structure is fixed per
+            # signature), so patch the cache instead of recomputing it.
+            cached = txn.__dict__.get("_wire_size")
+            if cached is not None:
+                txn._wire_size = cached + len(txn.txn_id) - len(old_id)
+            return txn
+        self.created += 1
+        txn = build()
+        txn._pool_signature = signature
+        return txn
+
+    def release(self, txn: Transaction) -> None:
+        """Return ``txn`` to its free-list (no-op for unpooled instances)."""
+        signature = getattr(txn, "_pool_signature", None)
+        if signature is None:
+            return
+        self._free.setdefault(signature, []).append(txn)
+
+
+class ResultPool:
+    """Free-list of recycled :class:`TxnResult` objects."""
+
+    def __init__(self) -> None:
+        self._free: List[TxnResult] = []
+        self.created = 0
+        self.reused = 0
+
+    def acquire(self, txn_id: str, txn_type: str, committed: bool,
+                is_crt: bool, abort_reason: str = "",
+                outputs: Optional[Dict[str, Any]] = None) -> TxnResult:
+        if self._free:
+            self.reused += 1
+            r = self._free.pop()
+            r.txn_id = txn_id
+            r.txn_type = txn_type
+            r.committed = committed
+            r.is_crt = is_crt
+            r.outputs = outputs if outputs is not None else {}
+            r.abort_reason = abort_reason
+            r.retries = 0
+            r.phases = {}
+            r.submit_time = 0.0
+            r.finish_time = 0.0
+            return r
+        self.created += 1
+        return TxnResult(txn_id, txn_type, committed, is_crt,
+                         outputs=outputs, abort_reason=abort_reason)
+
+    def release(self, result: TxnResult) -> None:
+        self._free.append(result)

@@ -1,7 +1,10 @@
-"""Workloads: TPC-C (default mix + payment-only), TPC-A, client drivers."""
+"""Workloads: TPC-C (default mix + payment-only), TPC-A, YCSB, client
+drivers (closed-loop coroutines and the aggregate open-loop engine)."""
 
+from repro.workloads.arrivals import ArrivalStream
 from repro.workloads.base import ClientBinding, Workload
 from repro.workloads.client import ClosedLoopClient, spawn_clients
+from repro.workloads.openloop import OpenLoopConfig, OpenLoopEngine
 from repro.workloads.registry import WORKLOADS, register_workload, workload_factory
 from repro.workloads.tpca import TpcaWorkload
 from repro.workloads.tpcc import PaymentOnlyWorkload, TpccWorkload
@@ -9,8 +12,11 @@ from repro.workloads.ycsb import YcsbWorkload
 from repro.workloads.zipf import ZipfGenerator
 
 __all__ = [
+    "ArrivalStream",
     "ClientBinding",
     "ClosedLoopClient",
+    "OpenLoopConfig",
+    "OpenLoopEngine",
     "PaymentOnlyWorkload",
     "TpcaWorkload",
     "TpccWorkload",

@@ -1,0 +1,143 @@
+"""Seeded open-loop arrival processes: Poisson, MMPP, diurnal, flash crowd.
+
+An :class:`ArrivalStream` produces a deterministic, strictly increasing
+sequence of arrival instants (virtual ms) for one region's aggregate user
+population.  The base process is Poisson at ``rate_per_ms``; three
+modulations compose multiplicatively on the instantaneous rate:
+
+* **MMPP** (``model="mmpp"``): a 2-state Markov-modulated Poisson process.
+  The stream alternates between a calm and a burst state with exponential
+  dwell times; the burst state multiplies the rate by ``burst_mult``.  The
+  state factors are normalized so the *long-run mean* rate stays at the
+  configured ``rate_per_ms`` regardless of ``burst_mult``.
+* **Diurnal curve** (``diurnal_period_ms > 0``): a raised-cosine day/night
+  factor in ``[diurnal_trough, 1.0]`` — the trough at phase 0, the peak at
+  half a period.
+* **Flash crowd** (``flash_duration_ms > 0``): the rate is multiplied by
+  ``flash_mult`` inside ``[flash_at_ms, flash_at_ms + flash_duration_ms)``.
+
+Sampling uses piecewise thinning (Lewis–Shedler): within each constant
+upper-bound piece (current MMPP state × flash window) candidate gaps are
+exponential at the bound and accepted with probability
+``diurnal(t) / diurnal_max``; at a piece boundary the exponential restarts
+(memorylessness makes that exact).  Everything draws from the single
+``rng`` passed in, so a seed fully determines the stream — across
+processes, machines, and Python versions (``random`` is an explicitly
+stable PRNG).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigError
+
+__all__ = ["ArrivalStream"]
+
+_INF = float("inf")
+
+
+class ArrivalStream:
+    """Deterministic arrival-instant generator for one region."""
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        rng: random.Random,
+        model: str = "poisson",
+        burst_mult: float = 8.0,
+        dwell_low_ms: float = 400.0,
+        dwell_high_ms: float = 60.0,
+        diurnal_period_ms: float = 0.0,
+        diurnal_trough: float = 0.3,
+        flash_at_ms: float = 0.0,
+        flash_duration_ms: float = 0.0,
+        flash_mult: float = 1.0,
+    ):
+        if rate_per_ms <= 0:
+            raise ConfigError(f"arrival rate must be positive, got {rate_per_ms}")
+        if model not in ("poisson", "mmpp"):
+            raise ConfigError(f"unknown arrival model {model!r}; choose poisson|mmpp")
+        if model == "mmpp" and (burst_mult < 1.0 or dwell_low_ms <= 0 or dwell_high_ms <= 0):
+            raise ConfigError("mmpp needs burst_mult >= 1 and positive dwell times")
+        if diurnal_period_ms < 0 or not 0.0 < diurnal_trough <= 1.0:
+            raise ConfigError("diurnal needs period >= 0 and trough in (0, 1]")
+        if flash_duration_ms < 0 or flash_mult < 1.0:
+            raise ConfigError("flash crowd needs duration >= 0 and mult >= 1")
+        self.rate = rate_per_ms
+        self.rng = rng
+        self.model = model
+        self.diurnal_period = diurnal_period_ms
+        self.diurnal_trough = diurnal_trough
+        self.flash_at = flash_at_ms
+        self.flash_end = flash_at_ms + flash_duration_ms
+        self.flash_mult = flash_mult
+        self._flash_on = flash_duration_ms > 0 and flash_mult > 1.0
+        # MMPP state machine: normalize the two state factors so the
+        # time-averaged rate equals the configured rate.
+        if model == "mmpp":
+            self._dwell = (dwell_low_ms, dwell_high_ms)
+            mean = (dwell_low_ms + burst_mult * dwell_high_ms) / (dwell_low_ms + dwell_high_ms)
+            self._state_factor = (1.0 / mean, burst_mult / mean)
+            self._state = 0
+            self._state_until = rng.expovariate(1.0 / dwell_low_ms)
+        else:
+            self._state_factor = (1.0, 1.0)
+            self._state = 0
+            self._state_until = _INF
+        # Pure homogeneous Poisson (no state machine, no thinning): one
+        # expovariate per arrival, the hot-loop common case.
+        self._pure = (
+            model == "poisson" and diurnal_period_ms <= 0 and not self._flash_on
+        )
+
+    # ------------------------------------------------------------------
+    def diurnal_factor(self, t: float) -> float:
+        """Instantaneous diurnal rate factor in [trough, 1]."""
+        if self.diurnal_period <= 0:
+            return 1.0
+        phase = (1.0 - math.cos(2.0 * math.pi * t / self.diurnal_period)) / 2.0
+        return self.diurnal_trough + (1.0 - self.diurnal_trough) * phase
+
+    def in_flash(self, t: float) -> bool:
+        return self._flash_on and self.flash_at <= t < self.flash_end
+
+    def _advance_state(self, t: float) -> None:
+        while self._state_until <= t:
+            self._state = 1 - self._state
+            self._state_until += self.rng.expovariate(1.0 / self._dwell[self._state])
+
+    def _boundary(self, t: float) -> float:
+        """Next instant at which the piecewise-constant rate bound changes."""
+        boundary = self._state_until
+        if self._flash_on:
+            if t < self.flash_at:
+                boundary = min(boundary, self.flash_at)
+            elif t < self.flash_end:
+                boundary = min(boundary, self.flash_end)
+        return boundary
+
+    # ------------------------------------------------------------------
+    def next_after(self, t: float) -> float:
+        """The first arrival strictly after virtual instant ``t``."""
+        rng = self.rng
+        if self._pure:
+            return t + rng.expovariate(self.rate)
+        while True:
+            self._advance_state(t)
+            bound = self.rate * self._state_factor[self._state]
+            if self.in_flash(t):
+                bound *= self.flash_mult
+            candidate = t + rng.expovariate(bound)
+            boundary = self._boundary(t)
+            if candidate >= boundary:
+                # The bound changes before the candidate fires; restart the
+                # (memoryless) exponential clock at the boundary.
+                t = boundary
+                continue
+            if self.diurnal_period <= 0:
+                return candidate
+            if rng.random() <= self.diurnal_factor(candidate):
+                return candidate
+            t = candidate  # thinned: rejected candidate, keep scanning

@@ -1,0 +1,601 @@
+"""Aggregate open-loop workload engine for very large simulated user bases.
+
+Closed-loop drivers (:mod:`repro.workloads.client`) keep one coroutine per
+client alive for the whole trial — fine for hundreds of clients, hopeless
+for 100k+ simulated users.  This engine replaces the per-client coroutines
+with **one arrival process per region** (:class:`~repro.workloads.arrivals.
+ArrivalStream`): each region draws a deterministic sequence of arrival
+instants for its whole user population, picks the "user" behind each
+arrival from a zipf popularity distribution, and materialises the
+:class:`~repro.txn.model.Transaction` object only at submit time.  Between
+submissions no per-user state exists at all.
+
+Latency is measured **open-loop**: anchored at the *intended* arrival
+time, not the submit time.  When ``max_inflight_per_region`` caps
+concurrency, arrivals that cannot submit immediately queue in a backlog
+and their eventual latency includes the queueing delay — the measurement
+is immune to coordinated omission (a stalled server cannot slow the
+arrival process down and thereby hide its own tail).
+
+Two submission paths:
+
+* **Express** (DAST, ``replication == 1``, sole-participant IRT, tracing
+  detached): bypasses the RPC envelope/coroutine machinery entirely.  The
+  engine models the client→node network delay and the node's CPU queueing
+  (``timing.service_time`` per submission) itself, calls
+  :meth:`DastNode.submit_express`, and gets the outcome back through an
+  in-process callback.  Transactions and results are recycled through
+  :mod:`repro.txn.pool` on this path; byte/message accounting still flows
+  through ``network.stats`` so traffic analyses keep working.
+* **Generic**: everything else (CRTs, baselines, replication > 1, tracing
+  attached) goes through ``system.submit`` exactly like a closed-loop
+  client, one short-lived coroutine per in-flight transaction.
+
+Determinism: all randomness comes from named streams of the system's
+:class:`~repro.sim.rng.RngRegistry`, and pooled generation draws the same
+RNG/id sequence as fresh generation, so a trial is byte-identical across
+processes and with pools on or off (``tests/test_txn_pool.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, NetworkError, RpcTimeout
+from repro.sim.rpc import RpcRemoteError
+from repro.txn.pool import ResultPool, TransactionPool
+from repro.workloads.arrivals import ArrivalStream
+from repro.workloads.base import ClientBinding, Workload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["OpenLoopConfig", "OpenLoopEngine"]
+
+# The virtual wire size charged for an express reply (outcome + phase
+# stamps); matches the order of magnitude of an encoded resp:submit.
+_REPLY_BYTES = 80
+
+# Uncapped express trials generate arrivals in chunks of this many per
+# kernel event (see ``_pump_chunk``); per-arrival trials would spend a
+# scheduler round-trip on every transaction.
+_CHUNK = 32
+
+
+class OpenLoopConfig:
+    """JSON-safe knobs for one open-loop trial (see module docstring)."""
+
+    _FIELDS = (
+        "users_per_region", "txn_per_user_s", "model", "burst_mult",
+        "dwell_low_ms", "dwell_high_ms", "diurnal_period_ms",
+        "diurnal_trough", "flash_at_ms", "flash_duration_ms", "flash_mult",
+        "flash_region", "flash_redirect", "user_theta",
+        "max_inflight_per_region", "pool", "express", "keep_records",
+    )
+
+    def __init__(
+        self,
+        users_per_region: int = 1000,
+        txn_per_user_s: float = 1.0,
+        model: str = "poisson",
+        burst_mult: float = 8.0,
+        dwell_low_ms: float = 400.0,
+        dwell_high_ms: float = 60.0,
+        diurnal_period_ms: float = 0.0,
+        diurnal_trough: float = 0.3,
+        flash_at_ms: float = 0.0,
+        flash_duration_ms: float = 0.0,
+        flash_mult: float = 1.0,
+        flash_region: str = "",
+        flash_redirect: float = 0.0,
+        user_theta: float = 0.9,
+        max_inflight_per_region: int = 0,
+        pool: bool = True,
+        express: bool = True,
+        keep_records: bool = False,
+    ):
+        if users_per_region <= 0:
+            raise ConfigError("open loop needs users_per_region > 0")
+        if txn_per_user_s <= 0:
+            raise ConfigError("open loop needs txn_per_user_s > 0")
+        if not 0.0 <= flash_redirect <= 1.0:
+            raise ConfigError("flash_redirect must be in [0, 1]")
+        if user_theta < 0:
+            raise ConfigError("user_theta must be non-negative")
+        if max_inflight_per_region < 0:
+            raise ConfigError("max_inflight_per_region must be >= 0 (0 = unlimited)")
+        self.users_per_region = users_per_region
+        self.txn_per_user_s = txn_per_user_s
+        self.model = model
+        self.burst_mult = burst_mult
+        self.dwell_low_ms = dwell_low_ms
+        self.dwell_high_ms = dwell_high_ms
+        self.diurnal_period_ms = diurnal_period_ms
+        self.diurnal_trough = diurnal_trough
+        self.flash_at_ms = flash_at_ms
+        self.flash_duration_ms = flash_duration_ms
+        self.flash_mult = flash_mult
+        self.flash_region = flash_region
+        self.flash_redirect = flash_redirect
+        self.user_theta = user_theta
+        self.max_inflight_per_region = max_inflight_per_region
+        self.pool = pool
+        self.express = express
+        self.keep_records = keep_records
+        # Validate the arrival knobs eagerly (rate 1.0 is a placeholder).
+        self._stream_kwargs_check()
+
+    def _stream_kwargs_check(self) -> None:
+        import random
+
+        ArrivalStream(1.0, random.Random(0), **self.stream_kwargs())
+
+    def stream_kwargs(self) -> Dict:
+        return dict(
+            model=self.model, burst_mult=self.burst_mult,
+            dwell_low_ms=self.dwell_low_ms, dwell_high_ms=self.dwell_high_ms,
+            diurnal_period_ms=self.diurnal_period_ms,
+            diurnal_trough=self.diurnal_trough,
+            flash_at_ms=self.flash_at_ms,
+            flash_duration_ms=self.flash_duration_ms,
+            flash_mult=self.flash_mult,
+        )
+
+    def as_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data) -> "OpenLoopConfig":
+        unknown = sorted(set(data) - set(cls._FIELDS))
+        if unknown:
+            raise ConfigError(f"unknown open_loop keys: {unknown}")
+        return cls(**dict(data))
+
+
+class _Slot:
+    """Per-in-flight-transaction scratch state (recycled)."""
+
+    __slots__ = ("txn", "txn_id", "txn_type", "intended", "submit",
+                 "client", "node_host", "node", "rs")
+
+
+class _RegionState:
+    """One region's arrival process, user population, and backlog."""
+
+    __slots__ = ("region", "stream", "users", "sample_uid", "gen_rng",
+                 "route_rng", "bindings", "next_arrival", "inflight",
+                 "backlog", "arrivals", "launched", "flash")
+
+    def __init__(self, region: str, stream: ArrivalStream,
+                 users: ZipfGenerator, gen_rng, route_rng,
+                 bindings: List[ClientBinding]):
+        self.region = region
+        self.stream = stream
+        self.users = users
+        self.sample_uid = users.sampler()
+        self.gen_rng = gen_rng
+        self.route_rng = route_rng
+        self.bindings = bindings
+        self.next_arrival = 0.0
+        self.inflight = 0
+        self.backlog: deque = deque()
+        self.arrivals = 0
+        self.launched = 0
+        # True only for the flash region of a trial with flash redirect
+        # configured — lets the hot path skip the whole check elsewhere.
+        self.flash = False
+
+
+class OpenLoopEngine:
+    """Drives one open-loop trial; duck-types a client for the harness
+    (``stop()``), so ``TrialResult.drain`` works unchanged."""
+
+    def __init__(self, system, workload: Workload, config: OpenLoopConfig,
+                 recorder, request_timeout: Optional[float] = None):
+        self.system = system
+        self.workload = workload
+        self.cfg = config
+        self.recorder = recorder
+        self.request_timeout = request_timeout
+        self.sim = system.sim
+        self.network = system.network
+        self.timing = system.topology.config.timing
+        self._running = False
+        self._until = 0.0
+        self._tracer = getattr(system, "tracer", None)
+        # Express eligibility is a whole-trial property: DAST only, no
+        # replication (a sole replica makes every single-shard IRT
+        # sole-participant), and no tracer (express has no RPC hops to
+        # trace, so traced trials take the fully-instrumented path).
+        self.express = bool(
+            config.express
+            and system.name == "dast"
+            and system.topology.config.replication == 1
+            and getattr(system, "tracer", None) is None
+        )
+        self.pool_enabled = bool(
+            config.pool and self.express
+            and hasattr(workload, "next_transaction_pooled")
+        )
+        self.txn_pool = TransactionPool()
+        self.result_pool = ResultPool()
+        self._free_slots: List[_Slot] = []
+        self._pending: Dict[str, _Slot] = {}
+        # Hot-loop caches (attribute chains hoisted out of per-arrival code).
+        self._cap = config.max_inflight_per_region
+        self._service = self.timing.service_time
+        self._stats = self.network.stats
+        # Per-node-host CPU occupancy for the express path: the node's
+        # request pipeline is busy until this instant (ms).  ``stall``
+        # pushes it forward to model a seized server.
+        self._busy: Dict[str, float] = {}
+        # Express traffic accounting, batched: the express path's four
+        # stats events per transaction (submit send/receive, reply
+        # send/receive) are tallied in these local counters and folded into
+        # ``network.stats`` on ``stop()`` — final totals are identical to
+        # per-call accounting, and nothing samples the stats mid-trial on
+        # the express path (obs probes imply a tracer, which disables it).
+        self._sub_bytes = 0      # wire bytes of the express submits
+        self._sub_by_client: Dict[str, int] = {}   # submits sent per client
+        self._recv_by_node: Dict[str, int] = {}    # submits received per node
+        self._resp_by_node: Dict[str, int] = {}    # replies sent per node
+        self._done_by_client: Dict[str, int] = {}  # replies received per client
+        # Uncapped express trials batch arrival generation (``_pump_chunk``):
+        # nothing gates a launch on completions (no backlog), every launch's
+        # timing derives from its *intended* instant, and each region's
+        # arrivals touch only that region's nodes — so a chunk of arrivals
+        # can be materialised in one kernel event without changing any
+        # simulated time, RNG draw order, or busy-queue accounting.
+        self._chunked = bool(self.express and self._cap == 0)
+        self.failed = 0
+        # Large trials cannot afford to retain every submitted txn /
+        # executed-log tuple; both ledgers only feed post-hoc audits.
+        if not config.keep_records:
+            if hasattr(system, "track_submitted"):
+                system.track_submitted = False
+            for node in getattr(system, "nodes", {}).values():
+                if hasattr(node, "keep_executed_log"):
+                    node.keep_executed_log = False
+        rate = config.users_per_region * config.txn_per_user_s / 1000.0
+        flash_region = config.flash_region
+        regions = system.topology.regions
+        if flash_region and flash_region not in regions:
+            raise ConfigError(f"flash_region {flash_region!r} not in topology")
+        if not flash_region and regions:
+            flash_region = regions[0]
+        by_region: Dict[str, List[ClientBinding]] = {}
+        for binding in workload.bind_clients():
+            by_region.setdefault(binding.region, []).append(binding)
+        self.regions: List[_RegionState] = []
+        for region in regions:
+            bindings = by_region.get(region)
+            if not bindings:
+                raise ConfigError(f"region {region!r} has no client slots")
+            kwargs = config.stream_kwargs()
+            if region != flash_region:
+                # The flash crowd hits one region; others keep base knobs.
+                kwargs["flash_duration_ms"] = 0.0
+                kwargs["flash_mult"] = 1.0
+            self.regions.append(_RegionState(
+                region,
+                ArrivalStream(rate, system.rng.stream(f"openloop.arrivals.{region}"),
+                              **kwargs),
+                ZipfGenerator(config.users_per_region, config.user_theta,
+                              system.rng.stream(f"openloop.users.{region}")),
+                system.rng.stream(f"openloop.gen.{region}"),
+                system.rng.stream(f"openloop.route.{region}"),
+                bindings,
+            ))
+        self.flash_region = flash_region
+        for rs in self.regions:
+            rs.flash = bool(
+                rs.region == flash_region and config.flash_redirect
+                and config.flash_duration_ms > 0
+            )
+        # (host, node object) per home shard (express path; replication == 1).
+        self._node_of_shard: Dict[str, tuple] = {}
+        # Cached client<->node one-way delays, valid while intra-region
+        # jitter is off (the delay model is then deterministic per pair).
+        self._delay_cache: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, until: float) -> None:
+        """Schedule each region's arrival process up to virtual ``until``."""
+        self._running = True
+        self._until = until
+        self._tracer = getattr(self.system, "tracer", None)
+        pump = self._pump_chunk if self._chunked else self._pump
+        for rs in self.regions:
+            first = rs.stream.next_after(self.sim.now)
+            rs.next_arrival = first
+            if first <= until:
+                self.sim.schedule_abs(first, pump, rs)
+
+    def stop(self) -> None:
+        self._running = False
+        self.flush_stats()
+
+    def flush_stats(self) -> None:
+        """Fold the express path's batched traffic tallies into
+        ``network.stats``.  Totals are exactly what per-call accounting
+        would have produced; the tallies reset, so calling this again (the
+        harness flushes before summarising, ``stop`` flushes again after
+        the drain) only adds what happened in between."""
+        stats = self._stats
+        sub_bytes, self._sub_bytes = self._sub_bytes, 0
+        n_sub = sum(self._sub_by_client.values())
+        n_resp = sum(self._resp_by_node.values())
+        if not n_sub and not n_resp:
+            return
+        resp_bytes = n_resp * _REPLY_BYTES
+        stats.messages_sent += n_sub + n_resp
+        stats.bytes_sent += sub_bytes + resp_bytes
+        for name, count, nbytes in (("submit", n_sub, sub_bytes),
+                                    ("resp:submit", n_resp, resp_bytes)):
+            if count:
+                stats.per_type_sent[name] = stats.per_type_sent.get(name, 0) + count
+                stats.per_type_bytes[name] = stats.per_type_bytes.get(name, 0) + nbytes
+        sent = stats.per_host_sent
+        recv = stats.per_host_received
+        for tally, target in ((self._sub_by_client, sent),
+                              (self._resp_by_node, sent),
+                              (self._recv_by_node, recv),
+                              (self._done_by_client, recv)):
+            for host, n in tally.items():
+                target[host] = target.get(host, 0) + n
+            tally.clear()
+
+    def stall(self, node_host: str, busy_ms: float) -> None:
+        """Seize ``node_host``'s request CPU for ``busy_ms`` from now —
+        the coordinated-omission fault used by the regression test."""
+        now = self.sim.now
+        self._busy[node_host] = max(self._busy.get(node_host, now), now) + busy_ms
+
+    # ------------------------------------------------------------------
+    # Arrival loop
+    # ------------------------------------------------------------------
+    def _pump(self, rs: _RegionState) -> None:
+        if self._running:
+            rs.arrivals += 1
+            uid = rs.sample_uid()
+            now = self.sim.now
+            cap = self._cap
+            if cap and rs.inflight >= cap:
+                rs.backlog.append((now, uid))
+            else:
+                self._launch(rs, now, uid, now)
+        nxt = rs.stream.next_after(rs.next_arrival)
+        rs.next_arrival = nxt
+        if self._running and nxt <= self._until:
+            self.sim.schedule_abs(nxt, self._pump, rs)
+
+    def _pump_chunk(self, rs: _RegionState) -> None:
+        """Uncapped express arrival loop: materialise up to ``_CHUNK``
+        consecutive arrivals per kernel event.  Every launch computes its
+        delivery schedule from the *intended* instant ``t`` (not
+        ``sim.now``), so the simulated outcome is instant-for-instant what
+        per-arrival pumping would produce — only the number of scheduler
+        events changes."""
+        if not self._running:
+            return
+        t = rs.next_arrival  # first iteration: == sim.now
+        until = self._until
+        sample_uid = rs.sample_uid
+        next_after = rs.stream.next_after
+        launch = self._launch
+        for _ in range(_CHUNK):
+            rs.arrivals += 1
+            launch(rs, t, sample_uid(), t)
+            nxt = next_after(t)
+            rs.next_arrival = nxt
+            if nxt > until:
+                return
+            t = nxt
+        self.sim.schedule_abs(t, self._pump_chunk, rs)
+
+    def _drain(self, rs: _RegionState) -> None:
+        cap = self._cap
+        backlog = rs.backlog
+        while backlog and (not cap or rs.inflight < cap):
+            intended, uid = backlog.popleft()
+            self._launch(rs, intended, uid, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _launch(self, rs: _RegionState, intended: float, uid: int,
+                submit: float) -> None:
+        """Generate and submit one arrival.  ``submit`` is the simulated
+        instant the client sends (== ``intended`` except for backlog drains,
+        where it is the drain time); under chunked pumping it may lie ahead
+        of ``sim.now``, so all timing below derives from it."""
+        binding = rs.bindings[uid % len(rs.bindings)]
+        if (rs.flash and rs.stream.in_flash(submit)
+                and rs.gen_rng.random() < self.cfg.flash_redirect):
+            # Flash crowd: the surge concentrates on the region's first
+            # shard (whose zipf-hot keys become system-wide hot keys).
+            binding = rs.bindings[0]
+        if self.pool_enabled:
+            txn = self.workload.next_transaction_pooled(
+                binding, rs.gen_rng, self.txn_pool)
+        else:
+            txn = self.workload.next_transaction(binding, rs.gen_rng)
+        rs.inflight += 1
+        rs.launched += 1
+        slot = self._free_slots.pop() if self._free_slots else _Slot()
+        slot.txn = txn
+        slot.txn_id = txn.txn_id
+        slot.txn_type = txn.txn_type
+        slot.intended = intended
+        slot.submit = submit
+        slot.client = binding.client
+        slot.rs = rs
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(submit, binding.client, "arrival",
+                        txn=txn.txn_id, intended=intended, region=rs.region)
+        if (self.express and len(txn.pieces) == 1
+                and txn.pieces[0].shard_id == binding.home_shard):
+            self._launch_express(rs, slot, binding.home_shard)
+        elif submit > self.sim.now:
+            # Chunked pumping generated this (rare, e.g. CRT) arrival ahead
+            # of simulated time; the RPC path runs through live coroutines,
+            # so defer the spawn to the submission instant.
+            self.sim.schedule_abs(submit, self._launch_rpc, rs, slot,
+                                  binding.home_shard)
+        else:
+            self._launch_rpc(rs, slot, binding.home_shard)
+
+    # -- express path ----------------------------------------------------
+    def _node_for(self, shard: str) -> tuple:
+        info = self._node_of_shard.get(shard)
+        if info is None:
+            host = self.system.catalog.replicas_of(shard)[0]
+            info = (host, self.system.nodes[host])
+            self._node_of_shard[shard] = info
+        return info
+
+    def _delay(self, src: str, dst: str) -> float:
+        """One-way delay, cached per pair while the model is deterministic
+        (client and home node share a region, so only intra-region jitter
+        can make the sample random)."""
+        if self.network.intra_jitter:
+            return self.network.one_way_delay(src, dst)
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            delay = self.network.one_way_delay(src, dst)
+            self._delay_cache[key] = delay
+        return delay
+
+    def _launch_express(self, rs: _RegionState, slot: _Slot, shard: str) -> None:
+        node_host, node = self._node_for(shard)
+        slot.node_host = node_host
+        slot.node = node
+        txn = slot.txn
+        client = slot.client
+        self._sub_bytes += txn.wire_size()
+        try:
+            self._sub_by_client[client] += 1
+        except KeyError:
+            self._sub_by_client[client] = 1
+        arrive = slot.submit + self._delay(client, node_host)
+        # CPU queueing at the node: one submission costs service_time of
+        # the request pipeline; a seized pipeline (``stall``) delays every
+        # later submission, which is exactly what the coordinated-omission
+        # test measures.
+        start = max(arrive, self._busy.get(node_host, 0.0))
+        self._busy[node_host] = start + self._service
+        self._pending[slot.txn_id] = slot
+        self.sim.schedule_abs(start, self._deliver_express, rs, slot)
+
+    def _deliver_express(self, rs: _RegionState, slot: _Slot) -> None:
+        node_host = slot.node_host
+        try:
+            self._recv_by_node[node_host] += 1
+        except KeyError:
+            self._recv_by_node[node_host] = 1
+        if not slot.node.submit_express(slot.txn, self._exec_done):
+            self._pending.pop(slot.txn_id, None)
+            self._finish_failure(rs, slot)
+
+    def _exec_done(self, rec, outcome) -> None:
+        """Express completion callback, invoked inside ``DastNode._execute``.
+
+        Deliberately minimal: the reply trip back to the client is a
+        scheduled event, so backlog draining (which submits new work) never
+        re-enters the node's execution stack.
+        """
+        slot = self._pending.pop(rec.txn_id)
+        self.txn_pool.release(slot.txn)
+        slot.txn = None
+        node_host = slot.node_host
+        try:
+            self._resp_by_node[node_host] += 1
+        except KeyError:
+            self._resp_by_node[node_host] = 1
+        client = slot.client
+        delay = self._delay(node_host, client)
+        if not self._cap:
+            # Uncapped: nothing is gated on this completion (no backlog to
+            # drain), so fold the reply leg in arithmetically instead of
+            # paying a kernel event — the recorded finish time is identical,
+            # and no TxnResult is materialised at all.
+            try:
+                self._done_by_client[client] += 1
+            except KeyError:
+                self._done_by_client[client] = 1
+            rs = slot.rs
+            self.recorder.record_irt(
+                not outcome.aborted, slot.intended, slot.submit,
+                self.sim.now + delay, rs.region)
+            rs.inflight -= 1
+            self._free_slots.append(slot)
+            return
+        self.sim.schedule(delay, self._complete_express, slot,
+                          outcome.aborted, outcome.abort_reason)
+
+    def _complete_express(self, slot: _Slot, aborted: bool, reason: str) -> None:
+        client = slot.client
+        try:
+            self._done_by_client[client] += 1
+        except KeyError:
+            self._done_by_client[client] = 1
+        result = self.result_pool.acquire(
+            slot.txn_id, slot.txn_type, not aborted, False, abort_reason=reason)
+        result.submit_time = slot.submit
+        result.finish_time = self.sim.now
+        rs = slot.rs
+        self.recorder.record_result(result, slot.intended, rs.region)
+        self.result_pool.release(result)
+        rs.inflight -= 1
+        self._free_slots.append(slot)
+        self._drain(rs)
+
+    # -- generic RPC path ------------------------------------------------
+    def _launch_rpc(self, rs: _RegionState, slot: _Slot, shard: str) -> None:
+        replicas = [
+            r for r in self.system.catalog.replicas_of(shard)
+            if not self.network.is_down(r)
+        ]
+        if not replicas:
+            self._finish_failure(rs, slot)
+            return
+        slot.node_host = rs.route_rng.choice(replicas)
+        self.sim.spawn(self._rpc(rs, slot), name=f"ol.{slot.txn_id}")
+
+    def _rpc(self, rs: _RegionState, slot: _Slot):
+        event = self.system.submit(slot.client, slot.node_host, slot.txn,
+                                   timeout=self.request_timeout)
+        tracer = self._tracer
+        if tracer is not None and getattr(tracer, "causal", False):
+            # Anchor the causal root at the *intended* arrival: the critical
+            # path then covers the client backlog wait too (attributed as
+            # client-queue@client), matching the open-loop latency the
+            # recorder reports.
+            root = tracer.roots.get(slot.txn_id)
+            if root is not None and slot.intended < root.t0:
+                root.t0 = slot.intended
+        try:
+            result = yield event
+        except (RpcTimeout, RpcRemoteError, NetworkError):
+            self._finish_failure(rs, slot)
+            return
+        result.submit_time = slot.submit
+        result.finish_time = self.sim.now
+        self.recorder.record_result(result, slot.intended, rs.region)
+        rs.inflight -= 1
+        slot.txn = None
+        self._free_slots.append(slot)
+        self._drain(rs)
+
+    # -- shared ----------------------------------------------------------
+    def _finish_failure(self, rs: _RegionState, slot: _Slot) -> None:
+        self.failed += 1
+        self.recorder.record_failure()
+        self.txn_pool.release(slot.txn)
+        slot.txn = None
+        rs.inflight -= 1
+        self._free_slots.append(slot)
+        self._drain(rs)

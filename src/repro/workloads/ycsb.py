@@ -44,6 +44,31 @@ def _ops_body(shard_index: int, ops, result_var: str):
     return body
 
 
+class _PooledOps:
+    """Mutable piece body for pool-recycled single-shard transactions.
+
+    Behaviourally identical to :func:`_ops_body`; the op list is swapped in
+    per acquisition instead of being captured by a fresh closure.
+    """
+
+    __slots__ = ("shard_index", "result_var", "ops")
+
+    def __init__(self, shard_index: int, result_var: str):
+        self.shard_index = shard_index
+        self.result_var = result_var
+        self.ops: List = []
+
+    def __call__(self, ctx):
+        shard_index = self.shard_index
+        reads = {}
+        for kind, key, value in self.ops:
+            if kind == "read":
+                reads[key] = ctx.store.get("usertable", (shard_index, key))["value"]
+            else:
+                ctx.store.update("usertable", (shard_index, key), {"value": value})
+        ctx.put(self.result_var, reads)
+
+
 class YcsbWorkload(Workload):
     """Fixed-size read/update transactions over a zipf-skewed key space."""
 
@@ -64,6 +89,8 @@ class YcsbWorkload(Workload):
         self.ops_per_txn = ops_per_txn
         self.crt_ratio = crt_ratio
         self._zipfs: Dict[int, ZipfGenerator] = {}
+        self._samplers: Dict[int, object] = {}
+        self._pool_keys: Dict[int, tuple] = {}
 
     # -- schema & data ---------------------------------------------------
     def schemas(self) -> List[TableSchema]:
@@ -74,46 +101,117 @@ class YcsbWorkload(Workload):
             shard.insert("usertable", {"shard": shard_index, "key": key, "value": 0})
 
     # -- generation --------------------------------------------------------
-    def _pick_key(self, shard_index: int) -> int:
-        zipf = self._zipfs.get(shard_index)
-        if zipf is None:
+    def _sampler(self, shard_index: int):
+        """The shard's bound zipf sampler (created with its generator)."""
+        sampler = self._samplers.get(shard_index)
+        if sampler is None:
             zipf = ZipfGenerator(RECORDS_PER_SHARD, self.theta,
                                  random.Random(self.seed * 31337 + shard_index))
             self._zipfs[shard_index] = zipf
-        return zipf.sample()
+            sampler = self._samplers[shard_index] = zipf.sampler()
+        return sampler
+
+    def _pick_key(self, shard_index: int) -> int:
+        self._sampler(shard_index)
+        return self._zipfs[shard_index].sample()
+
+    def _gen_ops(self, binding: ClientBinding, rng: random.Random):
+        """Draw one transaction's op list; the rng draw order here is the
+        single source of randomness, so the pooled and fresh build paths
+        below produce byte-identical transaction streams."""
+        home = binding.home_shard_index
+        ops_home: List = []
+        per_shard: Dict[int, List] = {home: ops_home}
+        random_ = rng.random
+        remote = None
+        if random_() < self.crt_ratio:
+            remote = self.remote_shard_index(binding, rng)
+        read_ratio = self.read_ratio
+        sample_home = self._sampler(home)
+        last = self.ops_per_txn - 1
+        for i in range(self.ops_per_txn):
+            if remote is None or i != last:
+                target = home
+                key = sample_home()
+            else:
+                target = remote
+                key = self._sampler(remote)()
+            if random_() < read_ratio:
+                op = ("read", key, None)
+            else:
+                # Uniform update value drawn from the generation stream (a
+                # plain random() scaled — randint's rejection sampling costs
+                # ~3x as much per draw on this hot path).
+                op = ("update", key, 1 + int(random_() * 1_000_000))
+            if target == home:
+                ops_home.append(op)
+            else:
+                per_shard.setdefault(target, []).append(op)
+        return per_shard, remote
+
+    def _writes(self, shard_index: int, ops) -> tuple:
+        return tuple(
+            ("usertable", shard_index, key)
+            for kind, key, _v in ops if kind == "update"
+        )
+
+    def _fresh_single(self, shard_index: int) -> Transaction:
+        """A pool-template single-shard transaction (mutable body, empty ops)."""
+        return Transaction("ycsb", [Piece(
+            0,
+            self.topology.shard_name(shard_index),
+            _PooledOps(shard_index, f"reads_{shard_index}"),
+            produces=(f"reads_{shard_index}",),
+            name=f"ycsb_s{shard_index}",
+        )])
 
     def next_transaction(self, binding: ClientBinding, rng: random.Random) -> Transaction:
-        home = binding.home_shard_index
-        per_shard: Dict[int, List] = {home: []}
-        remote = None
-        if rng.random() < self.crt_ratio:
-            remote = self.remote_shard_index(binding, rng)
-        for i in range(self.ops_per_txn):
-            target = home
-            if remote is not None and i == self.ops_per_txn - 1:
-                target = remote
-            key = self._pick_key(target)
-            if rng.random() < self.read_ratio:
-                per_shard.setdefault(target, []).append(("read", key, None))
-            else:
-                per_shard.setdefault(target, []).append(
-                    ("update", key, rng.randint(1, 1_000_000))
-                )
+        per_shard, remote = self._gen_ops(binding, rng)
         pieces = []
         for index, (shard_index, ops) in enumerate(sorted(per_shard.items())):
             if not ops:
                 continue
-            writes = tuple(
-                ("usertable", shard_index, key)
-                for kind, key, _v in ops if kind == "update"
-            )
             pieces.append(Piece(
                 index,
                 self.topology.shard_name(shard_index),
                 _ops_body(shard_index, list(ops), f"reads_{shard_index}"),
                 produces=(f"reads_{shard_index}",),
-                lock_keys=writes,
+                lock_keys=self._writes(shard_index, ops),
                 name=f"ycsb_s{shard_index}",
             ))
         txn_type = "ycsb_crt" if (remote is not None and len(pieces) > 1) else "ycsb"
         return Transaction(txn_type, pieces)
+
+    def next_transaction_pooled(self, binding: ClientBinding, rng: random.Random,
+                                pool) -> Transaction:
+        """Like :meth:`next_transaction` but recycling single-shard
+        transactions through ``pool`` (a :class:`repro.txn.pool.
+        TransactionPool`).  Multi-shard (CRT) draws fall back to fresh
+        objects — their records outlive the reply, so they cannot be safely
+        recycled."""
+        per_shard, remote = self._gen_ops(binding, rng)
+        if remote is None:
+            home = binding.home_shard_index
+            ops = per_shard[home]
+            template = self._pool_keys.get(home)
+            if template is None:
+                template = self._pool_keys[home] = (
+                    ("ycsb", home), lambda home=home: self._fresh_single(home))
+            txn = pool.acquire(template[0], template[1])
+            piece = txn.pieces[0]
+            piece.body.ops = ops
+            piece.lock_keys = self._writes(home, ops)
+            return txn
+        pieces = []
+        for index, (shard_index, ops) in enumerate(sorted(per_shard.items())):
+            if not ops:
+                continue
+            pieces.append(Piece(
+                index,
+                self.topology.shard_name(shard_index),
+                _ops_body(shard_index, list(ops), f"reads_{shard_index}"),
+                produces=(f"reads_{shard_index}",),
+                lock_keys=self._writes(shard_index, ops),
+                name=f"ycsb_s{shard_index}",
+            ))
+        return Transaction("ycsb_crt" if len(pieces) > 1 else "ycsb", pieces)

@@ -49,6 +49,15 @@ class ZipfGenerator:
             return self._rng.randrange(self.n)
         return bisect.bisect_left(self._cdf, self._rng.random())
 
+    def sampler(self):
+        """A bound fast-path sampler: a zero-argument callable drawing the
+        exact same sequence as :meth:`sample`, with the attribute chases
+        pre-bound for hot loops (one C-level call per draw)."""
+        if self._cdf is None:
+            return lambda n=self.n, randrange=self._rng.randrange: randrange(n)
+        bl = bisect.bisect_left
+        return lambda cdf=self._cdf, random=self._rng.random: bl(cdf, random())
+
     def probability(self, k: int) -> float:
         """Exact P(sample == k); handy for tests."""
         if not 0 <= k < self.n:

@@ -188,3 +188,64 @@ class TestPartialSpans:
         tracer.emit(3.0, "c", "reply", txn="t1", ok=True, crt=False)
         (span,) = assemble_spans(tracer, include_partial=True)
         assert not span.partial
+
+
+class TestArrivalAnchoredSpans:
+    """Open-loop spans: an ``arrival`` event anchors the span at the
+    *intended* arrival instant and prepends a client-side ``queue`` phase."""
+
+    def test_queue_phase_covers_intended_to_first_submit(self):
+        tracer = Tracer()
+        tracer.emit(5.0, "c", "arrival", txn="t1", intended=2.0, region="r0")
+        tracer.emit(5.0, "c", "submit", txn="t1")
+        tracer.emit(7.0, "n", "irt_ts", txn="t1")
+        tracer.emit(9.0, "n", "execute", txn="t1")
+        tracer.emit(11.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer)
+        assert not span.partial
+        assert span.start == 2.0  # intended, not submit
+        assert list(span.phases)[0] == "queue"
+        assert span.phases["queue"] == pytest.approx(3.0)
+        assert span.total == pytest.approx(9.0)
+        assert sum(span.phases.values()) == pytest.approx(span.total)
+
+    def test_immediate_launch_has_zero_width_queue(self):
+        tracer = Tracer()
+        tracer.emit(4.0, "c", "arrival", txn="t1", intended=4.0, region="r0")
+        tracer.emit(4.0, "c", "submit", txn="t1")
+        tracer.emit(9.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer)
+        assert span.start == 4.0
+        assert span.phases["queue"] == pytest.approx(0.0)
+        assert span.total == pytest.approx(5.0)
+
+    def test_truncated_submit_with_arrival_is_still_complete(self):
+        """The partial-counting fix: an arrival event is a valid start
+        anchor, so losing the submit at tracer capacity no longer drops
+        the span from the breakdown."""
+        tracer = Tracer()
+        tracer.emit(3.0, "c", "arrival", txn="t1", intended=1.0, region="r0")
+        tracer.emit(6.0, "n", "execute", txn="t1")
+        tracer.emit(8.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer)
+        assert not span.partial
+        assert span.start == 1.0
+        assert "queue" not in span.phases  # no submit to bound it
+        assert sum(span.phases.values()) == pytest.approx(span.total)
+
+    def test_arrival_only_txn_is_partial_anchored_at_intended(self):
+        """Backlogged at trial end: launched but nothing more survived."""
+        tracer = Tracer()
+        tracer.emit(9.0, "c", "arrival", txn="t1", intended=2.0, region="r0")
+        assert assemble_spans(tracer) == []
+        (span,) = assemble_spans(tracer, include_partial=True)
+        assert span.partial
+        assert span.start == 2.0 and span.end == 9.0
+
+    def test_closed_loop_spans_never_gain_a_queue_phase(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "c", "submit", txn="t1")
+        tracer.emit(6.0, "c", "reply", txn="t1", ok=True, crt=False)
+        (span,) = assemble_spans(tracer)
+        assert "queue" not in span.phases
+        assert span.start == 0.0

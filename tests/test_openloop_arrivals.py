@@ -1,0 +1,155 @@
+"""Statistical + replay tests for the open-loop arrival generators.
+
+Distributional checks run against *seeded* generators, so they either pass
+forever or fail forever — the significance level only calibrates how sharp
+a distributional bug must be to trip them.  The KS acceptance uses the
+asymptotic critical value ``D < c(alpha) / sqrt(n)`` with ``c(0.01) =
+1.63``.
+"""
+
+import json
+import math
+import random
+import subprocess
+import sys
+
+from repro.workloads.arrivals import ArrivalStream
+from repro.workloads.zipf import ZipfGenerator
+
+
+def _arrivals(stream: ArrivalStream, n: int):
+    t, out = 0.0, []
+    for _ in range(n):
+        t = stream.next_after(t)
+        out.append(t)
+    return out
+
+
+def _ks_vs_exponential(gaps, rate: float) -> float:
+    """Two-sided KS statistic of ``gaps`` against Exponential(rate)."""
+    xs = sorted(gaps)
+    n = len(xs)
+    d = 0.0
+    for i, x in enumerate(xs):
+        f = 1.0 - math.exp(-rate * x)
+        d = max(d, f - i / n, (i + 1) / n - f)
+    return d
+
+
+def _slope(xs, ys) -> float:
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den
+
+
+class TestPoissonArrivals:
+    def test_interarrivals_pass_ks_against_exponential(self):
+        rate = 2.0
+        stream = ArrivalStream(rate, random.Random(42))
+        times = _arrivals(stream, 4000)
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        d = _ks_vs_exponential(gaps, rate)
+        assert d < 1.63 / math.sqrt(len(gaps)), d
+
+    def test_seeded_stream_replays_exactly(self):
+        a = _arrivals(ArrivalStream(1.5, random.Random(7), model="mmpp"), 500)
+        b = _arrivals(ArrivalStream(1.5, random.Random(7), model="mmpp"), 500)
+        assert a == b
+
+    def test_strictly_increasing_under_all_modulations(self):
+        stream = ArrivalStream(
+            1.0, random.Random(3), model="mmpp", burst_mult=6.0,
+            diurnal_period_ms=300.0, flash_at_ms=200.0,
+            flash_duration_ms=100.0, flash_mult=4.0)
+        times = _arrivals(stream, 2000)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestModulatedArrivals:
+    def test_mmpp_long_run_rate_is_normalized(self):
+        """burst_mult changes burstiness, not the mean rate (state factors
+        are normalized), so offered load stays comparable across models."""
+        rate = 2.0
+        stream = ArrivalStream(rate, random.Random(11), model="mmpp",
+                               burst_mult=8.0)
+        times = _arrivals(stream, 20000)
+        measured = len(times) / times[-1]
+        assert abs(measured - rate) / rate < 0.10, measured
+
+    def test_flash_window_concentrates_arrivals(self):
+        stream = ArrivalStream(1.0, random.Random(5), flash_at_ms=500.0,
+                               flash_duration_ms=200.0, flash_mult=5.0)
+        times = _arrivals(stream, 4000)
+        inside = sum(1 for t in times if 500.0 <= t < 700.0)
+        before = sum(1 for t in times if 300.0 <= t < 500.0)
+        # 5x the rate over an equal-length window; 3x is far outside noise.
+        assert inside > 3 * before, (inside, before)
+
+    def test_diurnal_trough_thins_the_trough_phase(self):
+        period = 400.0
+        stream = ArrivalStream(2.0, random.Random(9), diurnal_period_ms=period,
+                               diurnal_trough=0.2)
+        times = _arrivals(stream, 8000)
+        # Phase 0 is the trough, phase 0.5 the peak (raised cosine).
+        trough = peak = 0
+        for t in times:
+            phase = (t % period) / period
+            if phase < 0.25 or phase >= 0.75:
+                trough += 1
+            else:
+                peak += 1
+        assert peak > 1.5 * trough, (peak, trough)
+
+
+class TestZipfPopularity:
+    def test_frequency_rank_slope_matches_theta(self):
+        """log(freq) vs log(rank) of the sampled user ids is a line of
+        slope ~ -theta (the zipf exponent) over the popular head."""
+        theta = 0.9
+        gen = ZipfGenerator(2000, theta, random.Random(5))
+        sample = gen.sampler()
+        counts = {}
+        for _ in range(150_000):
+            uid = sample()
+            counts[uid] = counts.get(uid, 0) + 1
+        head = sorted(counts.values(), reverse=True)[:40]
+        xs = [math.log(rank + 1) for rank in range(len(head))]
+        ys = [math.log(freq) for freq in head]
+        slope = _slope(xs, ys)
+        assert abs(slope + theta) < 0.15, slope
+
+
+_REPLAY_SCRIPT = """
+from repro.bench.harness import run_trial
+from repro.fleet.spec import TrialSpec, canonical_json
+
+spec = TrialSpec(
+    system="dast", workload="ycsb",
+    workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                     "read_ratio": 0.95, "ops_per_txn": 2},
+    replication=1, clients_per_region=4,
+    duration_ms=500.0, warmup_ms=50.0, cooldown_ms=50.0, seed=1,
+    open_loop={"users_per_region": 1500, "txn_per_user_s": 4.0},
+)
+res = run_trial(spec.to_trial())
+print(canonical_json({"row": res.summary.as_row(),
+                      "committed": res.summary.committed}))
+"""
+
+
+class TestCrossProcessReplay:
+    def test_two_processes_produce_byte_identical_output(self):
+        """The whole open-loop pipeline (arrivals, zipf users, pooled txn
+        generation, express execution, recorder) replays exactly across
+        process boundaries."""
+        outs = []
+        for _ in range(2):
+            proc = subprocess.run([sys.executable, "-c", _REPLAY_SCRIPT],
+                                  capture_output=True, text=True, check=True)
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        payload = json.loads(outs[0])
+        assert payload["committed"] > 500, payload
+        assert payload["row"]["open_loop"] is True

@@ -1,0 +1,119 @@
+"""Pool correctness: recycled objects must carry zero state between uses.
+
+The load-bearing property (the module docstring's contract): a trial run
+with pools enabled is canonically identical to the same trial with pools
+disabled — same id stream, same RNG draws, same latencies, same traffic.
+"""
+
+import pytest
+
+from repro.bench.harness import run_trial
+from repro.fleet.spec import TrialSpec, canonical_json
+from repro.txn.model import Piece, Transaction
+from repro.txn.pool import ResultPool, TransactionPool
+
+
+def _spec(pool: bool) -> TrialSpec:
+    return TrialSpec(
+        system="dast", workload="ycsb",
+        workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                         "read_ratio": 0.95, "ops_per_txn": 2},
+        replication=1, clients_per_region=4,
+        duration_ms=500.0, warmup_ms=50.0, cooldown_ms=50.0, seed=1,
+        open_loop={"users_per_region": 1200, "txn_per_user_s": 4.0,
+                   "pool": pool},
+    )
+
+
+def _canonical(res) -> str:
+    return canonical_json({"row": res.summary.as_row(),
+                           "committed": res.summary.committed})
+
+
+def _mini_txn() -> Transaction:
+    return Transaction("mini", [Piece(0, "s0", lambda ctx: None,
+                                      lock_keys=(("kv", "k1"),))])
+
+
+class TestPooledTrialEquivalence:
+    def test_pooled_and_fresh_trials_are_canonically_identical(self):
+        pooled = run_trial(_spec(True).to_trial())
+        fresh = run_trial(_spec(False).to_trial())
+        assert pooled.summary.committed > 500
+        assert _canonical(pooled) == _canonical(fresh)
+
+    def test_pool_actually_recycles(self):
+        res = run_trial(_spec(True).to_trial())
+        engine = res.clients[0]
+        assert engine.pool_enabled
+        # Steady state: far more reuses than allocations (the free list
+        # tracks the in-flight high-water mark, not the arrival count).
+        assert engine.txn_pool.reused > engine.txn_pool.created
+        assert engine.txn_pool.created < res.summary.committed / 10
+
+
+class TestTransactionPool:
+    def test_recycled_txn_resets_per_instance_fields(self):
+        pool = TransactionPool()
+        t1 = pool.acquire(("mini", "s0"), _mini_txn)
+        size_fresh = t1.wire_size()  # populate the cache pre-release
+        old_id = t1.txn_id
+        t1.params["junk"] = 1
+        t1.home_region = "r0"
+        t1.participating_regions = ("r0", "r1")
+        pool.release(t1)
+        t2 = pool.acquire(("mini", "s0"), _mini_txn)
+        assert t2 is t1  # recycled, not rebuilt
+        assert t2.txn_id != old_id
+        assert not t2.params
+        assert t2.home_region is None
+        assert t2.participating_regions == ()
+        assert size_fresh > 0
+
+    def test_recycled_wire_size_matches_recomputation(self):
+        pool = TransactionPool()
+        t1 = pool.acquire(("mini", "s0"), _mini_txn)
+        t1.wire_size()
+        pool.release(t1)
+        t2 = pool.acquire(("mini", "s0"), _mini_txn)
+        patched = t2.__dict__.get("_wire_size")
+        assert patched is not None
+        del t2.__dict__["_wire_size"]
+        assert t2.wire_size() == patched
+
+    def test_id_stream_is_shared_with_fresh_construction(self):
+        """Pooled acquire draws from Transaction._ids exactly like a fresh
+        construction, so pooled and fresh runs see identical id streams."""
+        pool = TransactionPool()
+        t1 = pool.acquire(("mini", "s0"), _mini_txn)
+        pool.release(t1)
+        recycled = pool.acquire(("mini", "s0"), _mini_txn)
+        fresh = _mini_txn()
+        assert int(recycled.txn_id[1:]) + 1 == int(fresh.txn_id[1:])
+
+    def test_unpooled_release_is_a_noop(self):
+        pool = TransactionPool()
+        txn = _mini_txn()  # never acquired: no _pool_signature
+        pool.release(txn)
+        assert pool.acquire(("mini", "s0"), _mini_txn) is not txn
+
+
+class TestResultPool:
+    def test_recycled_result_resets_every_field(self):
+        pool = ResultPool()
+        r1 = pool.acquire("t1", "ycsb", True, False)
+        r1.phases["p"] = 1.0
+        r1.retries = 3
+        r1.submit_time = 10.0
+        r1.finish_time = 20.0
+        r1.outputs["x"] = 1
+        pool.release(r1)
+        r2 = pool.acquire("t2", "ycsb", False, True, abort_reason="conflict")
+        assert r2 is r1
+        assert r2.txn_id == "t2"
+        assert r2.committed is False and r2.is_crt is True
+        assert r2.abort_reason == "conflict"
+        assert r2.phases == {} and r2.outputs == {}
+        assert r2.retries == 0
+        assert r2.submit_time == 0.0 and r2.finish_time == 0.0
+        assert pool.reused == 1 and pool.created == 1
