@@ -51,10 +51,12 @@ class Trial:
         obs_interval: float = 50.0,
         obs_capacity: int = 500_000,
         obs_causal: bool = False,
+        obs_wire: bool = False,
         fault_plan=None,
         request_timeout: float = 10000.0,
         batch_window: float = 0.0,
         open_loop: Optional[dict] = None,
+        parallel_regions: int = 0,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -80,6 +82,11 @@ class Trial:
         # trace context rides the RPC envelopes in a separate byte lane, so
         # latency/byte results are identical with this on or off.
         self.obs_causal = obs_causal
+        # Wire-stream capture: record every delivered frame as a
+        # (time, src, dst, type, size) tuple on network.wire_log.  The
+        # golden canary digests this stream, so protocol changes that
+        # happen not to move any span tree still trip the gate.
+        self.obs_wire = obs_wire
         # A repro.chaos.FaultPlan compiled onto the system after start; with
         # lossy plans a short request timeout keeps closed-loop clients live.
         self.fault_plan = fault_plan
@@ -94,19 +101,29 @@ class Trial:
         # recorder.  None (the default) leaves every existing trial —
         # including all pinned golden digests — byte-identical.
         self.open_loop = open_loop
+        # Region-partitioned execution (--parallel-regions/-j): >= 2
+        # requests the repro.sim.par kernel; repro.sim.par.resolve_mode
+        # decides the backend (or declines with a named reason).  Virtual
+        # -time outputs are identical either way; only wall-clock changes.
+        self.parallel_regions = parallel_regions
 
 
 class TrialResult:
     """What a trial produces: the recorder, the system, and the summary."""
 
     def __init__(self, trial: Trial, system, recorder: LatencyRecorder,
-                 clients: List[ClosedLoopClient], obs=None, chaos=None):
+                 clients: List[ClosedLoopClient], obs=None, chaos=None,
+                 parallel_mode: str = "serial", serial_reason=None):
         self.trial = trial
         self.system = system
         self.recorder = recorder
         self.clients = clients
         self.obs = obs  # ObsBundle when the trial ran with obs=True
         self.chaos = chaos  # ChaosRunner when the trial ran a fault plan
+        # How the kernel actually executed ("serial"/"lockstep"/"threads")
+        # and, when parallelism was requested but declined, why.
+        self.parallel_mode = parallel_mode
+        self.serial_reason = serial_reason
         self.summary: Summary = recorder.summarize(trial.system)
         self.summary.attach_network(getattr(system.network, "stats", None))
 
@@ -171,6 +188,12 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
     kwargs = {}
     if trial.system == "dast" and trial.variant:
         kwargs["variant"] = trial.variant
+    from repro.sim.par import MODE_SERIAL, resolve_mode
+
+    mode, serial_reason = resolve_mode(
+        trial, getattr(trial, "parallel_regions", 0), hooks=hooks is not None)
+    if mode != MODE_SERIAL:
+        kwargs["parallel"] = mode
     system = system_cls(
         topology, workload.schemas(), workload.load,
         seed=trial.seed, clock_skew=trial.clock_skew, **kwargs,
@@ -197,6 +220,8 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         bundle = attach_obs(system, capacity=trial.obs_capacity,
                             probe_interval=trial.obs_interval,
                             causal=trial.obs_causal)
+    if getattr(trial, "obs_wire", False):
+        system.network.wire_log = []
     system.start()
     if open_cfg is not None:
         from repro.workloads.openloop import OpenLoopEngine
@@ -233,4 +258,5 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         engine.flush_stats()
     else:
         system.run(until=trial.duration_ms)
-    return TrialResult(trial, system, recorder, clients, obs=bundle, chaos=chaos)
+    return TrialResult(trial, system, recorder, clients, obs=bundle, chaos=chaos,
+                       parallel_mode=mode, serial_reason=serial_reason)

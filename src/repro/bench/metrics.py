@@ -99,12 +99,20 @@ class LatencyRecorder:
         self.warm_start = warm_start
         self.warm_end = warm_end
         self.results: List[TxnResult] = []
-        self.all_count = 0
+        # Out-of-window results are only *counted*; kept as list appends
+        # (not a scalar +=) so concurrent region partitions (repro.sim.par
+        # threaded backend) can record without a read-modify-write race.
+        self._out_of_window: List[None] = []
+
+    @property
+    def all_count(self) -> int:
+        return len(self.results) + len(self._out_of_window)
 
     def record(self, result: TxnResult) -> None:
-        self.all_count += 1
         if self.warm_start <= result.finish_time <= self.warm_end:
             self.results.append(result)
+        else:
+            self._out_of_window.append(None)
 
     # ------------------------------------------------------------------
     def _committed(self, crt: Optional[bool] = None) -> List[TxnResult]:
@@ -231,7 +239,7 @@ class _RegionSeries:
 
     __slots__ = ("irt_open", "irt_svc", "irt_finish",
                  "crt_open", "crt_svc", "crt_finish",
-                 "committed", "aborted")
+                 "committed", "aborted", "arrivals", "failures")
 
     def __init__(self) -> None:
         self.irt_open = array("d")
@@ -242,6 +250,8 @@ class _RegionSeries:
         self.crt_finish = array("d")
         self.committed = 0
         self.aborted = 0
+        self.arrivals = 0
+        self.failures = 0
 
 
 class OpenLoopRecorder:
@@ -257,21 +267,34 @@ class OpenLoopRecorder:
     def __init__(self, warm_start: float = 0.0, warm_end: float = float("inf")):
         self.warm_start = warm_start
         self.warm_end = warm_end
-        self.all_count = 0
-        self.failed = 0
         self._regions: Dict[str, _RegionSeries] = {}
+
+    # All-arrival and failure totals live in the per-region series (one
+    # writer per region under the partitioned kernel's threaded backend);
+    # the process-wide view is a sum, never a racy shared scalar.
+    @property
+    def all_count(self) -> int:
+        return sum(s.arrivals for s in self._regions.values())
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failures for s in self._regions.values())
+
+    def _series(self, region: str) -> _RegionSeries:
+        series = self._regions.get(region)
+        if series is None:
+            series = self._regions[region] = _RegionSeries()
+        return series
 
     # ------------------------------------------------------------------
     def record_result(self, result: TxnResult, intended: float, region: str) -> None:
         """Fold one completed transaction in; ``result`` may be recycled by
         the caller immediately after this returns."""
-        self.all_count += 1
+        series = self._series(region)
+        series.arrivals += 1
         finish = result.finish_time
         if not (self.warm_start <= finish <= self.warm_end):
             return
-        series = self._regions.get(region)
-        if series is None:
-            series = self._regions[region] = _RegionSeries()
         if result.committed:
             series.committed += 1
         else:
@@ -289,12 +312,10 @@ class OpenLoopRecorder:
                    finish: float, region: str) -> None:
         """Express fast path: fold one non-CRT completion from scalars,
         without materialising (or recycling) a TxnResult at all."""
-        self.all_count += 1
+        series = self._series(region)
+        series.arrivals += 1
         if finish < self.warm_start or finish > self.warm_end:
             return
-        series = self._regions.get(region)
-        if series is None:
-            series = self._regions[region] = _RegionSeries()
         if committed:
             series.committed += 1
         else:
@@ -303,9 +324,10 @@ class OpenLoopRecorder:
         series.irt_svc.append(finish - submit)
         series.irt_finish.append(finish)
 
-    def record_failure(self) -> None:
-        self.all_count += 1
-        self.failed += 1
+    def record_failure(self, region: str = "") -> None:
+        series = self._series(region)
+        series.arrivals += 1
+        series.failures += 1
 
     # ------------------------------------------------------------------
     def _merged(self, field: str, region: Optional[str] = None) -> List[float]:

@@ -115,6 +115,7 @@ def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
         obs_causal=causal,
         batch_window=_batch_window(args),
         open_loop=_open_loop_dict(args),
+        parallel_regions=getattr(args, "parallel_regions", 0),
     )
 
 
@@ -148,6 +149,12 @@ def cmd_run(args) -> int:
         print(f"bad trial configuration: {exc}", file=sys.stderr)
         return 2
     print(format_table([result.summary.as_row()]))
+    if getattr(args, "parallel_regions", 0):
+        if result.serial_reason:
+            print(f"kernel: serial ({result.serial_reason})")
+        else:
+            print(f"kernel: {result.parallel_mode} "
+                  f"({args.parallel_regions} partitions requested)")
     if args.breakdown and args.system == "dast":
         for label, dep in (("without value deps", False), ("with value deps", True)):
             breakdown = result.recorder.phase_breakdown(with_dependency=dep)
@@ -367,13 +374,19 @@ def cmd_bench(args) -> int:
     fleet, cache = _build_fleet(args)
     payload = run_bench(jobs=args.jobs, quick=args.quick, cache=cache,
                         refresh=args.refresh, progress=_progress,
-                        timeout_s=args.timeout_s)
+                        timeout_s=args.timeout_s,
+                        parallel_regions=getattr(args, "parallel_regions", 0))
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
+    # Parallel-kernel rows get two extra Summary columns; all-serial
+    # payloads keep the historical six-column table.
+    columns = ["label", "cached", "wall_clock_s",
+               "throughput_tps", "irt_p99_ms", "crt_p99_ms"]
+    if any("parallel_mode" in row for row in payload["rows"]):
+        columns += ["parallel_mode", "speedup_vs_serial"]
     print(format_table([
-        {k: row.get(k, "") for k in ("label", "cached", "wall_clock_s",
-                                     "throughput_tps", "irt_p99_ms", "crt_p99_ms")}
+        {k: ("" if row.get(k, "") is None else row.get(k, "")) for k in columns}
         for row in payload["rows"]
     ]))
     print(f"trials={payload['trials']} executed={payload['executed']} "
@@ -611,6 +624,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batching", choices=["off", "on"], default="off",
                        help="coalesce batchable small messages per destination "
                             f"within a {BATCH_WINDOW_MS} ms flush window")
+        p.add_argument("-j", "--parallel-regions", type=int, default=0,
+                       metavar="N",
+                       help="run the kernel region-partitioned across N "
+                            "partitions (docs/PARALLEL.md); virtual-time "
+                            "results are identical to the serial kernel")
 
     run_p = sub.add_parser("run", help="run one trial and print its summary")
     run_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
@@ -693,6 +711,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where to write the benchmark payload JSON")
     bench_p.add_argument("--timeout-s", type=float, default=None,
                          help="per-trial wall-clock timeout in seconds")
+    bench_p.add_argument("-j", "--parallel-regions", type=int, default=0,
+                         metavar="N",
+                         help="rerun every serial multi-region spec with the "
+                              "region-partitioned kernel across N partitions "
+                              "(exploration knob; the pinned matrix carries "
+                              "its own -j3 twins)")
     add_fleet_args(bench_p)
     bench_p.set_defaults(fn=cmd_bench)
 

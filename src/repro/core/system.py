@@ -48,6 +48,7 @@ class DastSystem:
         with_smr: bool = False,
         with_failure_detector: bool = False,
         variant: Optional[Dict[str, bool]] = None,
+        parallel: str = "",
     ):
         # Ablation variant flags: {"stretch": bool, "calibration": bool,
         # "anticipation": bool}; all default True (full DAST).
@@ -58,6 +59,15 @@ class DastSystem:
         self.topology = topology
         self.timing = topology.config.timing
         self.sim = Simulator()
+        # Region-partitioned execution (repro.sim.par): "" = plain serial
+        # (everything on self.sim), else "lockstep"/"threads" — one kernel
+        # per region, with self.sim demoted to the *control kernel* (chaos
+        # plans, probe timers, harness bookkeeping).
+        self.parallel_mode = parallel
+        self.region_sims: Dict[str, Simulator] = {}
+        if parallel:
+            self.region_sims = {region: Simulator() for region in topology.regions}
+        self.par_group = None
         self.rng = RngRegistry(seed)
         self.network = Network(
             self.sim,
@@ -97,15 +107,16 @@ class DastSystem:
             for shard_id in topology.shards_in_region(region):
                 self.catalog.add_shard(shard_id, region, topology.replicas_of(shard_id))
         for region in topology.regions:
+            rsim = self.sim_for(region)
             if with_smr:
-                self.smr_clusters[region] = SmrCluster(self.sim, self.network, region)
+                self.smr_clusters[region] = SmrCluster(rsim, self.network, region)
             for node_host in topology.nodes_in_region(region):
                 shard_id = topology.shard_of_node(node_host)
                 shard = Shard(shard_id, self.schemas)
                 self.loader(shard, topology.shard_index(shard_id))
-                source = self._clock_source(node_host, clock_skew, skew_rng)
+                source = self._clock_source(node_host, clock_skew, skew_rng, rsim)
                 node = DastNode(
-                    self.sim, self.network, topology, self.catalog, self.timing,
+                    rsim, self.network, topology, self.catalog, self.timing,
                     node_host, shard, source, nid, self.manager_directory,
                 )
                 node.dclock.stretch_enabled = self.variant["stretch"]
@@ -116,9 +127,9 @@ class DastSystem:
                 (topology.manager_of(region), True),
                 (topology.manager_backup_of(region), False),
             ):
-                source = self._clock_source(mgr_host, clock_skew, skew_rng)
+                source = self._clock_source(mgr_host, clock_skew, skew_rng, rsim)
                 manager = DastManager(
-                    self.sim, self.network, topology, self.catalog, self.timing,
+                    rsim, self.network, topology, self.catalog, self.timing,
                     mgr_host, region, source, nid,
                     smr=self.smr_clusters.get(region), active=active,
                 )
@@ -133,11 +144,25 @@ class DastSystem:
         self.client_endpoints: Dict[str, Endpoint] = {}
         for client in topology.all_clients():
             region = client.split(".", 1)[0]
-            self.client_endpoints[client] = Endpoint(self.sim, self.network, client, region)
+            self.client_endpoints[client] = Endpoint(
+                self.sim_for(region), self.network, client, region)
+        if parallel:
+            from repro.sim.par import PartitionGroup
 
-    def _clock_source(self, host: str, skew: float, rng) -> ClockSource:
+            self.par_group = PartitionGroup(
+                self.sim, self.region_sims, self.network, mode=parallel)
+            self.network.attach_partitions(self.par_group)
+
+    def sim_for(self, region: str) -> Simulator:
+        """The kernel owning ``region`` (the shared kernel when serial)."""
+        if not self.region_sims:
+            return self.sim
+        return self.region_sims.get(region, self.sim)
+
+    def _clock_source(self, host: str, skew: float, rng,
+                      sim: Optional[Simulator] = None) -> ClockSource:
         offset = rng.uniform(-skew, skew) if skew else 0.0
-        source = ClockSource(self.sim, offset=offset)
+        source = ClockSource(sim if sim is not None else self.sim, offset=offset)
         self.clock_sources[host] = source
         return source
 
@@ -161,6 +186,8 @@ class DastSystem:
                 self.failure_detectors[manager.region] = detector
 
     def run(self, until: Optional[float] = None) -> float:
+        if self.par_group is not None:
+            return self.par_group.run(until=until)
         return self.sim.run(until=until)
 
     # ------------------------------------------------------------------
@@ -176,7 +203,7 @@ class DastSystem:
         endpoint = self.client_endpoints.get(client)
         if endpoint is None:
             region = client.split(".", 1)[0]
-            endpoint = Endpoint(self.sim, self.network, client, region)
+            endpoint = Endpoint(self.sim_for(region), self.network, client, region)
             self.client_endpoints[client] = endpoint
         if self.track_submitted:
             self.submitted[txn.txn_id] = txn
@@ -189,7 +216,10 @@ class DastSystem:
         else:
             event = endpoint.call(node_host, Submit(txn=txn), timeout=timeout)
         if tracer is not None:
-            trace_client_rpc(self.sim, tracer, client, txn.txn_id, event)
+            # The endpoint's kernel, not self.sim: under partitioned
+            # execution the control kernel's clock lags the region kernels
+            # inside a window, and these emits carry timestamps.
+            trace_client_rpc(endpoint.sim, tracer, client, txn.txn_id, event)
         return event
 
     def home_nodes(self, region: str) -> List[str]:
@@ -238,7 +268,8 @@ class DastSystem:
         if report:
             region = self.topology.region_of_node(node_host)
             manager = self.managers[region]
-            self.sim.spawn(manager.remove_nodes([node_host]), name=f"remove.{node_host}")
+            self.sim_for(region).spawn(
+                manager.remove_nodes([node_host]), name=f"remove.{node_host}")
 
     def fail_manager(self, region: str) -> DastManager:
         """Crash the active manager and promote the standby via SMR + 2PC."""
@@ -251,7 +282,7 @@ class DastSystem:
         standby = self.standby_managers[region]
         self.manager_directory[region] = standby.host
         self.managers[region] = standby
-        self.sim.spawn(standby.takeover(), name=f"takeover.{region}")
+        self.sim_for(region).spawn(standby.takeover(), name=f"takeover.{region}")
         return standby
 
     def skew_clocks(self, prefix: str, delta_ms: float) -> int:
@@ -270,10 +301,11 @@ class DastSystem:
 
     def add_replica(self, region: str, new_host: str, shard_id: str) -> Event:
         """Add ``new_host`` as a fresh replica of ``shard_id`` (Algorithm 4)."""
-        source = self._clock_source(new_host, 0.0, self.rng.stream("clock-skew"))
+        rsim = self.sim_for(region)
+        source = self._clock_source(new_host, 0.0, self.rng.stream("clock-skew"), rsim)
         shard = Shard(shard_id, self.schemas)  # empty until checkpoint install
         node = DastNode(
-            self.sim, self.network, self.topology, self.catalog, self.timing,
+            rsim, self.network, self.topology, self.catalog, self.timing,
             new_host, shard, source, nid=1000 + len(self.nodes), managers=self.manager_directory,
         )
         # A re-added host may have been crashed before: revive its address.
@@ -282,7 +314,7 @@ class DastSystem:
         self.nodes[new_host] = node
         node.start()
         manager = self.managers[region]
-        return self.sim.spawn(manager.add_replica(new_host, shard_id), name=f"add.{new_host}")
+        return rsim.spawn(manager.add_replica(new_host, shard_id), name=f"add.{new_host}")
 
     # ------------------------------------------------------------------
     # Introspection for tests and benchmarks

@@ -16,7 +16,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
-from repro.fleet.spec import TrialOutcome, TrialSpec, code_version
+from repro.fleet.spec import TrialOutcome, TrialSpec, canonical_json, code_version
 
 __all__ = ["bench_matrix", "run_bench", "BENCH_SCHEMA"]
 
@@ -24,8 +24,9 @@ BENCH_SCHEMA = "repro.fleet.bench/1"
 
 
 def bench_matrix(quick: bool = False) -> List[TrialSpec]:
-    """The pinned trial list (14 full trials plus the 7 ``quick:``-labelled
-    short ones; ``quick`` trims to just the 7 short ones)."""
+    """The pinned trial list; ``quick`` trims to just the short
+    ``quick:``-labelled subset (which also rides inside the full list so
+    committed full runs carry comparison rows for CI's quick bench)."""
     specs: List[TrialSpec] = []
     duration = 2500.0 if quick else 6000.0
     clients = 4 if quick else 8
@@ -63,6 +64,19 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
             open_loop={"users_per_region": 5000, "txn_per_user_s": 4.0},
             label="openloop-10k/dast",
         ))
+        # Appended: the region-partitioned kernel smoke pair — the same
+        # 3-region trial once serial and once under -j 3.  CI's smoke
+        # gate asserts the two rows' deterministic content is identical
+        # (docs/PARALLEL.md; .github/workflows/ci.yml).
+        par_base = TrialSpec(
+            system="dast", workload="tpcc",
+            num_regions=3, shards_per_region=1, clients_per_region=4,
+            duration_ms=1200.0, warmup_ms=200.0, cooldown_ms=100.0, seed=1,
+            label="par-smoke/dast",
+        )
+        specs.append(par_base)
+        specs.append(replace(par_base, parallel_regions=3,
+                             label="par-smoke-j3/dast"))
         return specs
     specs.append(TrialSpec(
         system="dast", workload="tpcc",
@@ -132,7 +146,62 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
                    "flash_mult": 3.0, "flash_redirect": 0.5},
         label="openloop-flash/dast",
     ))
+    # Appended: region-partitioned kernel rows (docs/PARALLEL.md) — each
+    # config once serial and once with -j 3, so one payload carries both
+    # twins and the Summary can report speedup-vs-serial.
+    tpcc3 = TrialSpec(
+        system="dast", workload="tpcc",
+        num_regions=3, shards_per_region=2, clients_per_region=6,
+        duration_ms=5000.0, warmup_ms=500.0, cooldown_ms=200.0, seed=1,
+        label="tpcc-3regions/dast",
+    )
+    specs.append(tpcc3)
+    specs.append(replace(tpcc3, parallel_regions=3,
+                         label="tpcc-3regions-j3/dast"))
+    ol3 = TrialSpec(
+        system="dast", workload="ycsb",
+        workload_params={"theta": 0.7, "crt_ratio": 0.0,
+                         "read_ratio": 0.95, "ops_per_txn": 2},
+        num_regions=3, shards_per_region=3, replication=1,
+        clients_per_region=48,
+        duration_ms=1500.0, warmup_ms=60.0, cooldown_ms=30.0, seed=1,
+        timing={"service_time": 0.01},
+        open_loop={"users_per_region": 34_000, "txn_per_user_s": 6.0},
+        label="openloop-100k3r/dast",
+    )
+    specs.append(ol3)
+    specs.append(replace(ol3, parallel_regions=3,
+                         label="openloop-100k3r-j3/dast"))
     return specs
+
+
+def _attach_speedups(specs: List[TrialSpec], rows: List[Dict]) -> None:
+    """Set ``speedup_vs_serial`` on each parallel row with a serial twin.
+
+    Twins are matched on the full spec payload minus ``parallel_regions``
+    (labels are display-only), so the pairing survives relabelling.  The
+    ratio is only meaningful when both twins actually executed in this
+    run — a cached wall clock reflects some earlier machine state — so a
+    cached twin on either side yields ``None``.
+    """
+    def twin_key(spec: TrialSpec) -> str:
+        payload = spec.payload()
+        payload.pop("parallel_regions", None)
+        return canonical_json(payload)
+
+    serial_rows: Dict[str, Dict] = {}
+    for spec, row in zip(specs, rows):
+        if not spec.parallel_regions and "failure" not in row:
+            serial_rows[twin_key(spec)] = row
+    for spec, row in zip(specs, rows):
+        if spec.parallel_regions < 2 or "failure" in row:
+            continue
+        twin = serial_rows.get(twin_key(spec))
+        speedup = None
+        if twin is not None and not row["cached"] and not twin["cached"] \
+                and row["wall_clock_s"]:
+            speedup = round(twin["wall_clock_s"] / row["wall_clock_s"], 2)
+        row["speedup_vs_serial"] = speedup
 
 
 def run_bench(
@@ -142,11 +211,25 @@ def run_bench(
     refresh: bool = False,
     progress=None,
     timeout_s: Optional[float] = None,
+    parallel_regions: int = 0,
 ) -> Dict:
-    """Run the pinned matrix and reduce it to the ``BENCH_fleet.json`` payload."""
+    """Run the pinned matrix and reduce it to the ``BENCH_fleet.json`` payload.
+
+    ``parallel_regions`` >= 2 (the CLI's ``-j``) reruns every serial
+    multi-region spec under the region-partitioned kernel.  The override
+    moves each spec's fingerprint, so it never pollutes the pinned cache
+    rows — it is an exploration knob, not part of the pinned matrix
+    (which carries its own ``-j3`` twins).
+    """
     from repro.fleet.executor import FleetExecutor
 
     specs = bench_matrix(quick=quick)
+    if parallel_regions >= 2:
+        specs = [
+            replace(s, parallel_regions=parallel_regions)
+            if s.num_regions >= 2 and not s.parallel_regions else s
+            for s in specs
+        ]
     fleet = FleetExecutor(jobs=jobs, cache=cache, refresh=refresh,
                           timeout_s=timeout_s, progress=progress)
     start = time.perf_counter()
@@ -157,7 +240,7 @@ def run_bench(
     failures = 0
     for spec, result in zip(specs, results):
         if isinstance(result, TrialOutcome):
-            rows.append({
+            row = {
                 "label": result.label,
                 "fingerprint": result.fingerprint,
                 "cached": result.cached,
@@ -167,7 +250,11 @@ def run_bench(
                 "irt_p99_ms": result.row.get("irt_p99_ms"),
                 "crt_p99_ms": result.row.get("crt_p99_ms"),
                 "msgs_total": result.row.get("msgs_total"),
-            })
+            }
+            if spec.parallel_regions:
+                row["parallel_regions"] = spec.parallel_regions
+                row["parallel_mode"] = result.parallel_mode
+            rows.append(row)
         else:
             failures += 1
             rows.append({
@@ -176,6 +263,7 @@ def run_bench(
                 "failure": result.kind,
                 "message": result.message,
             })
+    _attach_speedups(specs, rows)
 
     executed = sum(1 for r in results if isinstance(r, TrialOutcome) and not r.cached)
     cached = sum(1 for r in results if isinstance(r, TrialOutcome) and r.cached)

@@ -102,6 +102,7 @@ def run_spec(spec: TrialSpec) -> TrialOutcome:
         aborted=result.summary.aborted,
         wall_clock_s=round(time.perf_counter() - start, 3),
         peak_rss_kb=_peak_rss_kb(),
+        parallel_mode=result.parallel_mode,
     )
     # Normalise through JSON so in-process results are indistinguishable
     # from worker/cache results: tuples -> lists, int/float identity, and

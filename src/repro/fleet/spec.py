@@ -101,6 +101,12 @@ class TrialSpec:
     # keeps its exact semantics); a mapping of OpenLoopConfig knobs runs
     # the aggregate arrival engine instead (docs/WORKLOADS.md).
     open_loop: Optional[Mapping] = None
+    # Region-partitioned execution (docs/PARALLEL.md): >= 2 requests the
+    # repro.sim.par kernel.  Virtual-time results are identical either
+    # way, but the knob stays in the fingerprint so a serial row and its
+    # parallel twin are cached separately — their wall-clock provenance
+    # is the whole point of running both.
+    parallel_regions: int = 0
     label: str = ""
 
     # ------------------------------------------------------------------
@@ -190,6 +196,7 @@ class TrialSpec:
             request_timeout=self.request_timeout,
             batch_window=self.batch_window,
             open_loop=dict(self.open_loop) if self.open_loop is not None else None,
+            parallel_regions=self.parallel_regions,
         )
 
 
@@ -217,6 +224,10 @@ class TrialOutcome:
     wall_clock_s: float = 0.0
     peak_rss_kb: int = 0
     cached: bool = False
+    # How the kernel executed ("serial"/"lockstep"/"threads").  Provenance
+    # like wall clock: excluded from deterministic_blob — the invariant is
+    # precisely that the mode never changes the deterministic content.
+    parallel_mode: str = "serial"
 
     ok: ClassVar[bool] = True
 
@@ -239,6 +250,7 @@ class TrialOutcome:
             "aborted": self.aborted,
             "wall_clock_s": self.wall_clock_s,
             "peak_rss_kb": self.peak_rss_kb,
+            "parallel_mode": self.parallel_mode,
         }
 
     @classmethod

@@ -2,10 +2,15 @@
 
 A **golden** is the full deterministic signature of a pinned scenario run:
 the sha256 digest of its causal trace (every root span, hop, and phase
-mark, canonically serialized), the summary row, the critical-path
-attribution table, and per-type message counts.  :func:`capture` produces
-a golden document for the pinned :data:`SCENARIOS`; :func:`compare` diffs
-a candidate capture against it:
+mark, canonically serialized), the sha256 digest of the **wire message
+stream** (every delivered frame as a ``(time, src, dst, type, size)``
+tuple, digested as a sorted multiset so it is invariant under same-instant
+scheduling order), the summary row, the critical-path attribution table,
+and per-type message counts.  Both digests are **id-free**: traces sort by
+``(t0, client)`` and span ids are renumbered per trace, so the signature
+depends only on observable behaviour, never on allocation order.
+:func:`capture` produces a golden document for the pinned
+:data:`SCENARIOS`; :func:`compare` diffs a candidate capture against it:
 
 * **exact match** — the trace digests are byte-identical, so the candidate
   build is behaviour-preserving for that scenario; nothing else to check;
@@ -34,6 +39,7 @@ __all__ = [
     "SCENARIOS",
     "BANDS",
     "run_scenario",
+    "wire_digest",
     "capture_scenario",
     "capture",
     "compare",
@@ -114,19 +120,64 @@ def run_scenario(spec: TrialSpec, timing_override: Optional[Mapping] = None):
         spec = replace(spec, timing=merged)
     trial = spec.to_trial()
     trial.obs_causal = True
+    trial.obs_wire = True
     return run_trial(trial)
 
 
+def _hop_sort_key(h) -> tuple:
+    return (h.t_send, h.src, h.dst, h.method, h.status, h.size,
+            h.t_recv is None, h.t_recv or 0.0, h.queue_ms, h.service_ms)
+
+
 def _serialize_traces(traces: Mapping) -> List[Dict]:
+    """Canonical, id-free form of a trace set.
+
+    Trace ids and span ids are allocation-order artifacts: two runs that
+    behave identically may hand them out differently (e.g. a parallel
+    kernel interleaving transaction starts across regions).  The golden
+    digest must not see that, so traces sort by ``(t0, client)`` — unique
+    per run, a client submits one transaction at a time — span ids are
+    renumbered per trace (root = 0, hops in canonical hop order), parent
+    pointers are remapped through the same table (dangling parents become
+    -1, preserving the orphan signal), and hops/marks sort by their
+    observable fields.
+    """
     out = []
-    for trace_id in sorted(traces):
-        trace = traces[trace_id]
+    for trace in sorted(traces.values(), key=lambda t: (t.root.t0, t.root.client)):
+        root = trace.root.to_dict()
+        del root["span_id"], root["trace_id"]
+        hops = sorted(trace.hops, key=_hop_sort_key)
+        renumber = {trace.root.span_id: 0}
+        for n, h in enumerate(hops, start=1):
+            renumber[h.span_id] = n
+        hop_dicts = []
+        for h in hops:
+            d = h.to_dict()
+            del d["trace_id"]
+            d["span_id"] = renumber[h.span_id]
+            d["parent_id"] = (None if h.parent_id is None
+                              else renumber.get(h.parent_id, -1))
+            hop_dicts.append(d)
         out.append({
-            "root": trace.root.to_dict(),
-            "hops": [h.to_dict() for h in trace.hops],
-            "marks": [[t, host, kind] for t, host, kind in trace.marks],
+            "root": root,
+            "hops": hop_dicts,
+            "marks": sorted([t, host, kind] for t, host, kind in trace.marks),
         })
     return out
+
+
+def wire_digest(wire_log) -> Optional[str]:
+    """Digest of the delivered-frame multiset, or None when not captured.
+
+    Sorted before hashing: the *set* of frames and their virtual-time
+    stamps is the invariant; the append order of same-instant frames is
+    not (the threaded kernel interleaves appends across partitions).
+    """
+    if wire_log is None:
+        return None
+    frames = sorted([t, src, dst, kind, size]
+                    for t, src, dst, kind, size in wire_log)
+    return hashlib.sha256(canonical_json(frames).encode()).hexdigest()
 
 
 def capture_scenario(result) -> Dict:
@@ -146,6 +197,7 @@ def capture_scenario(result) -> Dict:
     stats = result.system.network.stats
     return {
         "trace_digest": hashlib.sha256(blob).hexdigest(),
+        "wire_digest": wire_digest(getattr(result.system.network, "wire_log", None)),
         "traced_txns": len(traces),
         "row": result.summary.as_row(),
         "hops": hop_rows,
@@ -251,7 +303,12 @@ def compare(golden: Mapping, candidate: Mapping,
             report["scenarios"][label] = entry
             report["ok"] = False
             continue
-        if c["trace_digest"] == g["trace_digest"]:
+        # Wire digests participate in the exact-match check only when both
+        # documents carry one (goldens captured before the wire stream
+        # existed simply lack the key).
+        g_wire, c_wire = g.get("wire_digest"), c.get("wire_digest")
+        wire_ok = g_wire is None or c_wire is None or g_wire == c_wire
+        if c["trace_digest"] == g["trace_digest"] and wire_ok:
             report["scenarios"][label] = entry
             continue
         violations = _band_violations(g, c, tolerance)
@@ -259,6 +316,8 @@ def compare(golden: Mapping, candidate: Mapping,
         entry["violations"] = violations
         entry["trace_digest"] = {"golden": g["trace_digest"],
                                  "candidate": c["trace_digest"]}
+        if not wire_ok:
+            entry["wire_digest"] = {"golden": g_wire, "candidate": c_wire}
         if violations:
             entry["offending_hop"] = _offending_hop(g["hops"], c["hops"])
             try:

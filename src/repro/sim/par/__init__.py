@@ -1,0 +1,43 @@
+"""Region-partitioned parallel simulation (conservative PDES).
+
+The paper's core structural claim — edge regions proceed independently and
+only coordinate across the cross-region RTT — is exactly the property that
+makes conservative parallel discrete-event simulation safe here: the
+minimum cross-region one-way delay is a *lookahead* bound.  No partition
+can receive an event from another partition sooner than that, so each
+region's kernel may execute a full window of that width without waiting.
+
+Layout:
+
+* :mod:`repro.sim.par.partition` — the eligibility gate (when a trial may
+  run partitioned, and with which backend) and the lookahead rule;
+* :mod:`repro.sim.par.channel` — the inter-kernel mailbox for cross-region
+  messages, drained in a canonical deterministic order at window barriers;
+* :mod:`repro.sim.par.group` — :class:`PartitionGroup`, the synchronized
+  multi-kernel run loop (lockstep and thread-per-partition backends).
+
+See ``docs/PARALLEL.md`` for the model, the determinism invariant, and the
+serial-fallback rules.
+"""
+
+from repro.sim.par.channel import CrossChannel
+from repro.sim.par.group import PartitionGroup
+from repro.sim.par.partition import (
+    MODE_LOCKSTEP,
+    MODE_SERIAL,
+    MODE_THREADS,
+    PAR_SAFE_FAULT_KINDS,
+    lookahead,
+    resolve_mode,
+)
+
+__all__ = [
+    "CrossChannel",
+    "PartitionGroup",
+    "MODE_SERIAL",
+    "MODE_LOCKSTEP",
+    "MODE_THREADS",
+    "PAR_SAFE_FAULT_KINDS",
+    "lookahead",
+    "resolve_mode",
+]

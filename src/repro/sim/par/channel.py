@@ -1,0 +1,59 @@
+"""Inter-kernel mailbox for cross-region messages.
+
+During a window each partition buffers its outbound cross-region traffic
+here instead of scheduling directly onto the destination kernel — kernels
+are single-owner during window execution (a hard requirement of the
+threaded backend).  At the barrier the group drains the mailbox in one
+canonical order and schedules deliveries onto the destination kernels.
+
+The canonical drain order — ``(arrival_time, send_time, src_partition,
+send_seq)`` — reproduces the serial kernel's tie-breaking for every pair
+of messages with distinct send instants: the serial heap orders same-
+arrival messages by global scheduling sequence, which is monotone in send
+time.  Only messages *sent at the same instant from different partitions*
+can legally land in a different relative order than serial; the golden
+digest tests pin that no observable output depends on those ties.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["CrossChannel"]
+
+
+class CrossChannel:
+    """Per-source-partition buffers with a deterministic merged drain.
+
+    Buffers are keyed by source partition so the threaded backend never
+    has two threads appending to the same list; each buffer also carries
+    its own send-sequence counter, making the drain order independent of
+    thread interleaving.
+    """
+
+    def __init__(self, n_partitions: int):
+        self._bufs: List[List[Tuple]] = [[] for _ in range(n_partitions)]
+        self._seqs: List[int] = [0] * n_partitions
+
+    def push(self, src_idx: int, arrival: float, send_time: float,
+             src: str, dst: str, payload: object, incarnation: int) -> None:
+        seq = self._seqs[src_idx]
+        self._seqs[src_idx] = seq + 1
+        self._bufs[src_idx].append(
+            (arrival, send_time, src_idx, seq, src, dst, payload, incarnation))
+
+    def pending(self) -> int:
+        return sum(len(buf) for buf in self._bufs)
+
+    def drain(self) -> List[Tuple]:
+        """All buffered messages in canonical order; buffers are emptied."""
+        merged: List[Tuple] = []
+        for buf in self._bufs:
+            if buf:
+                merged.extend(buf)
+                buf.clear()
+        if len(merged) > 1:
+            # The first four fields are the canonical key; the rest
+            # (host names, payload) must never influence ordering.
+            merged.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+        return merged

@@ -1,0 +1,226 @@
+"""The synchronized multi-kernel run loop.
+
+:class:`PartitionGroup` owns one :class:`~repro.sim.kernel.Simulator` per
+region plus the **control kernel** (``system.sim``): the kernel that hosts
+everything region-agnostic — chaos fault plans, observability probe
+timers, harness bookkeeping.  Virtual time advances in *windows*::
+
+    t_next = earliest pending event across all kernels
+    bound  = min(t_next + lookahead, next control instant, until)
+    every partition executes its events in [t_next, bound), then all
+    kernels synchronize their clocks to `bound` and exchange the
+    cross-region messages buffered during the window
+
+Conservative lookahead (the minimum cross-region one-way delay, see
+:func:`repro.sim.par.partition.lookahead`) guarantees a message sent
+inside a window arrives at or after its end, so partitions never execute
+past a time they could still receive input for.  Control-kernel events and
+the final ``until`` instant are executed with exact-instant stepping —
+the serial ``run(until)`` is inclusive of events *at* ``until`` and fault
+callbacks must fire before same-instant protocol work, matching the
+serial kernel's scheduling-sequence order.
+
+Backends: **lockstep** steps the region kernels inline in region order —
+this is the canonical partitioned semantics; **threads** runs each
+window's partitions on a thread pool and is observationally identical by
+construction (kernels are single-owner during a window, cross traffic is
+buffered, shared counters use per-partition lanes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import NetworkStats
+from repro.sim.par.channel import CrossChannel
+from repro.sim.par.partition import MODE_LOCKSTEP, MODE_THREADS, lookahead
+
+__all__ = ["PartitionGroup"]
+
+
+class PartitionGroup:
+    """Coordinates one kernel per region behind a conservative barrier."""
+
+    def __init__(self, control: Simulator, kernels: Dict[str, Simulator],
+                 network, mode: str = MODE_LOCKSTEP):
+        if len(kernels) < 2:
+            raise SimulationError("partitioned execution needs >= 2 regions")
+        if mode not in (MODE_LOCKSTEP, MODE_THREADS):
+            raise SimulationError(f"unknown partition backend {mode!r}")
+        self.control = control
+        self.regions: List[str] = list(kernels)
+        self.kernels = dict(kernels)
+        self._parts: List[Simulator] = [kernels[r] for r in self.regions]
+        self.network = network
+        self.mode = mode
+        self.channel = CrossChannel(len(self._parts))
+        self._region_index = {r: i for i, r in enumerate(self.regions)}
+        self._host_loc: Dict[str, Tuple[int, Simulator]] = {}
+        self._pool = None
+        if mode == MODE_THREADS:
+            self._lanes = [NetworkStats() for _ in self._parts]
+        else:
+            # Lockstep is single-threaded: every partition shares the
+            # network's own stats object, so no merge step exists.
+            self._lanes = [network.stats] * len(self._parts)
+        # Instrumentation: how the run decomposed (window barriers vs
+        # exact-instant steps) — surfaced in tests and perf reports.
+        self.windows = 0
+        self.instants = 0
+
+    # ------------------------------------------------------------------
+    # Lookup helpers (hot path for Network._send_par)
+    # ------------------------------------------------------------------
+    def region_index(self, region: str) -> int:
+        return self._region_index[region]
+
+    def locate(self, host: str) -> Tuple[int, Simulator]:
+        """``(partition index, kernel)`` owning ``host``; cached."""
+        try:
+            return self._host_loc[host]
+        except KeyError:
+            idx = self._region_index[self.network._host_region[host]]
+            loc = (idx, self._parts[idx])
+            self._host_loc[host] = loc
+            return loc
+
+    def stats_lane(self, idx: int) -> NetworkStats:
+        return self._lanes[idx]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance every kernel to ``until`` (or queue exhaustion)."""
+        control = self.control
+        parts = self._parts
+        horizon = float("inf") if until is None else until
+        try:
+            while True:
+                self._inject()
+                t_ctrl = control.peek_time()
+                t_next = t_ctrl
+                for k in parts:
+                    t = k.peek_time()
+                    if t is not None and (t_next is None or t < t_next):
+                        t_next = t
+                if t_next is None or t_next > horizon:
+                    break
+                if t_ctrl is not None and t_ctrl == t_next:
+                    # Control instant: faults/probes fire with every
+                    # partition synchronized at exactly this time.  Serial
+                    # ordering matches — control callbacks were scheduled
+                    # before the run started, so their sequence numbers
+                    # precede any same-instant protocol event.
+                    self._sync(t_next)
+                    self._drain_instant(control, t_next)
+                    self.instants += 1
+                    continue
+                if t_next == horizon:
+                    # Terminal instant: run(until) is inclusive of events
+                    # at `until`, so step them exactly (region order).
+                    self._sync(horizon)
+                    for k in parts:
+                        self._drain_instant(k, horizon)
+                    self.instants += 1
+                    continue
+                bound = t_next + lookahead(self.network)
+                if t_ctrl is not None and t_ctrl < bound:
+                    bound = t_ctrl
+                if bound > horizon:
+                    bound = horizon
+                # bound > t_next always holds here: the t_ctrl == t_next
+                # and horizon == t_next cases were handled above and the
+                # lookahead is floored at the minimum network delay.
+                self._run_windows(bound)
+                control.run_window(bound)
+                self.windows += 1
+            self._inject()  # flush sends from a drained terminal instant
+            if until is not None:
+                self._sync(until)
+        finally:
+            self._merge_lanes()
+        return control.now
+
+    def _sync(self, t: float) -> None:
+        """Fast-forward every kernel's clock to ``t`` (no execution).
+
+        Safe because ``t`` never exceeds the earliest pending event across
+        all kernels when called mid-loop.
+        """
+        if self.control.now < t:
+            self.control.now = t
+        for k in self._parts:
+            if k.now < t:
+                k.now = t
+
+    @staticmethod
+    def _drain_instant(kernel: Simulator, t: float) -> None:
+        """Execute every callback due at exactly ``t`` on one kernel."""
+        while kernel.peek_time() == t:
+            kernel.step()
+
+    def _run_windows(self, bound: float) -> None:
+        if self.mode == MODE_THREADS:
+            pool = self._pool
+            if pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                pool = ThreadPoolExecutor(
+                    max_workers=len(self._parts),
+                    thread_name_prefix="repro-par")
+                self._pool = pool
+            futures = [pool.submit(k.run_window, bound) for k in self._parts]
+            for f in futures:
+                f.result()  # propagate partition exceptions
+        else:
+            for k in self._parts:
+                k.run_window(bound)
+
+    def _inject(self) -> None:
+        """Drain the cross-region mailbox onto destination kernels."""
+        entries = self.channel.drain()
+        if not entries:
+            return
+        deliver = self.network._deliver_par
+        locate = self.locate
+        for arrival, _st, _si, _seq, src, dst, payload, incarnation in entries:
+            dst_idx, dst_sim = locate(dst)
+            dst_sim.schedule_abs(arrival, deliver, src, dst, payload,
+                                 incarnation, dst_idx)
+
+    def _merge_lanes(self) -> None:
+        """Fold per-partition stats lanes into the shared NetworkStats.
+
+        Lockstep shares one object, so this is a no-op there.  Threaded
+        lanes exist because ``+=`` on a shared counter is a read-modify-
+        write race; each lane is single-writer during a window and the
+        fold happens here, after every worker has joined.
+        """
+        if self.mode != MODE_THREADS:
+            return
+        shared = self.network.stats
+        for i, lane in enumerate(self._lanes):
+            shared.messages_sent += lane.messages_sent
+            shared.messages_dropped += lane.messages_dropped
+            shared.messages_duplicated += lane.messages_duplicated
+            shared.bytes_sent += lane.bytes_sent
+            shared.trace_bytes_sent += lane.trace_bytes_sent
+            shared.in_flight += lane.in_flight
+            for d_shared, d_lane in (
+                (shared.per_host_sent, lane.per_host_sent),
+                (shared.per_host_received, lane.per_host_received),
+                (shared.per_type_sent, lane.per_type_sent),
+                (shared.per_type_bytes, lane.per_type_bytes),
+            ):
+                for key, n in d_lane.items():
+                    d_shared[key] = d_shared.get(key, 0) + n
+            self._lanes[i] = NetworkStats()
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

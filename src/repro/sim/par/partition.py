@@ -1,0 +1,103 @@
+"""Partition eligibility gate and the conservative lookahead rule.
+
+A trial runs region-partitioned only when the model guarantees the
+partitioned execution is *indistinguishable* from the serial one for every
+virtual-time output.  Anything that couples partitions outside the message
+channel — a shared seeded RNG consumed on the delivery path, byte-cost
+hooks whose delays depend on global id-string lengths, arbitrary user
+hooks poking the system mid-run — forces the plain serial kernel, with a
+named reason recorded on the trial result.
+
+Fault plans are allowed but demote the backend to **lockstep** (one OS
+thread stepping the region kernels in a fixed order): fault handlers
+mutate shared control-plane state (catalog, manager directory, partition
+sets) that the threaded backend must never see change mid-window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "MODE_SERIAL",
+    "MODE_LOCKSTEP",
+    "MODE_THREADS",
+    "PAR_SAFE_FAULT_KINDS",
+    "lookahead",
+    "resolve_mode",
+]
+
+MODE_SERIAL = "serial"
+MODE_LOCKSTEP = "lockstep"
+MODE_THREADS = "threads"
+
+# Fault kinds a partitioned run can host (under the lockstep backend):
+# membership/partition faults apply at control-kernel instants, between
+# windows, where every partition is synchronized.  The excluded kinds
+# (set_drop / set_jitter / set_reorder / set_duplicate) make delivery
+# consume the shared network RNG stream per message, whose draw order is
+# partition-interleaving-dependent — those plans fall back to serial.
+PAR_SAFE_FAULT_KINDS = frozenset({
+    "crash_node", "readd_replica", "fail_manager", "report_failure",
+    "partition_hosts", "heal_hosts", "partition_oneway", "heal_oneway",
+    "partition_regions", "heal_regions", "partition_regions_oneway",
+    "heal_regions_oneway", "set_rtt", "clock_skew",
+})
+
+# Progress floor: the network's delivery model never schedules below this
+# delay, so a window of this width always makes progress even when the
+# cross-region RTT is zero — the degenerate "lockstep epochs" case the
+# lookahead tests pin.
+MIN_LOOKAHEAD = 0.01
+
+
+def lookahead(network) -> float:
+    """Minimum cross-region one-way delay currently possible on ``network``.
+
+    This is the conservative lookahead: a message sent at ``t`` from one
+    region to another arrives no earlier than ``t + lookahead(network)``,
+    so a partition executing the window ``[t, t + lookahead)`` can never
+    receive input for it.  Recomputed at every window boundary because
+    chaos plans may change RTTs mid-run (``set_rtt``).
+    """
+    f = network.forward_fraction
+    frac = min(f, 1.0 - f)
+    la = max(MIN_LOOKAHEAD, network.cross_region_rtt * frac)
+    for rtt in network._rtt_overrides.values():
+        pair = max(MIN_LOOKAHEAD, rtt * frac)
+        if pair < la:
+            la = pair
+    return la
+
+
+def resolve_mode(trial, requested: int,
+                 hooks: bool = False) -> Tuple[str, Optional[str]]:
+    """Decide how a trial executes: ``(mode, serial_reason)``.
+
+    ``requested`` is the ``--parallel-regions/-j`` knob (0/1 = off).
+    Returns one of :data:`MODE_SERIAL` / :data:`MODE_LOCKSTEP` /
+    :data:`MODE_THREADS`; when serial, the second element names why the
+    partitioned kernel declined, so bench rows stay self-describing.
+    """
+    if requested < 2:
+        return MODE_SERIAL, None  # parallelism not requested
+    if trial.num_regions < 2:
+        return MODE_SERIAL, "single-region topology has nothing to partition"
+    if trial.system != "dast":
+        return MODE_SERIAL, f"system {trial.system!r} is not partition-aware"
+    if trial.timing.drop_probability > 0.0:
+        return MODE_SERIAL, ("random drops consume the shared network RNG "
+                             "per message")
+    if hooks:
+        return MODE_SERIAL, "custom trial hooks may touch the system mid-run"
+    if trial.fault_plan is not None:
+        unsafe = sorted({e.kind for e in trial.fault_plan.events}
+                        - PAR_SAFE_FAULT_KINDS)
+        if unsafe:
+            return MODE_SERIAL, (f"fault plan uses RNG-coupled kinds {unsafe}")
+        return MODE_LOCKSTEP, None
+    if trial.obs or trial.obs_causal:
+        # Tracer/registry/probe attachments are single-threaded consumers;
+        # lockstep keeps their emission order deterministic.
+        return MODE_LOCKSTEP, None
+    return MODE_THREADS, None

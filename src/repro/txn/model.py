@@ -98,7 +98,12 @@ class Transaction:
     ):
         if not pieces:
             raise TransactionError("a transaction needs at least one piece")
-        self.txn_id = txn_id or f"t{next(self._ids)}"
+        # Auto-drawn ids are zero-padded to a fixed width: id strings feed
+        # the virtual wire-size model, and the region-partitioned kernel
+        # (repro.sim.par) interleaves draws differently than serial — with
+        # a fixed width, *which* id a transaction gets can never change a
+        # message's byte size, so byte accounting stays partition-invariant.
+        self.txn_id = txn_id or f"t{next(self._ids):07d}"
         self.txn_type = txn_type
         self.params = dict(params or {})
         self.pieces = sorted(pieces, key=lambda p: p.index)

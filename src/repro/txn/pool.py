@@ -52,7 +52,7 @@ class TransactionPool:
             # The id draw matches Transaction.__init__, so pooled and fresh
             # runs consume the global id stream identically.
             old_id = txn.txn_id
-            txn.txn_id = f"t{next(Transaction._ids)}"
+            txn.txn_id = f"t{next(Transaction._ids):07d}"
             txn.home_region = None
             txn.participating_regions = ()
             txn.params.clear()

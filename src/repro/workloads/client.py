@@ -38,15 +38,23 @@ class ClosedLoopClient:
         self.failed = 0
         self._running = False
 
+    def _sim(self):
+        # The region kernel under partitioned execution (repro.sim.par);
+        # systems without region kernels fall back to the shared one.
+        sim_for = getattr(self.system, "sim_for", None)
+        if sim_for is not None:
+            return sim_for(self.binding.region)
+        return self.system.sim
+
     def start(self) -> None:
         self._running = True
-        self.system.sim.spawn(self._loop(), name=f"client.{self.binding.client}")
+        self._sim().spawn(self._loop(), name=f"client.{self.binding.client}")
 
     def stop(self) -> None:
         self._running = False
 
     def _loop(self):
-        sim = self.system.sim
+        sim = self._sim()
         while self._running:
             txn = self.workload.next_transaction(self.binding, self.rng)
             replicas = [

@@ -161,14 +161,21 @@ class _Slot:
 class _RegionState:
     """One region's arrival process, user population, and backlog."""
 
-    __slots__ = ("region", "stream", "users", "sample_uid", "gen_rng",
+    __slots__ = ("region", "sim", "stream", "users", "sample_uid", "gen_rng",
                  "route_rng", "bindings", "next_arrival", "inflight",
-                 "backlog", "arrivals", "launched", "flash")
+                 "backlog", "arrivals", "launched", "flash", "sub_bytes",
+                 "failed")
 
-    def __init__(self, region: str, stream: ArrivalStream,
+    def __init__(self, region: str, sim, stream: ArrivalStream,
                  users: ZipfGenerator, gen_rng, route_rng,
                  bindings: List[ClientBinding]):
         self.region = region
+        # The kernel this region's arrivals run on: the system's region
+        # kernel under partitioned execution, the shared kernel otherwise.
+        # Every schedule/now in the per-arrival hot path goes through this,
+        # never through engine.sim (the control kernel, which lags inside
+        # a partition window).
+        self.sim = sim
         self.stream = stream
         self.users = users
         self.sample_uid = users.sampler()
@@ -180,6 +187,10 @@ class _RegionState:
         self.backlog: deque = deque()
         self.arrivals = 0
         self.launched = 0
+        # Per-region tallies (single-writer under the threaded backend):
+        # wire bytes of express submits, and failed launches.
+        self.sub_bytes = 0
+        self.failed = 0
         # True only for the flash region of a trial with flash redirect
         # configured — lets the hot path skip the whole check elsewhere.
         self.flash = False
@@ -234,7 +245,9 @@ class OpenLoopEngine:
         # ``network.stats`` on ``stop()`` — final totals are identical to
         # per-call accounting, and nothing samples the stats mid-trial on
         # the express path (obs probes imply a tracer, which disables it).
-        self._sub_bytes = 0      # wire bytes of the express submits
+        # Submit bytes accumulate on the _RegionState (one writer per
+        # region); the per-host dicts below are per-key single-writer, as
+        # every host belongs to exactly one region.
         self._sub_by_client: Dict[str, int] = {}   # submits sent per client
         self._recv_by_node: Dict[str, int] = {}    # submits received per node
         self._resp_by_node: Dict[str, int] = {}    # replies sent per node
@@ -246,7 +259,6 @@ class OpenLoopEngine:
         # can be materialised in one kernel event without changing any
         # simulated time, RNG draw order, or busy-queue accounting.
         self._chunked = bool(self.express and self._cap == 0)
-        self.failed = 0
         # Large trials cannot afford to retain every submitted txn /
         # executed-log tuple; both ledgers only feed post-hoc audits.
         if not config.keep_records:
@@ -277,6 +289,7 @@ class OpenLoopEngine:
                 kwargs["flash_mult"] = 1.0
             self.regions.append(_RegionState(
                 region,
+                system.sim_for(region) if hasattr(system, "sim_for") else system.sim,
                 ArrivalStream(rate, system.rng.stream(f"openloop.arrivals.{region}"),
                               **kwargs),
                 ZipfGenerator(config.users_per_region, config.user_theta,
@@ -307,10 +320,10 @@ class OpenLoopEngine:
         self._tracer = getattr(self.system, "tracer", None)
         pump = self._pump_chunk if self._chunked else self._pump
         for rs in self.regions:
-            first = rs.stream.next_after(self.sim.now)
+            first = rs.stream.next_after(rs.sim.now)
             rs.next_arrival = first
             if first <= until:
-                self.sim.schedule_abs(first, pump, rs)
+                rs.sim.schedule_abs(first, pump, rs)
 
     def stop(self) -> None:
         self._running = False
@@ -323,7 +336,10 @@ class OpenLoopEngine:
         harness flushes before summarising, ``stop`` flushes again after
         the drain) only adds what happened in between."""
         stats = self._stats
-        sub_bytes, self._sub_bytes = self._sub_bytes, 0
+        sub_bytes = 0
+        for rs in self.regions:
+            sub_bytes += rs.sub_bytes
+            rs.sub_bytes = 0
         n_sub = sum(self._sub_by_client.values())
         n_resp = sum(self._resp_by_node.values())
         if not n_sub and not n_resp:
@@ -359,7 +375,7 @@ class OpenLoopEngine:
         if self._running:
             rs.arrivals += 1
             uid = rs.sample_uid()
-            now = self.sim.now
+            now = rs.sim.now
             cap = self._cap
             if cap and rs.inflight >= cap:
                 rs.backlog.append((now, uid))
@@ -368,7 +384,7 @@ class OpenLoopEngine:
         nxt = rs.stream.next_after(rs.next_arrival)
         rs.next_arrival = nxt
         if self._running and nxt <= self._until:
-            self.sim.schedule_abs(nxt, self._pump, rs)
+            rs.sim.schedule_abs(nxt, self._pump, rs)
 
     def _pump_chunk(self, rs: _RegionState) -> None:
         """Uncapped express arrival loop: materialise up to ``_CHUNK``
@@ -392,14 +408,14 @@ class OpenLoopEngine:
             if nxt > until:
                 return
             t = nxt
-        self.sim.schedule_abs(t, self._pump_chunk, rs)
+        rs.sim.schedule_abs(t, self._pump_chunk, rs)
 
     def _drain(self, rs: _RegionState) -> None:
         cap = self._cap
         backlog = rs.backlog
         while backlog and (not cap or rs.inflight < cap):
             intended, uid = backlog.popleft()
-            self._launch(rs, intended, uid, self.sim.now)
+            self._launch(rs, intended, uid, rs.sim.now)
 
     # ------------------------------------------------------------------
     # Submission
@@ -438,12 +454,12 @@ class OpenLoopEngine:
         if (self.express and len(txn.pieces) == 1
                 and txn.pieces[0].shard_id == binding.home_shard):
             self._launch_express(rs, slot, binding.home_shard)
-        elif submit > self.sim.now:
+        elif submit > rs.sim.now:
             # Chunked pumping generated this (rare, e.g. CRT) arrival ahead
             # of simulated time; the RPC path runs through live coroutines,
             # so defer the spawn to the submission instant.
-            self.sim.schedule_abs(submit, self._launch_rpc, rs, slot,
-                                  binding.home_shard)
+            rs.sim.schedule_abs(submit, self._launch_rpc, rs, slot,
+                                binding.home_shard)
         else:
             self._launch_rpc(rs, slot, binding.home_shard)
 
@@ -475,7 +491,7 @@ class OpenLoopEngine:
         slot.node = node
         txn = slot.txn
         client = slot.client
-        self._sub_bytes += txn.wire_size()
+        rs.sub_bytes += txn.wire_size()
         try:
             self._sub_by_client[client] += 1
         except KeyError:
@@ -488,7 +504,7 @@ class OpenLoopEngine:
         start = max(arrive, self._busy.get(node_host, 0.0))
         self._busy[node_host] = start + self._service
         self._pending[slot.txn_id] = slot
-        self.sim.schedule_abs(start, self._deliver_express, rs, slot)
+        rs.sim.schedule_abs(start, self._deliver_express, rs, slot)
 
     def _deliver_express(self, rs: _RegionState, slot: _Slot) -> None:
         node_host = slot.node_host
@@ -529,12 +545,12 @@ class OpenLoopEngine:
             rs = slot.rs
             self.recorder.record_irt(
                 not outcome.aborted, slot.intended, slot.submit,
-                self.sim.now + delay, rs.region)
+                rs.sim.now + delay, rs.region)
             rs.inflight -= 1
             self._free_slots.append(slot)
             return
-        self.sim.schedule(delay, self._complete_express, slot,
-                          outcome.aborted, outcome.abort_reason)
+        slot.rs.sim.schedule(delay, self._complete_express, slot,
+                             outcome.aborted, outcome.abort_reason)
 
     def _complete_express(self, slot: _Slot, aborted: bool, reason: str) -> None:
         client = slot.client
@@ -545,7 +561,7 @@ class OpenLoopEngine:
         result = self.result_pool.acquire(
             slot.txn_id, slot.txn_type, not aborted, False, abort_reason=reason)
         result.submit_time = slot.submit
-        result.finish_time = self.sim.now
+        result.finish_time = slot.rs.sim.now
         rs = slot.rs
         self.recorder.record_result(result, slot.intended, rs.region)
         self.result_pool.release(result)
@@ -563,7 +579,7 @@ class OpenLoopEngine:
             self._finish_failure(rs, slot)
             return
         slot.node_host = rs.route_rng.choice(replicas)
-        self.sim.spawn(self._rpc(rs, slot), name=f"ol.{slot.txn_id}")
+        rs.sim.spawn(self._rpc(rs, slot), name=f"ol.{slot.txn_id}")
 
     def _rpc(self, rs: _RegionState, slot: _Slot):
         event = self.system.submit(slot.client, slot.node_host, slot.txn,
@@ -583,7 +599,7 @@ class OpenLoopEngine:
             self._finish_failure(rs, slot)
             return
         result.submit_time = slot.submit
-        result.finish_time = self.sim.now
+        result.finish_time = rs.sim.now
         self.recorder.record_result(result, slot.intended, rs.region)
         rs.inflight -= 1
         slot.txn = None
@@ -591,9 +607,13 @@ class OpenLoopEngine:
         self._drain(rs)
 
     # -- shared ----------------------------------------------------------
+    @property
+    def failed(self) -> int:
+        return sum(rs.failed for rs in self.regions)
+
     def _finish_failure(self, rs: _RegionState, slot: _Slot) -> None:
-        self.failed += 1
-        self.recorder.record_failure()
+        rs.failed += 1
+        self.recorder.record_failure(rs.region)
         self.txn_pool.release(slot.txn)
         slot.txn = None
         rs.inflight -= 1

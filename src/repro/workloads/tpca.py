@@ -88,12 +88,27 @@ class TpcaWorkload(Workload):
             shard.insert("account", {"b_id": shard_index, "a_id": a, "balance": 1000})
 
     # -- generation --------------------------------------------------------
-    def _pick_account(self, shard_index: int, rng: random.Random) -> int:
-        zipf = self._zipfs.get(shard_index)
+    def _pick_account(self, shard_index: int, rng: random.Random,
+                      consumer_region: int = -1) -> int:
+        # Zipf streams are keyed by (shard, consuming region) so a remote
+        # pick never shares a stream with the shard's own region — the
+        # partitioned kernel (repro.sim.par) executes regions in window
+        # order, and a cross-region shared stream would be drawn in a
+        # different order than the serial kernel.  Same-region picks keep
+        # the original per-shard stream.
+        spr = self.topology.config.shards_per_region
+        if consumer_region < 0 or consumer_region == shard_index // spr:
+            key = shard_index
+            seed = self.seed * 7919 + shard_index
+        else:
+            key = (shard_index, consumer_region)
+            seed = self.seed * 7919 + shard_index \
+                + 7_000_003 * (consumer_region + 1)
+        zipf = self._zipfs.get(key)
         if zipf is None:
             zipf = ZipfGenerator(ACCOUNTS_PER_SHARD, self.theta,
-                                 random.Random(self.seed * 7919 + shard_index))
-            self._zipfs[shard_index] = zipf
+                                 random.Random(seed))
+            self._zipfs[key] = zipf
         return zipf.sample()
 
     def next_transaction(self, binding: ClientBinding, rng: random.Random) -> Transaction:
@@ -119,7 +134,8 @@ class TpcaWorkload(Workload):
         if rng.random() < self.crt_ratio:
             remote = self.remote_shard_index(binding, rng)
             if remote is not None:
-                raccount = self._pick_account(remote, rng)
+                spr = self.topology.config.shards_per_region
+                raccount = self._pick_account(remote, rng, home // spr)
                 rteller = raccount % TELLERS_PER_SHARD
                 pieces.append(
                     Piece(

@@ -101,14 +101,33 @@ class YcsbWorkload(Workload):
             shard.insert("usertable", {"shard": shard_index, "key": key, "value": 0})
 
     # -- generation --------------------------------------------------------
-    def _sampler(self, shard_index: int):
-        """The shard's bound zipf sampler (created with its generator)."""
-        sampler = self._samplers.get(shard_index)
+    def _sampler(self, shard_index: int, consumer_region: int = -1):
+        """The shard's bound zipf sampler (created with its generator).
+
+        Samplers are keyed by (shard, consuming region): a remote draw —
+        a client in region A picking a key on a shard in region B — comes
+        from a stream only region A ever touches.  Generation randomness
+        is therefore region-local, which the partitioned kernel
+        (repro.sim.par) requires: a stream shared across regions would be
+        consumed in window order instead of global virtual-time order and
+        the parallel run would diverge from the serial one.  Same-region
+        draws keep the original per-shard stream, so workloads that never
+        cross regions (crt_ratio=0) are byte-identical to earlier builds.
+        """
+        spr = self.topology.config.shards_per_region
+        if consumer_region < 0 or consumer_region == shard_index // spr:
+            key = shard_index
+            seed = self.seed * 31337 + shard_index
+        else:
+            key = (shard_index, consumer_region)
+            seed = self.seed * 31337 + shard_index \
+                + 7_000_003 * (consumer_region + 1)
+        sampler = self._samplers.get(key)
         if sampler is None:
             zipf = ZipfGenerator(RECORDS_PER_SHARD, self.theta,
-                                 random.Random(self.seed * 31337 + shard_index))
-            self._zipfs[shard_index] = zipf
-            sampler = self._samplers[shard_index] = zipf.sampler()
+                                 random.Random(seed))
+            self._zipfs[key] = zipf
+            sampler = self._samplers[key] = zipf.sampler()
         return sampler
 
     def _pick_key(self, shard_index: int) -> int:
@@ -135,7 +154,8 @@ class YcsbWorkload(Workload):
                 key = sample_home()
             else:
                 target = remote
-                key = self._sampler(remote)()
+                spr = self.topology.config.shards_per_region
+                key = self._sampler(remote, home // spr)()
             if random_() < read_ratio:
                 op = ("read", key, None)
             else:

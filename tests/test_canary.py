@@ -86,3 +86,53 @@ class TestCompare:
         assert "crt_p99_ms" in BANDS and "msgs_total" in BANDS
         rel, _ = BANDS["crt_p99_ms"]
         assert rel <= 0.15  # a +20% p99 regression can never slip through
+
+
+class TestWireDigest:
+    """The wire-message-stream digest rides alongside the span-tree digest:
+    id-free, order-invariant for same-instant frames, and part of the
+    exact-match check only when both documents carry it."""
+
+    def test_capture_includes_wire_digest(self, golden):
+        entry = golden["scenarios"]["small-tpcc"]
+        assert len(entry["wire_digest"]) == 64
+
+    def test_multiset_digest_is_append_order_invariant(self):
+        from repro.obs.canary import wire_digest
+
+        log = [(1.0, "r0.n0", "r1.n0", "prepare", 120),
+               (1.0, "r1.n0", "r0.n0", "ack", 40),
+               (2.5, "r0.c0", "r0.n0", "submit", 80)]
+        assert wire_digest(log) == wire_digest(list(reversed(log)))
+        assert wire_digest(None) is None
+        # Any observable change — here one byte of one frame — moves it.
+        bumped = [log[0], (1.0, "r1.n0", "r0.n0", "ack", 41), log[2]]
+        assert wire_digest(log) != wire_digest(bumped)
+
+    def test_parallel_twin_is_exact_match(self, golden):
+        """The region-partitioned kernel (demoted to lockstep under causal
+        tracing) must reproduce both digests byte-for-byte."""
+        from dataclasses import replace
+
+        twin = tuple(replace(s, parallel_regions=2) for s in SMALL)
+        report = compare(golden, capture(twin))
+        assert report["ok"]
+        assert report["scenarios"]["small-tpcc"]["status"] == "exact"
+
+    def test_legacy_golden_without_wire_digest_still_exact(self, golden):
+        entry = dict(golden["scenarios"]["small-tpcc"])
+        entry.pop("wire_digest")
+        legacy = {"schema": CANARY_SCHEMA, "code_version": "old",
+                  "scenarios": {"small-tpcc": entry}}
+        report = compare(legacy, golden)
+        assert report["scenarios"]["small-tpcc"]["status"] == "exact"
+
+    def test_wire_mismatch_blocks_exact_match(self, golden):
+        entry = dict(golden["scenarios"]["small-tpcc"])
+        entry["wire_digest"] = "0" * 64
+        candidate = {"schema": CANARY_SCHEMA, "code_version": "x",
+                     "scenarios": {"small-tpcc": entry}}
+        report = compare(golden, candidate)
+        entry_report = report["scenarios"]["small-tpcc"]
+        assert entry_report["status"] != "exact"
+        assert entry_report["wire_digest"]["candidate"] == "0" * 64

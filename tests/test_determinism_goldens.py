@@ -46,8 +46,12 @@ class TestGoldens:
         )
         outcome = run_spec(spec)
         assert outcome.ok, outcome
+        # Re-pinned when txn ids became fixed-width ("t0000001"): id string
+        # length feeds the wire-size model, so the byte accounting moved —
+        # once, deliberately, to make wire bytes independent of id
+        # allocation order (a parallel-kernel prerequisite).
         assert _virtual_digest(outcome) == (
-            "44c476ca98b753b6e25e9d988cc34b689ce90e4ae45e62d3ceeca2477c440726"
+            "c821f55109eeaa0a5a18e8c71e6d314cbe27679efda34f1ab1dd244834298ae4"
         )
 
     def test_chaos_trial_golden(self):
@@ -88,5 +92,31 @@ class TestHotPathHygiene:
                     offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
         assert not offenders, (
             "wall-clock / global-random use in deterministic code:\n"
+            + "\n".join(offenders)
+        )
+
+    # Concurrency primitives are confined to the subsystems built for
+    # them: repro.sim.par (the region-partitioned kernel) and the two
+    # process-pool fan-out harnesses (repro.fleet, repro.chaos.parallel).
+    # Anywhere else, a thread or a process is an undeclared determinism
+    # hazard.  Mirrors the ruff TID251 ban.
+    BANNED_CONCURRENCY = re.compile(
+        r"^\s*(?:import\s+(?:threading|multiprocessing)\b"
+        r"|from\s+(?:threading|multiprocessing)[.\s])"
+    )
+    CONCURRENCY_ALLOWED = ("sim/par/", "fleet/", "chaos/parallel.py")
+
+    def test_threading_confined_to_par_and_fleet(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            if rel.startswith(self.CONCURRENCY_ALLOWED):
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = line.split("#", 1)[0]
+                if self.BANNED_CONCURRENCY.search(code):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "threading/multiprocessing outside repro.sim.par / repro.fleet:\n"
             + "\n".join(offenders)
         )

@@ -84,6 +84,7 @@ class TestFingerprint:
             "hook_params": {"jitter": 10.0},
             "collect": {"crt_cdf": {"points": 10}},
             "open_loop": {"users_per_region": 100, "txn_per_user_s": 2.0},
+            "parallel_regions": 3,
         }
         content_fields = {f.name for f in dataclasses.fields(TrialSpec)} - {"label"}
         assert set(changed) == content_fields

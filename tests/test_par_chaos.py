@@ -1,0 +1,108 @@
+"""Fault injection under the partitioned kernel, and the eligibility gate.
+
+A PAR-safe fault plan (membership and partition faults, applied at
+control-kernel instants where every partition is synchronized) must
+produce the *same chaos report, byte for byte* under the lockstep backend
+as under the serial kernel — with the serializability auditor passing on
+both.  Plans that couple partitions through the shared network RNG
+(drops, jitter, reorder, duplication) must fall back to serial with a
+named reason; :class:`TestResolveMode` pins the whole decision table.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.bench.harness import Trial
+from repro.chaos.plan import FaultPlan
+from repro.chaos.runner import run_chaos_trial
+from repro.config import TimingConfig
+from repro.sim.par import (MODE_LOCKSTEP, MODE_SERIAL, MODE_THREADS,
+                           resolve_mode)
+from repro.workloads.tpca import TpcaWorkload
+
+
+def _crash_partition_plan() -> FaultPlan:
+    return (FaultPlan(name="crash+partition")
+            .add(300.0, "crash_node", host="r1.n1")
+            .add(500.0, "partition_regions", r1="r1", r2="r2")
+            .add(900.0, "heal_regions", r1="r1", r2="r2")
+            .add(1100.0, "fail_manager", region="r2"))
+
+
+def _report_digest(report) -> str:
+    return hashlib.sha256(report.to_text().encode()).hexdigest()
+
+
+class TestChaosUnderPartitions:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        # duration must clear the harness's default 1500ms warmup, or the
+        # recorder never sees a committed transaction.
+        kwargs = dict(system="dast", workload="tpca", num_regions=3,
+                      shards_per_region=1, clients_per_region=2,
+                      duration_ms=2500.0, drain_ms=2000.0, seed=5,
+                      request_timeout=800.0)
+        plan = _crash_partition_plan()
+        serial = run_chaos_trial(plan, **kwargs)
+        par = run_chaos_trial(_crash_partition_plan(), parallel_regions=3,
+                              **kwargs)
+        return serial, par
+
+    def test_reports_byte_identical(self, pair):
+        serial, par = pair
+        assert _report_digest(serial) == _report_digest(par)
+
+    def test_faults_applied_and_audit_ok(self, pair):
+        serial, par = pair
+        for report in pair:
+            assert report.faults_applied == 4
+            assert report.ok, report.to_text()
+            assert report.audit is not None and report.audit.ok
+        assert serial.committed == par.committed > 0
+
+
+def _trial(**over) -> Trial:
+    defaults = dict(num_regions=3, shards_per_region=1, clients_per_region=2)
+    defaults.update(over)
+    system = defaults.pop("system", "dast")
+    return Trial(system, TpcaWorkload, **defaults)
+
+
+class TestResolveMode:
+    def test_not_requested(self):
+        assert resolve_mode(_trial(), 0) == (MODE_SERIAL, None)
+        assert resolve_mode(_trial(), 1) == (MODE_SERIAL, None)
+
+    def test_single_region_declines(self):
+        mode, reason = resolve_mode(_trial(num_regions=1), 3)
+        assert mode == MODE_SERIAL and "single-region" in reason
+
+    def test_non_dast_declines(self):
+        mode, reason = resolve_mode(_trial(system="tapir"), 3)
+        assert mode == MODE_SERIAL and "tapir" in reason
+
+    def test_random_drops_decline(self):
+        trial = _trial(timing=TimingConfig(drop_probability=0.05))
+        mode, reason = resolve_mode(trial, 3)
+        assert mode == MODE_SERIAL and "RNG" in reason
+
+    def test_hooks_decline(self):
+        mode, reason = resolve_mode(_trial(), 3, hooks=True)
+        assert mode == MODE_SERIAL and "hooks" in reason
+
+    def test_safe_fault_plan_demotes_to_lockstep(self):
+        trial = _trial(fault_plan=_crash_partition_plan())
+        assert resolve_mode(trial, 3) == (MODE_LOCKSTEP, None)
+
+    def test_rng_coupled_fault_plan_declines(self):
+        plan = FaultPlan().add(100.0, "set_jitter", jitter=2.0)
+        mode, reason = resolve_mode(_trial(fault_plan=plan), 3)
+        assert mode == MODE_SERIAL and "set_jitter" in reason
+
+    def test_observability_demotes_to_lockstep(self):
+        assert resolve_mode(_trial(obs=True), 3) == (MODE_LOCKSTEP, None)
+        assert resolve_mode(_trial(obs_causal=True), 3) == (MODE_LOCKSTEP, None)
+
+    def test_fault_free_untraced_runs_threaded(self):
+        assert resolve_mode(_trial(), 3) == (MODE_THREADS, None)

@@ -1,0 +1,124 @@
+"""The parallel kernel's core invariant: virtual-time output is identical
+across serial, lockstep, and threaded execution — only wall-clock may
+change.  Also pins the fleet plumbing that reports on it: mode provenance
+on outcomes and the bench speedup column.
+"""
+
+import hashlib
+
+from dataclasses import replace
+
+from repro.fleet.benchmark import _attach_speedups
+from repro.fleet.executor import run_spec
+from repro.fleet.spec import TrialSpec, canonical_json
+
+
+def _virtual_digest(outcome) -> str:
+    """Everything the simulation computed; no fingerprint (it embeds
+    ``parallel_regions`` by design, so twins differ there), no provenance."""
+    blob = canonical_json({
+        "row": outcome.row,
+        "extras": outcome.extras,
+        "committed": outcome.committed,
+        "aborted": outcome.aborted,
+    }).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+CLOSED = TrialSpec(
+    system="dast", workload="tpcc",
+    num_regions=3, shards_per_region=1, clients_per_region=3,
+    duration_ms=900.0, warmup_ms=200.0, cooldown_ms=100.0, seed=7,
+    label="par-det/closed",
+)
+
+OPEN = TrialSpec(
+    system="dast", workload="ycsb",
+    workload_params={"theta": 0.7, "crt_ratio": 0.1},
+    num_regions=3, shards_per_region=1, clients_per_region=4,
+    duration_ms=700.0, warmup_ms=150.0, cooldown_ms=50.0, seed=9,
+    open_loop={"users_per_region": 200, "txn_per_user_s": 2.0},
+    label="par-det/open",
+)
+
+
+class TestThreadsMatchesSerial:
+    def test_closed_loop_tpcc(self):
+        serial = run_spec(CLOSED)
+        par = run_spec(replace(CLOSED, parallel_regions=3))
+        assert serial.parallel_mode == "serial"
+        assert par.parallel_mode == "threads"
+        assert serial.committed > 0
+        assert _virtual_digest(serial) == _virtual_digest(par)
+
+    def test_open_loop_ycsb(self):
+        serial = run_spec(OPEN)
+        par = run_spec(replace(OPEN, parallel_regions=3))
+        assert par.parallel_mode == "threads"
+        assert serial.committed > 0
+        assert _virtual_digest(serial) == _virtual_digest(par)
+
+    def test_threads_self_deterministic(self):
+        spec = replace(CLOSED, parallel_regions=3)
+        assert _virtual_digest(run_spec(spec)) == _virtual_digest(run_spec(spec))
+
+
+class TestLockstepMatchesSerial:
+    def test_traced_trial_demotes_to_lockstep_and_matches(self):
+        from repro.bench.harness import run_trial
+
+        def traced(parallel_regions):
+            trial = replace(CLOSED, parallel_regions=parallel_regions).to_trial()
+            trial.obs_causal = True
+            result = run_trial(trial)
+            blob = canonical_json({
+                "row": result.summary.as_row(),
+                "committed": result.summary.committed,
+                "aborted": result.summary.aborted,
+                "traced": len(result.obs.traces()),
+            }).encode()
+            return result.parallel_mode, hashlib.sha256(blob).hexdigest()
+
+        serial_mode, serial_digest = traced(0)
+        par_mode, par_digest = traced(3)
+        assert serial_mode == "serial"
+        assert par_mode == "lockstep"
+        assert serial_digest == par_digest
+
+
+class TestBenchSpeedupColumn:
+    def _pair(self):
+        base = TrialSpec(system="dast", workload="tpcc", num_regions=3,
+                         label="twin")
+        return [base, replace(base, parallel_regions=3, label="twin-j3")]
+
+    def test_executed_twins_get_ratio(self):
+        specs = self._pair()
+        rows = [{"cached": False, "wall_clock_s": 10.0},
+                {"cached": False, "wall_clock_s": 4.0}]
+        _attach_speedups(specs, rows)
+        assert "speedup_vs_serial" not in rows[0]  # serial rows untouched
+        assert rows[1]["speedup_vs_serial"] == 2.5
+
+    def test_cached_twin_yields_none(self):
+        # A cached wall clock reflects some earlier machine state — the
+        # ratio would be fiction, so the column is explicitly null.
+        specs = self._pair()
+        rows = [{"cached": True, "wall_clock_s": 10.0},
+                {"cached": False, "wall_clock_s": 4.0}]
+        _attach_speedups(specs, rows)
+        assert rows[1]["speedup_vs_serial"] is None
+
+    def test_twin_matching_ignores_labels(self):
+        specs = self._pair()
+        specs[1] = replace(specs[1], label="renamed-elsewhere")
+        rows = [{"cached": False, "wall_clock_s": 8.0},
+                {"cached": False, "wall_clock_s": 8.0}]
+        _attach_speedups(specs, rows)
+        assert rows[1]["speedup_vs_serial"] == 1.0
+
+    def test_unpaired_parallel_row_gets_none(self):
+        specs = [replace(TrialSpec(label="solo"), parallel_regions=2)]
+        rows = [{"cached": False, "wall_clock_s": 5.0}]
+        _attach_speedups(specs, rows)
+        assert rows[0]["speedup_vs_serial"] is None
