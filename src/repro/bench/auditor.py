@@ -74,6 +74,7 @@ def audit_dast_run(system) -> AuditReport:
     topology = system.topology
 
     # 1 & 2: replica agreement and per-node timestamp monotonicity.
+    retired = getattr(system, "retired_replicas", None) or {}
     executed_by_shard: Dict[str, List[Tuple]] = {}
     for shard_id in topology.all_shards():
         logs = []
@@ -88,18 +89,61 @@ def audit_dast_run(system) -> AuditReport:
                         f"{host}: executed {b[1]} at {b[0]} after {a[1]} at {a[0]}"
                     )
             logs.append((host, log))
-        if not logs:
+        retired_batches = retired.get(shard_id, [])
+        retired_logs = [(host, log)
+                        for batch in retired_batches
+                        for host, log, _d in batch]
+        for host, log in retired_logs:
+            for (a, b) in zip(log, log[1:]):
+                if not a[0] < b[0]:
+                    report.order_violations.append(
+                        f"{host}: executed {b[1]} at {b[0]} after {a[1]} at {a[0]}"
+                    )
+        if not logs and not retired_logs:
             continue
-        # A replica added mid-run (Algorithm 4) starts from a checkpoint, so
-        # its log is a suffix of the full sequence; compare accordingly.
-        baseline_host, baseline = max(logs, key=lambda hl: len(hl[1]))
-        baseline_ids = [t for _, t in baseline]
-        for host, log in logs:
-            ids = [t for _, t in log]
-            if ids and baseline_ids[-len(ids):] != ids:
-                report.replica_mismatches.append(
-                    f"{shard_id}: {host} executed a different sequence than {baseline_host}"
-                )
+        if retired_logs:
+            # The shard was elastically moved (repro.topo): its canonical
+            # sequence is the union of retired donors' logs (the prefix,
+            # frozen at removal) and live replicas' logs (the suffix, from
+            # the checkpoint on).  Every individual log — retired or live —
+            # must be a contiguous slice of the merged sequence.
+            merged: Dict[str, object] = {}
+            for _host, log in retired_logs + logs:
+                for ts, txn_id in log:
+                    prev = merged.get(txn_id)
+                    if prev is not None and prev != ts:
+                        report.order_violations.append(
+                            f"{txn_id}: executed at different timestamps {prev} vs {ts}"
+                        )
+                    merged[txn_id] = ts
+            baseline = sorted(((ts, t) for t, ts in merged.items()))
+            baseline_ids = [t for _, t in baseline]
+            for host, log in retired_logs + logs:
+                ids = [t for _, t in log]
+                if not ids:
+                    continue
+                start = baseline_ids.index(ids[0]) if ids[0] in merged else -1
+                if start < 0 or baseline_ids[start:start + len(ids)] != ids:
+                    report.replica_mismatches.append(
+                        f"{shard_id}: {host} executed a sequence inconsistent "
+                        f"with the merged reshard log"
+                    )
+            for batch in retired_batches:
+                if len({d for _h, _l, d in batch}) > 1:
+                    report.replica_mismatches.append(
+                        f"{shard_id}: retired replica digests diverge")
+        else:
+            # A replica added mid-run (Algorithm 4) starts from a
+            # checkpoint, so its log is a suffix of the full sequence;
+            # compare accordingly.
+            baseline_host, baseline = max(logs, key=lambda hl: len(hl[1]))
+            baseline_ids = [t for _, t in baseline]
+            for host, log in logs:
+                ids = [t for _, t in log]
+                if ids and baseline_ids[-len(ids):] != ids:
+                    report.replica_mismatches.append(
+                        f"{shard_id}: {host} executed a different sequence than {baseline_host}"
+                    )
         digests = {
             system.nodes[h].shard.digest()
             for h, _log in logs

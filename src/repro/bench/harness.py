@@ -57,6 +57,10 @@ class Trial:
         batch_window: float = 0.0,
         open_loop: Optional[dict] = None,
         parallel_regions: int = 0,
+        topology_plan=None,
+        rtt_profile: Optional[str] = None,
+        service_multipliers=None,
+        spare_regions: int = 0,
     ):
         self.system = system
         self.workload_factory = workload_factory
@@ -106,6 +110,15 @@ class Trial:
         # decides the backend (or declines with a named reason).  Virtual
         # -time outputs are identical either way; only wall-clock changes.
         self.parallel_regions = parallel_regions
+        # Dynamic topology (repro.topo): a TopologyPlan of mid-trial events
+        # (forces the serial kernel when present), a named cross-region RTT
+        # profile, per-region CPU service-time multipliers (name, list, or
+        # {region: factor} dict), and spare (initially empty) regions that
+        # region_join events can reshard work onto.
+        self.topology_plan = topology_plan
+        self.rtt_profile = rtt_profile
+        self.service_multipliers = service_multipliers
+        self.spare_regions = spare_regions
 
 
 class TrialResult:
@@ -113,19 +126,26 @@ class TrialResult:
 
     def __init__(self, trial: Trial, system, recorder: LatencyRecorder,
                  clients: List[ClosedLoopClient], obs=None, chaos=None,
-                 parallel_mode: str = "serial", serial_reason=None):
+                 parallel_mode: str = "serial", serial_reason=None, topo=None):
         self.trial = trial
         self.system = system
         self.recorder = recorder
         self.clients = clients
         self.obs = obs  # ObsBundle when the trial ran with obs=True
         self.chaos = chaos  # ChaosRunner when the trial ran a fault plan
+        self.topo = topo  # TopoRunner when the trial ran a topology plan
         # How the kernel actually executed ("serial"/"lockstep"/"threads")
         # and, when parallelism was requested but declined, why.
         self.parallel_mode = parallel_mode
         self.serial_reason = serial_reason
         self.summary: Summary = recorder.summarize(trial.system)
         self.summary.attach_network(getattr(system.network, "stats", None))
+        self._attach_topo()
+
+    def _attach_topo(self) -> None:
+        counters = getattr(self.system, "topo_counters", None)
+        if counters is not None:
+            self.summary.attach_topology(counters())
 
     def drain(self, extra_ms: float = 4000.0) -> None:
         """Stop clients and let in-flight transactions finish (for audits)."""
@@ -142,6 +162,9 @@ class TrialResult:
             endpoint.batch_window = 0.0
             endpoint.flush()
         self.system.run(until=self.system.sim.now + extra_ms)
+        # Topology events may still be completing when the measured window
+        # closes; refresh the summary's churn counters after the drain.
+        self._attach_topo()
 
 
 def _reset_global_id_streams() -> None:
@@ -181,6 +204,7 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         clients_per_region=trial.clients_per_region,
         seed=trial.seed,
         timing=trial.timing,
+        spare_regions=getattr(trial, "spare_regions", 0),
     )
     topology = Topology(config)
     workload = trial.workload_factory(topology)
@@ -198,15 +222,36 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         topology, workload.schemas(), workload.load,
         seed=trial.seed, clock_skew=trial.clock_skew, **kwargs,
     )
+    topo_plan = getattr(trial, "topology_plan", None)
+    rtt_profile = getattr(trial, "rtt_profile", None)
+    service_mults = getattr(trial, "service_multipliers", None)
+    if rtt_profile:
+        from repro.topo import apply_rtt_profile
+
+        apply_rtt_profile(system.network, topology.regions, rtt_profile)
+    if service_mults:
+        from repro.topo import (apply_service_multipliers,
+                                resolve_service_multipliers)
+
+        apply_service_multipliers(
+            system, resolve_service_multipliers(service_mults, topology.regions))
     open_cfg = None
     if trial.open_loop is not None:
         from repro.bench.metrics import OpenLoopRecorder
         from repro.workloads.openloop import OpenLoopConfig
 
         open_cfg = OpenLoopConfig.from_dict(trial.open_loop)
+        if topo_plan is not None or service_mults:
+            # The express path bypasses the submit-side freeze check and
+            # models a uniform CPU cost; dynamic topology and heterogeneous
+            # service times both need the fully general path.
+            open_cfg.express = False
         recorder = OpenLoopRecorder(
             warm_start=trial.warmup_ms,
             warm_end=trial.duration_ms - trial.cooldown_ms,
+            # Audits need the TxnResults; safe only off the express path
+            # (express recycles result objects through a pool).
+            keep_results=open_cfg.keep_records and not open_cfg.express,
         )
     else:
         recorder = LatencyRecorder(
@@ -223,6 +268,7 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
     if getattr(trial, "obs_wire", False):
         system.network.wire_log = []
     system.start()
+    engine = None
     if open_cfg is not None:
         from repro.workloads.openloop import OpenLoopEngine
 
@@ -238,6 +284,12 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
         from repro.chaos.runner import ChaosRunner
 
         chaos = ChaosRunner(system, trial.fault_plan, origin=0.0).install()
+    topo_runner = None
+    if topo_plan is not None and getattr(topo_plan, "events", None):
+        from repro.topo import TopoRunner
+
+        topo_runner = TopoRunner(system, topo_plan, engine=engine,
+                                 origin=0.0).install()
     if hooks is not None:
         hooks(system, recorder)
     if open_cfg is not None:
@@ -259,4 +311,5 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
     else:
         system.run(until=trial.duration_ms)
     return TrialResult(trial, system, recorder, clients, obs=bundle, chaos=chaos,
-                       parallel_mode=mode, serial_reason=serial_reason)
+                       parallel_mode=mode, serial_reason=serial_reason,
+                       topo=topo_runner)

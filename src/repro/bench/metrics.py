@@ -60,6 +60,10 @@ class Summary:
         self.msgs_total = 0
         self.bytes_total = 0
         self.msg_top_types: List[Tuple[str, int]] = []
+        # Topology-churn counters (repro.topo): reshards, region joins and
+        # leaves, migrated users, CRT handoffs.  Empty for every trial
+        # without topology events, and then absent from as_row().
+        self.topo: Dict[str, int] = {}
 
     def attach_network(self, net_stats) -> "Summary":
         """Fold a :class:`repro.sim.network.NetworkStats` into the summary."""
@@ -69,8 +73,14 @@ class Summary:
             self.msg_top_types = net_stats.top_types(5)
         return self
 
+    def attach_topology(self, counters: Optional[Dict[str, int]]) -> "Summary":
+        """Fold a system's ``topo_*`` counter bag into the summary."""
+        if counters:
+            self.topo = {key: int(value) for key, value in sorted(counters.items())}
+        return self
+
     def as_row(self) -> Dict[str, float]:
-        return {
+        row = {
             "system": self.system,
             "throughput_tps": round(self.throughput, 1),
             "irt_p50_ms": round(self.irt_median, 2),
@@ -83,6 +93,9 @@ class Summary:
             "bytes_total": self.bytes_total,
             "msg_top_types": {name: count for name, count in self.msg_top_types},
         }
+        if self.topo:
+            row["topo"] = dict(self.topo)
+        return row
 
     def __repr__(self) -> str:
         return (
@@ -264,10 +277,17 @@ class OpenLoopRecorder:
     region against the rest.
     """
 
-    def __init__(self, warm_start: float = 0.0, warm_end: float = float("inf")):
+    def __init__(self, warm_start: float = 0.0, warm_end: float = float("inf"),
+                 keep_results: bool = False):
         self.warm_start = warm_start
         self.warm_end = warm_end
         self._regions: Dict[str, _RegionSeries] = {}
+        # Post-hoc audits (repro.topo churn trials) need the TxnResult
+        # objects themselves.  Only safe off the express path (express
+        # recycles results through a pool); the harness enables it for
+        # keep_records trials where express is forced off.
+        self.keep_results = keep_results
+        self.results: List[TxnResult] = []
 
     # All-arrival and failure totals live in the per-region series (one
     # writer per region under the partitioned kernel's threaded backend);
@@ -292,6 +312,8 @@ class OpenLoopRecorder:
         the caller immediately after this returns."""
         series = self._series(region)
         series.arrivals += 1
+        if self.keep_results:
+            self.results.append(result)
         finish = result.finish_time
         if not (self.warm_start <= finish <= self.warm_end):
             return

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro run|experiment|audit|obs|trace|canary|chaos|bench``.
+"""Command-line interface: ``python -m repro run|experiment|audit|obs|trace|canary|chaos|topo|bench``.
 
 Examples::
 
@@ -17,6 +17,11 @@ Examples::
     python -m repro chaos --fuzz 10 --seed 0        # seeded scenario matrix
     python -m repro chaos --fuzz 10 --jobs 4        # parallel scenario matrix
     python -m repro chaos --plan plan.json --out report.txt
+    python -m repro canary capture --seeds 3        # distribution-level bands
+    python -m repro topo --seed 3                   # one generated churn scenario
+    python -m repro topo --fuzz 4 --seed 0          # seeded churn matrix
+    python -m repro run --topology plan.json --spare-regions 1
+    python -m repro run --rtt-profile aws-like --service-profile edge-tiers
     python -m repro bench --jobs 4                  # pinned wall-clock matrix
 """
 
@@ -102,6 +107,17 @@ def _open_loop_dict(args) -> Optional[dict]:
 
 
 def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
+    topology_plan = None
+    topo_path = getattr(args, "topology", None)
+    if topo_path:
+        from repro.errors import ConfigError
+        from repro.topo import TopologyPlan
+
+        try:
+            with open(topo_path) as fh:
+                topology_plan = TopologyPlan.from_json(fh.read()).validate()
+        except OSError as exc:
+            raise ConfigError(f"cannot read --topology plan: {exc}") from exc
     return Trial(
         args.system,
         _workload_factory(args),
@@ -116,6 +132,10 @@ def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
         batch_window=_batch_window(args),
         open_loop=_open_loop_dict(args),
         parallel_regions=getattr(args, "parallel_regions", 0),
+        topology_plan=topology_plan,
+        rtt_profile=getattr(args, "rtt_profile", None),
+        service_multipliers=getattr(args, "service_profile", None),
+        spare_regions=getattr(args, "spare_regions", 0),
     )
 
 
@@ -276,17 +296,22 @@ def cmd_canary(args) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
 
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+
     if args.mode == "capture":
         error = _check_out_path(args.goldens, "--goldens")
         if error:
             print(error, file=sys.stderr)
             return 2
-        doc = capture(specs, progress=_progress)
+        doc = capture(specs, progress=_progress, seeds=args.seeds)
         with open(args.goldens, "w") as fh:
             json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
-        print(f"captured {len(doc['scenarios'])} golden scenario(s) "
-              f"to {args.goldens}")
+        suffix = f" ({args.seeds} seeds each)" if args.seeds > 1 else ""
+        print(f"captured {len(doc['scenarios'])} golden scenario(s)"
+              f"{suffix} to {args.goldens}")
         return 0
 
     try:
@@ -576,6 +601,115 @@ def cmd_chaos(args) -> int:
     return 1
 
 
+def cmd_topo(args) -> int:
+    """Run topology-churn scenarios: a plan file, one generated seed, or a
+    fuzz matrix — every scenario gated by the serializability auditor."""
+    from repro.chaos.shrink import shrink_plan
+    from repro.errors import ConfigError
+    from repro.topo import TopologyPlan, generate_topology_plan
+    from repro.topo.runner import run_topo_trial
+
+    for path, what in ((args.out, "--out"), (args.shrunk_out, "--shrunk-out"),
+                       (args.emit_plan, "--emit-plan")):
+        error = _check_out_path(path, what)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+
+    def generated(seed: int) -> "TopologyPlan":
+        return generate_topology_plan(
+            seed, num_regions=args.regions,
+            shards_per_region=args.shards_per_region,
+            spare_regions=args.spare_regions)
+
+    def run_plan(plan, seed: int):
+        return run_topo_trial(
+            plan, workload=args.workload, num_regions=args.regions,
+            shards_per_region=args.shards_per_region,
+            spare_regions=args.spare_regions,
+            users_per_region=args.users, arrival_rate_tps=args.rate,
+            duration_ms=args.duration_ms, drain_ms=args.drain_ms,
+            seed=seed, crt_ratio=args.crt_ratio)
+
+    if args.emit_plan:
+        plan = generated(args.seed)
+        with open(args.emit_plan, "w") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(plan.timeline())
+        print(f"wrote plan to {args.emit_plan}")
+        return 0
+
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                scenarios = [(args.seed,
+                              TopologyPlan.from_json(fh.read()).validate())]
+        except (OSError, ConfigError) as exc:
+            print(f"bad --plan: {exc}", file=sys.stderr)
+            return 2
+    elif args.fuzz:
+        scenarios = [(s, generated(s))
+                     for s in range(args.seed, args.seed + args.fuzz)]
+    else:
+        scenarios = [(args.seed, generated(args.seed))]
+
+    report_lines = []
+    failed = None  # (seed, plan, report_text)
+    for seed, plan in scenarios:
+        try:
+            report = run_plan(plan, seed)
+        except ConfigError as exc:
+            print(f"plan not runnable: {exc}", file=sys.stderr)
+            return 2
+        verdict = "OK" if report.ok else "FAIL"
+        c = report.counters
+        line = (f"seed={seed} events={len(plan)} "
+                f"applied={report.events_applied} "
+                f"reshards={c.get('reshards', 0)} "
+                f"handoffs={c.get('handoff_txns', 0)} "
+                f"committed={report.committed} aborted={report.aborted} "
+                f"{verdict}")
+        print(line)
+        report_lines.append(line)
+        if not report.ok:
+            failed = (seed, plan, report.to_text())
+            break
+
+    if failed is None:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write("\n".join(report_lines) + "\nverdict: OK\n")
+            print(f"wrote report to {args.out}")
+        return 0
+
+    seed, plan, report_text = failed
+    print()
+    print(report_text)
+    text = "\n".join(report_lines) + "\n\n" + report_text + "\n"
+    if args.shrink:
+        # The chaos ddmin shrinker duck-types TopologyPlan (subset()); the
+        # auditor verdict is the oracle.
+        result = shrink_plan(
+            plan, lambda p: not run_plan(p, seed).ok,
+            max_runs=args.shrink_budget,
+        )
+        print()
+        print(f"shrunk to {len(result.plan)} events in {result.runs} runs:")
+        print(result.plan.timeline())
+        print(result.plan.to_json())
+        text += f"\nshrunk reproducer ({len(result.plan)} events):\n"
+        text += result.plan.timeline() + "\n" + result.plan.to_json() + "\n"
+        if args.shrunk_out:
+            with open(args.shrunk_out, "w") as fh:
+                fh.write(result.plan.to_json() + "\n")
+            print(f"wrote shrunk plan to {args.shrunk_out}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.out}")
+    return 1
+
+
 def cmd_audit(args) -> int:
     args.system = "dast"
     result = run_trial(_build_trial(args))
@@ -624,6 +758,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batching", choices=["off", "on"], default="off",
                        help="coalesce batchable small messages per destination "
                             f"within a {BATCH_WINDOW_MS} ms flush window")
+        p.add_argument("--topology", metavar="FILE", default=None,
+                       help="execute a TopologyPlan JSON schedule mid-trial "
+                            "(docs/TOPOLOGY.md); forces the serial kernel")
+        p.add_argument("--rtt-profile", metavar="NAME", default=None,
+                       help="named cross-region RTT preset (aws-like, "
+                            "metro-edge)")
+        p.add_argument("--service-profile", metavar="NAME", default=None,
+                       help="named per-region CPU service-tier preset "
+                            "(edge-tiers, uniform-slow)")
+        p.add_argument("--spare-regions", type=int, default=0, metavar="N",
+                       help="extra initially-empty regions available for "
+                            "elastic region_join events")
         p.add_argument("-j", "--parallel-regions", type=int, default=0,
                        metavar="N",
                        help="run the kernel region-partitioned across N "
@@ -680,6 +826,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="restrict to named pinned scenario(s); repeatable")
     canary_p.add_argument("--tolerance", type=float, default=None,
                           help="override every metric's relative tolerance band")
+    canary_p.add_argument("--seeds", type=int, default=1, metavar="N",
+                          help="capture: run each scenario at N sibling seeds "
+                               "and store distribution-level tolerance bands "
+                               "(min/max across seeds widen the gate)")
     canary_p.add_argument("--chrome-dir", metavar="DIR", default=None,
                           help="on failure, write the worst-regressing "
                                "scenario's Chrome trace into DIR")
@@ -765,6 +915,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for --fuzz matrices (1 = serial)")
     add_trial_args(chaos_p)
     chaos_p.set_defaults(fn=cmd_chaos, shrink=True)
+
+    topo_p = sub.add_parser(
+        "topo", help="run topology-churn scenarios against the audit oracle "
+                     "(docs/TOPOLOGY.md)")
+    topo_p.add_argument("--plan", metavar="FILE", default=None,
+                        help="run one TopologyPlan from a JSON file")
+    topo_p.add_argument("--fuzz", type=int, metavar="N", default=0,
+                        help="generate and run N seeded churn scenarios "
+                             "(seed..seed+N-1)")
+    topo_p.add_argument("--seed", type=int, default=1)
+    topo_p.add_argument("--emit-plan", metavar="PATH", default=None,
+                        help="write the generated plan as JSON and exit")
+    topo_p.add_argument("--workload",
+                        choices=["tpcc", "tpca", "payment", "ycsb"],
+                        default="tpca")
+    topo_p.add_argument("--regions", type=int, default=3)
+    topo_p.add_argument("--shards-per-region", type=int, default=1)
+    topo_p.add_argument("--spare-regions", type=int, default=1,
+                        help="extra initially-empty regions for region_join")
+    topo_p.add_argument("--users", type=int, default=60,
+                        help="open-loop users per region")
+    topo_p.add_argument("--rate", type=float, default=40.0,
+                        help="aggregate arrivals per region per second")
+    topo_p.add_argument("--crt-ratio", type=float, default=0.1)
+    topo_p.add_argument("--duration-ms", type=float, default=3500.0)
+    topo_p.add_argument("--drain-ms", type=float, default=9000.0,
+                        help="extra virtual ms to drain before the audit")
+    topo_p.add_argument("--out", metavar="PATH", default=None,
+                        help="write the report text to PATH")
+    topo_p.add_argument("--shrunk-out", metavar="PATH", default=None,
+                        help="write the shrunk reproducer plan JSON to PATH")
+    topo_p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="skip delta-debugging a failing scenario")
+    topo_p.add_argument("--shrink-budget", type=int, default=32,
+                        help="max trial runs the shrinker may spend")
+    topo_p.set_defaults(fn=cmd_topo, shrink=True)
     return parser
 
 

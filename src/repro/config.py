@@ -55,10 +55,17 @@ class TopologyConfig:
     clients_per_region: int = 4
     seed: int = 1
     timing: TimingConfig = field(default_factory=TimingConfig)
+    # Spare regions start with a manager but no shards or data nodes: they
+    # are join targets for mid-trial topology plans (repro.topo).  Shard
+    # numbering ignores spares, so enabling them changes no workload
+    # partitioning.
+    spare_regions: int = 0
 
     def validate(self) -> None:
         if self.num_regions < 1:
             raise ConfigError("need at least one region")
+        if self.spare_regions < 0:
+            raise ConfigError("spare_regions must be >= 0")
         if self.shards_per_region < 1:
             raise ConfigError("need at least one shard per region")
         if self.replication < 1 or self.replication % 2 == 0:
@@ -80,12 +87,14 @@ class Topology:
     def __init__(self, config: TopologyConfig):
         config.validate()
         self.config = config
-        self.regions: List[str] = [f"r{i}" for i in range(config.num_regions)]
+        self.regions: List[str] = [
+            f"r{i}" for i in range(config.num_regions + config.spare_regions)
+        ]
         self._region_nodes: Dict[str, List[str]] = {}
         self._shard_region: Dict[str, str] = {}
         self._shard_replicas: Dict[str, Tuple[str, ...]] = {}
         self._node_shard: Dict[str, str] = {}
-        for ri, region in enumerate(self.regions):
+        for ri, region in enumerate(self.regions[: config.num_regions]):
             nodes = []
             for sj in range(config.shards_per_region):
                 shard_id = self.shard_name(ri * config.shards_per_region + sj)
@@ -98,6 +107,8 @@ class Topology:
                 self._shard_region[shard_id] = region
                 self._shard_replicas[shard_id] = tuple(replicas)
             self._region_nodes[region] = nodes
+        for region in self.regions[config.num_regions:]:
+            self._region_nodes[region] = []  # spare: join target, no shards yet
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -73,6 +73,25 @@ class CoordinatorMixin:
     # ------------------------------------------------------------------
     def on_submit(self, src: str, payload: "Submit"):
         txn = payload.txn
+        frozen = self.catalog.frozen_shards
+        if frozen and not frozen.isdisjoint(txn.shard_ids):
+            # A touched shard is mid-reshard (repro.topo): park until the
+            # move's drain window closes, then coordinate (or bounce, if
+            # this node retired with the move).
+            return self._submit_after_thaw(src, payload)
+        if self.host not in self.catalog.replicas_of(self.shard_id):
+            # This node retired with a reshard while the Submit was in
+            # flight: it can no longer commit anything (its report loop is
+            # stopped and acks addressed to it go nowhere), so coordinating
+            # would wedge the transaction forever.  Bounce benignly; the
+            # client's next submission resolves the shard's new home.
+            self.stats.inc("topo_bounced_submits")
+            if self.tracer is not None:
+                self._trace("bounced_submit", txn=txn.txn_id)
+            return TxnResult(
+                txn.txn_id, txn.txn_type, committed=False, is_crt=False,
+                outputs={}, abort_reason="", phases={},
+            )
         txn.home_region = self.region
         regions = sorted({self.catalog.region_of_shard(s) for s in txn.shard_ids})
         txn.participating_regions = tuple(regions)
@@ -83,6 +102,30 @@ class CoordinatorMixin:
         if is_crt:
             return self._coordinate_crt(state)
         return self._coordinate_irt(state)
+
+    def _submit_after_thaw(self, src: str, payload: "Submit"):
+        """Generator: poll the freeze set, then coordinate normally.
+
+        If this node retired while the submission was parked (its shard
+        moved away with the reshard), reply with a benign abort — the
+        workload counts it as a completion, not a conflict, and the
+        client's next submission routes to the shard's new home."""
+        txn = payload.txn
+        frozen = self.catalog.frozen_shards
+        while not frozen.isdisjoint(txn.shard_ids):
+            yield self.sim.timeout(self.timing.intra_region_rtt)
+        if self.host not in self.catalog.replicas_of(self.shard_id):
+            self.stats.inc("topo_parked_aborts")
+            if self.tracer is not None:
+                self._trace("parked_abort", txn=txn.txn_id)
+            return TxnResult(
+                txn.txn_id, txn.txn_type, committed=False, is_crt=False,
+                outputs={}, abort_reason="", phases={},
+            )
+        result = self.on_submit(src, payload)
+        if hasattr(result, "send"):
+            result = yield from result
+        return result
 
     # ------------------------------------------------------------------
     # Algorithm 1: IRT

@@ -290,13 +290,23 @@ class DastManager:
             return {"ok": True}
         return self.remove_nodes([node])
 
+    def _member_timeout(self, dst: str) -> float:
+        """Per-destination call timeout: members are intra-region except
+        during an elastic shard move (repro.topo), when migrating replicas
+        in the destination region are temporarily members here — an
+        intra-region timeout would expire before their one-way delay and
+        retransmit forever."""
+        if self.topology.region_of_node(dst) == self.region:
+            return 4 * self.timing.intra_region_rtt
+        return 4 * self.timing.cross_region_rtt
+
     def _reliable(self, dst: str, msg: WireMessage,
                   timeout: Optional[float] = None) -> None:
         """Retransmit until acknowledged: view commits and aborts are
         decisions — a node that misses one keeps a removed member in its
         PCT table and wedges its watermark forever.  Gives up only when the
         destination is down/removed or this manager lost its mandate."""
-        timeout = timeout or 4 * self.timing.intra_region_rtt
+        timeout = timeout or self._member_timeout(dst)
 
         def proc():
             while True:
@@ -327,7 +337,7 @@ class DastManager:
                         reply = yield self.endpoint.call(
                             node,
                             RemovePrep(vid=self.vid, to_remove=to_remove),
-                            timeout=4 * self.timing.intra_region_rtt,
+                            timeout=self._member_timeout(node),
                         )
                         break
                     except (RpcTimeout, RpcRemoteError):
@@ -407,12 +417,18 @@ class DastManager:
 
         def proc():
             source = donor or self.catalog.replicas_of(shard_id)[0]
+            # The donor's reply waits on its InstallCkpt hop to the new
+            # node; when that hop is cross-region (elastic shard move) the
+            # donor call needs the cross-region budget on top.
+            ckpt_timeout = 20 * self.timing.intra_region_rtt
+            if self.topology.region_of_node(new_node) != self.region:
+                ckpt_timeout += 4 * self.timing.cross_region_rtt
             while True:
                 try:
                     reply = yield self.endpoint.call(
                         source,
                         TransferCkpt(node=new_node, shard=shard_id),
-                        timeout=20 * self.timing.intra_region_rtt,
+                        timeout=ckpt_timeout,
                     )
                     break
                 except (RpcTimeout, RpcRemoteError):
@@ -427,9 +443,15 @@ class DastManager:
                         source = live[0]
             ts_ckpt = reply
             # Anticipate when the new view will be installed; conservative
-            # slack is fine — admission is off the critical path.
+            # slack is fine — admission is off the critical path.  The
+            # horizon scales with the slowest member round-trip (cross-
+            # region when a shard move has migrating replicas in the view).
+            horizon = max(
+                [self._member_timeout(n) for n in self.members + [new_node]],
+                default=4 * self.timing.intra_region_rtt,
+            )
             ts_ins = Timestamp(
-                self.dclock.physical() + 4 * self.timing.intra_region_rtt + 10.0, 0, self.nid
+                self.dclock.physical() + horizon + 10.0, 0, self.nid
             )
             if self.smr is not None:
                 yield self.sim.spawn(
@@ -449,7 +471,7 @@ class DastManager:
                         yield self.endpoint.call(
                             node,
                             AddPrep(vid=self.vid, node=new_node, ts_ins=ts_ins),
-                            timeout=4 * self.timing.intra_region_rtt,
+                            timeout=self._member_timeout(node),
                         )
                         break
                     except (RpcTimeout, RpcRemoteError):
@@ -486,7 +508,7 @@ class DastManager:
                     try:
                         reply = yield self.endpoint.call(
                             node, MgrTakeover(vid=self.vid),
-                            timeout=4 * self.timing.intra_region_rtt,
+                            timeout=self._member_timeout(node),
                         )
                         break
                     except (RpcTimeout, RpcRemoteError):

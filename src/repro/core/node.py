@@ -60,6 +60,7 @@ from repro.wire.messages import (
     ReplicaCatchup,
     SendOutput,
     TransferCkpt,
+    ViewSync,
 )
 from repro.wire.schema import WireMessage, encode
 
@@ -157,6 +158,7 @@ class DastNode(CoordinatorMixin):
         ep.register("add_prep", self.on_add_prep)
         ep.register("add_commit", self.on_add_commit)
         ep.register("replica_catchup", self.on_replica_catchup)
+        ep.register("view_sync", self.on_view_sync)
         ep.register("ping", lambda src, payload: {"node": self.host}, cheap=True)
 
     def _trace(self, kind: str, **fields) -> None:
@@ -702,6 +704,17 @@ class DastNode(CoordinatorMixin):
     # ------------------------------------------------------------------
     # Reliable delivery with obligation caps
     # ------------------------------------------------------------------
+    def _member_timeout(self, dst: str) -> float:
+        """Per-destination retransmission timeout.
+
+        Members are usually intra-region, but during an elastic shard move
+        (repro.topo) migrating replicas sit in another region: an
+        intra-region timeout there is shorter than the one-way delay, so
+        every call would time out and retransmit forever."""
+        if self.topology.region_of_node(dst) == self.region:
+            return 4 * self.timing.intra_region_rtt
+        return 4 * self.timing.cross_region_rtt
+
     def _reliable(
         self,
         dst: str,
@@ -714,7 +727,7 @@ class DastNode(CoordinatorMixin):
         obl_id = next(self._obl_ids)
         if obligation_ts is not None:
             self._obligations.setdefault(dst, {})[obl_id] = obligation_ts
-        timeout = timeout or max(4 * self.timing.intra_region_rtt, 10.0)
+        timeout = timeout or max(self._member_timeout(dst), 10.0)
 
         def proc():
             tries = 0
@@ -831,7 +844,7 @@ class DastNode(CoordinatorMixin):
             yield self.endpoint.call(
                 new_node,
                 InstallCkpt(snapshot=snapshot, ts_ckpt=ts_ckpt, shard=self.shard_id),
-                timeout=4 * self.timing.intra_region_rtt,
+                timeout=self._member_timeout(new_node),
             )
             return ts_ckpt
 
@@ -922,6 +935,32 @@ class DastNode(CoordinatorMixin):
                     yield self.sim.timeout(10 * self.timing.intra_region_rtt)
                     self._send_catchup(new_node, donor_state["ts_ckpt"])
                 self.sim.spawn(later(), name=f"{self.host}.catchup2")
+        self._try_execute()
+        return {"node": self.host}
+
+    # ------------------------------------------------------------------
+    # Elastic reshard view flip (repro.topo)
+    # ------------------------------------------------------------------
+    def on_view_sync(self, src: str, payload: ViewSync):
+        """Install the post-move view: manager flip and/or member set.
+
+        The old manager's ``max_ts`` entry is dropped and **not** carried
+        over to the new manager: the new manager's pending floor is
+        independent of the old one's, so inheriting the old report could
+        overstate the new floor and let us execute past a CRT the new
+        manager is still anticipating.  Until the new manager's next
+        periodic report arrives (one pct_interval), the PCT threshold sits
+        at ZERO — a brief stall, never an unsafe execution."""
+        if payload.manager is not None and payload.manager != self.manager:
+            self.max_ts.pop(self.manager, None)
+            self.manager = payload.manager
+        if payload.members is not None:
+            self.members = list(payload.members)
+            keep = set(self.members)
+            keep.add(self.manager)
+            for host in [h for h in self.max_ts if h not in keep]:
+                self.max_ts.pop(host, None)
+                self._obligations.pop(host, None)
         self._try_execute()
         return {"node": self.host}
 

@@ -16,19 +16,19 @@ from repro.consensus.smr import SmrCluster
 from repro.core.failure_detector import FailureDetector
 from repro.core.manager import DastManager
 from repro.core.node import DastNode
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RpcTimeout
 from repro.sim.clocks import ClockSource
 from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
-from repro.sim.rpc import Endpoint
+from repro.sim.rpc import Endpoint, RpcRemoteError
 from repro.sim.trace import trace_client_rpc
 from repro.storage.catalog import Catalog
 from repro.storage.shard import Shard
 from repro.storage.table import TableSchema
 from repro.txn.model import Transaction
 from repro.util import Stats
-from repro.wire.messages import Submit
+from repro.wire.messages import Submit, ViewSync
 
 __all__ = ["DastSystem"]
 
@@ -90,6 +90,11 @@ class DastSystem:
         self.tracer = None
         self.registry = None
         self.probes = None
+        # Elastic reshard bookkeeping (repro.topo): per-shard snapshots of
+        # retired donor replicas' executed logs (host, log, digest) for the
+        # serializability auditor, plus a per-region guest-name sequence.
+        self.retired_replicas: Dict[str, List] = {}
+        self._guest_seq: Dict[str, int] = {}
 
         skew_rng = self.rng.stream("clock-skew")
         nid = 0
@@ -299,8 +304,10 @@ class DastSystem:
                 touched += 1
         return touched
 
-    def add_replica(self, region: str, new_host: str, shard_id: str) -> Event:
-        """Add ``new_host`` as a fresh replica of ``shard_id`` (Algorithm 4)."""
+    def _provision_node(self, region: str, new_host: str, shard_id: str,
+                        manager_host: Optional[str] = None,
+                        members: Optional[List[str]] = None) -> DastNode:
+        """Build, register and start a fresh (empty) replica node."""
         rsim = self.sim_for(region)
         source = self._clock_source(new_host, 0.0, self.rng.stream("clock-skew"), rsim)
         shard = Shard(shard_id, self.schemas)  # empty until checkpoint install
@@ -308,17 +315,174 @@ class DastSystem:
             rsim, self.network, self.topology, self.catalog, self.timing,
             new_host, shard, source, nid=1000 + len(self.nodes), managers=self.manager_directory,
         )
+        if manager_host is not None:
+            # Migrating replica (repro.topo): managed by the *source*
+            # region's manager until the post-move view flip.
+            node.manager = manager_host
+        if members is not None:
+            node.members = list(members)
+        if not self.track_submitted:
+            # Open-loop scale trials run with executed logs off; a node
+            # provisioned mid-trial inherits that choice.
+            node.keep_executed_log = False
         # A re-added host may have been crashed before: revive its address.
         self.network.restart_host(new_host)
         node.tracer = self.tracer  # inherit the system-wide tracer, if any
         self.nodes[new_host] = node
         node.start()
+        return node
+
+    def add_replica(self, region: str, new_host: str, shard_id: str) -> Event:
+        """Add ``new_host`` as a fresh replica of ``shard_id`` (Algorithm 4)."""
+        self._provision_node(region, new_host, shard_id)
         manager = self.managers[region]
-        return rsim.spawn(manager.add_replica(new_host, shard_id), name=f"add.{new_host}")
+        return self.sim_for(region).spawn(
+            manager.add_replica(new_host, shard_id), name=f"add.{new_host}")
+
+    # ------------------------------------------------------------------
+    # Elastic resharding (repro.topo)
+    # ------------------------------------------------------------------
+    def next_guest_host(self, region: str) -> str:
+        """Deterministic name for a replica provisioned mid-trial."""
+        seq = self._guest_seq.get(region, 0)
+        self._guest_seq[region] = seq + 1
+        return f"{region}.g{seq}"
+
+    def _call_until_acked(self, endpoint: Endpoint, dst: str, msg,
+                          timeout: float):
+        """Generator: retry ``endpoint.call`` until acked or ``dst`` dies."""
+        while True:
+            try:
+                yield endpoint.call(dst, msg, timeout=timeout)
+                return
+            except (RpcTimeout, RpcRemoteError):
+                self.stats.inc("topo_retransmissions")
+                if self.network.is_down(dst):
+                    return
+
+    def _shard_quiesced(self, shard_id: str, hosts: Sequence[str]) -> bool:
+        """No manager anticipates, and no donor replica coordinates or
+        holds unexecuted work, for ``shard_id``."""
+        for manager in self.managers.values():
+            for pending in manager.pending.values():
+                if shard_id in pending.txn.shard_ids:
+                    return False
+        for host in hosts:
+            node = self.nodes.get(host)
+            if node is None:
+                continue
+            if node.coordinating:
+                return False
+            if node.ready_q.head() is not None:
+                return False
+        return True
+
+    def reshard(self, shard_id: str, dst_region: str):
+        """Generator: elastically move ``shard_id`` to ``dst_region``.
+
+        The move composes the paper's own machinery — Algorithm 4 admits
+        one fresh replica per donor in the destination region (managed by
+        the source manager so the PCT promise holds across the stretch),
+        Algorithm 3 retires the donors after a freeze-and-drain window,
+        and a final ViewSync flips the migrated replicas to the
+        destination manager with fully symmetric member sets.  Runs on
+        the serial kernel (the PDES gate forces MODE_SERIAL for plans
+        with structural events).
+        """
+        src_region = self.catalog.region_of_shard(shard_id)
+        if src_region == dst_region:
+            return {"shard": shard_id, "moved": False}
+        old_replicas = list(self.catalog.replicas_of(shard_id))
+        mgr_src = self.managers[src_region]
+        mgr_dst = self.managers[dst_region]
+        sim = self.sim_for(src_region)
+        self._trace_fault("reshard_start", shard=shard_id,
+                          src=src_region, dst=dst_region)
+        # Phase 1 — freeze new submissions and drain the in-flight window:
+        # two consecutive quiet checks one cross-region RTT apart, so a
+        # PrepRemote or commit already in flight lands before the move
+        # begins.  Stop-and-copy ordering: admitting guests on a quiescent
+        # shard means the checkpoint is the whole state, the catchup is
+        # empty, and no prepare can race the view install (a transaction
+        # delivered to the donors alone could otherwise reach the guest
+        # *after* it executed later-timestamped work — an order violation).
+        self.catalog.frozen_shards.add(shard_id)
+        settled = 0
+        while settled < 2:
+            yield sim.timeout(self.timing.cross_region_rtt)
+            settled = settled + 1 if self._shard_quiesced(shard_id, old_replicas) else 0
+        # Phase 2 — admit one migrating replica per donor (Algorithm 4).
+        guests: List[str] = []
+        for _ in old_replicas:
+            host = self.next_guest_host(dst_region)
+            self._provision_node(dst_region, host, shard_id,
+                                 manager_host=mgr_src.host, members=[host])
+            guests.append(host)
+            yield sim.spawn(
+                mgr_src.add_replica(host, shard_id, donor=old_replicas[0]),
+                name=f"reshard.add.{host}")
+        # Phase 3 — snapshot the donors' logs for the auditor (one batch
+        # per reshard: digests must agree *within* a batch, while batches
+        # from successive moves of the same shard legitimately differ),
+        # then retire the donors through the ordinary removal view change
+        # (Algorithm 3).
+        self.retired_replicas.setdefault(shard_id, []).append([
+            (host, list(self.nodes[host].executed_log),
+             self.nodes[host].shard.digest())
+            for host in old_replicas if host in self.nodes])
+        yield sim.spawn(mgr_src.remove_nodes(old_replicas),
+                        name=f"reshard.rm.{shard_id}")
+        for host in old_replicas:
+            node = self.nodes.get(host)
+            if node is not None:
+                node.stop()
+        # Phase 4 — re-home the shard and flip the view, fully symmetric:
+        # destination members (old + migrated) adopt the merged set and the
+        # destination manager; remaining source members drop the guests.
+        self.catalog.set_region(shard_id, dst_region)
+        for host in guests:
+            if host not in mgr_dst.members:
+                mgr_dst.members.append(host)
+        dst_view = ViewSync(shard=shard_id, region=dst_region,
+                            manager=mgr_dst.host, members=list(mgr_dst.members))
+        for host in list(mgr_dst.members):
+            yield from self._call_until_acked(
+                mgr_dst.endpoint, host, dst_view,
+                timeout=4 * self.timing.intra_region_rtt)
+        src_members = [m for m in mgr_src.members if m not in guests]
+        src_view = ViewSync(shard=shard_id, region=src_region,
+                            manager=None, members=list(src_members))
+        for host in src_members:
+            yield from self._call_until_acked(
+                mgr_src.endpoint, host, src_view,
+                timeout=4 * self.timing.intra_region_rtt)
+        mgr_src.members = src_members
+        # Phase 5 — thaw once the shared catalog reflects the removal (the
+        # RemoveCommit lands at a surviving member and prunes the donors),
+        # so no thawed submission can still route to a retired replica.
+        while any(h in self.catalog.replicas_of(shard_id) for h in old_replicas):
+            yield sim.timeout(self.timing.intra_region_rtt)
+        self.catalog.frozen_shards.discard(shard_id)
+        self.stats.inc("topo_reshards")
+        self._trace_fault("reshard_done", shard=shard_id,
+                          src=src_region, dst=dst_region, guests=guests)
+        return {"shard": shard_id, "moved": True, "src": src_region,
+                "dst": dst_region, "guests": guests}
 
     # ------------------------------------------------------------------
     # Introspection for tests and benchmarks
     # ------------------------------------------------------------------
+    def topo_counters(self) -> Dict[str, int]:
+        """All ``topo_*`` counters, system-level plus per-node tallies
+        (parked submissions abort at the node that was retired under them)."""
+        out = {k: v for k, v in self.stats.counters.items()
+               if k.startswith("topo_")}
+        for node in self.nodes.values():
+            for key, value in node.stats.counters.items():
+                if key.startswith("topo_") and value:
+                    out[key] = out.get(key, 0) + value
+        return out
+
     def replicas_digest(self, shard_id: str) -> List[str]:
         return [
             self.nodes[host].shard.digest()

@@ -77,6 +77,31 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
         specs.append(par_base)
         specs.append(replace(par_base, parallel_regions=3,
                              label="par-smoke-j3/dast"))
+        # Appended: topology-churn smoke (docs/TOPOLOGY.md) — one region
+        # joins and pulls a shard in by elastic resharding, 10% of a
+        # region's open-loop users migrate (their IRTs become CRT
+        # handoffs), then the region leaves again.  The Summary row
+        # carries the ``topo`` counter block (reshards, handoffs, parked
+        # aborts), which CI's smoke gate asserts non-empty.
+        specs.append(TrialSpec(
+            system="dast", workload="tpca",
+            workload_params={"theta": 0.9, "crt_ratio": 0.1},
+            num_regions=3, shards_per_region=1, replication=1,
+            clients_per_region=2,
+            duration_ms=3500.0, warmup_ms=300.0, cooldown_ms=200.0, seed=3,
+            spare_regions=1,
+            open_loop={"users_per_region": 60, "txn_per_user_s": 40.0 / 60.0,
+                       "keep_records": True},
+            topology={"name": "bench-churn", "events": [
+                {"time": 900.0, "kind": "region_join",
+                 "args": {"region": "r3", "shards": ["s0"]}},
+                {"time": 1500.0, "kind": "migrate_clients",
+                 "args": {"src": "r1", "dst": "r2", "fraction": 0.1}},
+                {"time": 2400.0, "kind": "region_leave",
+                 "args": {"region": "r3"}},
+            ]},
+            label="topo-churn/dast",
+        ))
         return specs
     specs.append(TrialSpec(
         system="dast", workload="tpcc",
@@ -172,6 +197,21 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
     specs.append(ol3)
     specs.append(replace(ol3, parallel_regions=3,
                          label="openloop-100k3r-j3/dast"))
+    # Appended: heterogeneous edge (docs/TOPOLOGY.md) — the metro-edge RTT
+    # matrix (three close edge sites, one far cloud site) with tiered
+    # per-region CPU service times, static (no churn), so the row stays
+    # eligible for the partitioned kernel and isolates what heterogeneity
+    # alone does to tail latency.
+    specs.append(TrialSpec(
+        system="dast", workload="tpcc",
+        num_regions=4, shards_per_region=1, clients_per_region=4,
+        duration_ms=4000.0, warmup_ms=400.0, cooldown_ms=200.0, seed=1,
+        rtt_profile="metro-edge", service_multipliers="edge-tiers",
+        label="hetero-metro/dast",
+    ))
+    # (The topology-churn scenario rides in the full matrix through the
+    # ``quick:`` block below — the churn counters land in the committed
+    # BENCH_fleet.json either way, without running the trial twice.)
     return specs
 
 
@@ -179,10 +219,13 @@ def _attach_speedups(specs: List[TrialSpec], rows: List[Dict]) -> None:
     """Set ``speedup_vs_serial`` on each parallel row with a serial twin.
 
     Twins are matched on the full spec payload minus ``parallel_regions``
-    (labels are display-only), so the pairing survives relabelling.  The
-    ratio is only meaningful when both twins actually executed in this
-    run — a cached wall clock reflects some earlier machine state — so a
-    cached twin on either side yields ``None``.
+    (labels are display-only), so the pairing survives relabelling.  When
+    both twins executed in this run the ratio is a live measurement
+    (``speedup_source: "measured"``).  When either side was served from
+    the cache, the cache's *recorded* wall clock still describes a real
+    run of the same fingerprint — use it rather than dropping the column,
+    flagged ``speedup_source: "cached"`` so readers know the two sides
+    may come from different machine states.
     """
     def twin_key(spec: TrialSpec) -> str:
         payload = spec.payload()
@@ -198,9 +241,10 @@ def _attach_speedups(specs: List[TrialSpec], rows: List[Dict]) -> None:
             continue
         twin = serial_rows.get(twin_key(spec))
         speedup = None
-        if twin is not None and not row["cached"] and not twin["cached"] \
-                and row["wall_clock_s"]:
+        if twin is not None and row["wall_clock_s"] and twin["wall_clock_s"]:
             speedup = round(twin["wall_clock_s"] / row["wall_clock_s"], 2)
+            row["speedup_source"] = (
+                "cached" if (row["cached"] or twin["cached"]) else "measured")
         row["speedup_vs_serial"] = speedup
 
 
@@ -251,6 +295,9 @@ def run_bench(
                 "crt_p99_ms": result.row.get("crt_p99_ms"),
                 "msgs_total": result.row.get("msgs_total"),
             }
+            if result.row.get("topo"):
+                # Churn rows: migration/reshard counts from the Summary.
+                row["topo"] = result.row["topo"]
             if spec.parallel_regions:
                 row["parallel_regions"] = spec.parallel_regions
                 row["parallel_mode"] = result.parallel_mode

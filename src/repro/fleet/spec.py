@@ -107,6 +107,15 @@ class TrialSpec:
     # parallel twin are cached separately — their wall-clock provenance
     # is the whole point of running both.
     parallel_regions: int = 0
+    # repro.topo (docs/TOPOLOGY.md): a mid-trial reconfiguration schedule
+    # (``TopologyPlan.to_dict()``), a named cross-region RTT preset, a
+    # per-region CPU service-tier map (or named preset string), and extra
+    # initially-empty regions for elastic joins.  All content-bearing:
+    # every one changes the deterministic output, so all are hashed.
+    topology: Optional[Mapping] = None
+    rtt_profile: Optional[str] = None
+    service_multipliers: Optional[Any] = None
+    spare_regions: int = 0
     label: str = ""
 
     # ------------------------------------------------------------------
@@ -130,6 +139,19 @@ class TrialSpec:
 
             # Raises ConfigError on unknown keys or bad values.
             OpenLoopConfig.from_dict(self.open_loop)
+        if self.topology is not None:
+            from repro.topo.plan import TopologyPlan
+
+            TopologyPlan.from_dict(dict(self.topology)).validate()
+        if self.rtt_profile is not None:
+            from repro.topo.profiles import RTT_PROFILES
+
+            if self.rtt_profile not in RTT_PROFILES:
+                raise ConfigError(
+                    f"unknown rtt_profile {self.rtt_profile!r}; "
+                    f"choose from {sorted(RTT_PROFILES)}")
+        if self.spare_regions < 0:
+            raise ConfigError("spare_regions must be >= 0")
 
     # ------------------------------------------------------------------
     def payload(self) -> Dict[str, Any]:
@@ -175,6 +197,7 @@ class TrialSpec:
         """Rebuild the runnable :class:`repro.bench.harness.Trial`."""
         from repro.bench.harness import Trial
         from repro.config import TimingConfig
+        from repro.topo.plan import TopologyPlan
         from repro.workloads.registry import workload_factory
 
         self.validate()
@@ -197,6 +220,11 @@ class TrialSpec:
             batch_window=self.batch_window,
             open_loop=dict(self.open_loop) if self.open_loop is not None else None,
             parallel_regions=self.parallel_regions,
+            topology_plan=(TopologyPlan.from_dict(dict(self.topology))
+                           if self.topology is not None else None),
+            rtt_profile=self.rtt_profile,
+            service_multipliers=self.service_multipliers,
+            spare_regions=self.spare_regions,
         )
 
 

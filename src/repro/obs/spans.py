@@ -132,11 +132,14 @@ def assemble_spans(tracer, txn: Optional[str] = None,
         # Open-loop anchoring: the arrival event's ``intended`` field is the
         # instant the generator drew; it precedes (or equals) the submit.
         intended: Optional[float] = None
+        migrated = False
         for ev in events:
             if ev.kind == "arrival":
                 t = ev.fields.get("intended", ev.time)
                 if intended is None or t < intended:
                     intended = t
+                if ev.fields.get("migrated"):
+                    migrated = True
         # A span is partial only when its *end* is missing, or when it has
         # no start anchor at all — an arrival event is a valid anchor even
         # if the submit was truncated at tracer capacity.
@@ -180,8 +183,12 @@ def assemble_spans(tracer, txn: Optional[str] = None,
             # Open-loop: the gap from the intended arrival to the *first*
             # submit is client-side queueing (backlog under an in-flight
             # cap).  Zero-width when the arrival launched immediately.
+            # A re-homed user (repro.topo client mobility) spends this gap
+            # in the handoff instead — submitting through its destination
+            # region's coordinator — so the span stays anchored at the
+            # original arrival and the leading phase is ``migration``.
             t = min(max(submits[0], prev), end)
-            phases["queue"] = t - prev
+            phases["migration" if migrated else "queue"] = t - prev
             prev = t
         for name, kind in layout[1:]:
             if kind == "reply":

@@ -90,6 +90,14 @@ def resolve_mode(trial, requested: int,
                              "per message")
     if hooks:
         return MODE_SERIAL, "custom trial hooks may touch the system mid-run"
+    plan = getattr(trial, "topology_plan", None)
+    if plan is not None and getattr(plan, "events", None):
+        # Mid-trial reconfiguration (repro.topo) rewrites the shared
+        # catalog, member sets, and RTT matrix that the partitioned
+        # kernel's lookahead horizon was computed from.  Static rtt_profile
+        # / service_multipliers / spare_regions stay partition-eligible.
+        return MODE_SERIAL, ("topology plan: dynamic reconfiguration "
+                             "requires the serial kernel")
     if trial.fault_plan is not None:
         unsafe = sorted({e.kind for e in trial.fault_plan.events}
                         - PAR_SAFE_FAULT_KINDS)

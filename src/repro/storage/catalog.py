@@ -8,7 +8,7 @@ under test so comparisons use identical placements.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Set, Tuple
 
 from repro.errors import ConfigError
 
@@ -42,6 +42,9 @@ class Catalog:
         self._shards: Dict[str, ShardInfo] = {}
         self._by_region: Dict[str, List[str]] = {}
         self._node_shards: Dict[str, List[str]] = {}
+        # Shards mid-reshard (repro.topo): coordinators park new submissions
+        # touching a frozen shard until the move's drain window closes.
+        self.frozen_shards: Set[str] = set()
 
     def add_shard(self, shard_id: str, region: str, replicas: Sequence[str]) -> ShardInfo:
         if shard_id in self._shards:
@@ -99,3 +102,14 @@ class Catalog:
             return
         info.replicas = info.replicas + (node,)
         self._node_shards.setdefault(node, []).append(shard_id)
+
+    def set_region(self, shard_id: str, region: str) -> None:
+        """Re-home a shard after an elastic move (repro.topo reshard)."""
+        info = self.shard(shard_id)
+        if info.region == region:
+            return
+        old = self._by_region.get(info.region, [])
+        if shard_id in old:
+            old.remove(shard_id)
+        info.region = region
+        self._by_region.setdefault(region, []).append(shard_id)

@@ -1,0 +1,165 @@
+"""Seeded random churn-scenario generation.
+
+``generate_topology_plan(seed, ...)`` draws a handful of churn *clauses* —
+a spare region joining (pulling a shard in by elastic resharding), a region
+leaving (pushing all its shards out), a single shard move, a client
+migration wave, an RTT re-profile, a per-region service-tier change — and
+lowers them into one time-sorted :class:`TopologyPlan`.  The same seed
+always yields the same plan (the generator owns its own ``random.Random``).
+
+Structural clauses are assigned *monotonically increasing* times: the
+runner executes structural events sequentially anyway, so monotone times
+keep the generator's shard-home bookkeeping aligned with execution order
+(a move generated after a leave can then never be scheduled before it).
+
+Scenarios are constrained to be auditable end-state: every referenced
+shard exists at its event's time, a region leaves at most once, the spare
+joins at most once, and client migrations stay between the original
+(workload-bearing) regions — so DAST must come out of any generated plan
+serializable with agreeing replicas.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.topo.plan import TopologyPlan
+
+__all__ = ["TopoProfile", "generate_topology_plan"]
+
+
+@dataclass
+class TopoProfile:
+    """Knobs bounding what a generated churn scenario may do."""
+
+    min_clauses: int = 2
+    max_clauses: int = 4
+    max_structural: int = 3
+    # Window for churn activity relative to plan start (virtual ms); the
+    # tail past ``end`` is left for the system to settle before the audit.
+    start: float = 600.0
+    end: float = 3200.0
+    min_gap: float = 250.0  # between consecutive structural events
+    max_gap: float = 700.0
+    min_migrate_fraction: float = 0.05
+    max_migrate_fraction: float = 0.25
+    min_service_factor: float = 1.2
+    max_service_factor: float = 2.2
+    rtt_profiles: tuple = ("aws-like", "metro-edge")
+
+
+def generate_topology_plan(
+    seed: int,
+    num_regions: int = 3,
+    shards_per_region: int = 1,
+    spare_regions: int = 1,
+    profile: Optional[TopoProfile] = None,
+) -> TopologyPlan:
+    """Generate one deterministic churn scenario."""
+    profile = profile or TopoProfile()
+    rng = random.Random((seed << 16) ^ 0x7090)
+    workload_regions = [f"r{i}" for i in range(num_regions)]
+    all_regions = [f"r{i}" for i in range(num_regions + spare_regions)]
+    spares = all_regions[num_regions:]
+    plan = TopologyPlan(name=f"topo-gen-{seed}", seed=seed)
+
+    # Current shard home, updated as structural clauses are drawn; times are
+    # monotone so this mirrors execution order exactly.
+    homes: Dict[str, str] = {
+        f"s{k}": workload_regions[k // shards_per_region]
+        for k in range(num_regions * shards_per_region)
+    }
+    state = {"t": profile.start, "structural": 0, "joined": False}
+    left_regions: set = set()
+
+    def next_struct_time() -> Optional[float]:
+        if state["structural"] >= profile.max_structural:
+            return None
+        t = round(state["t"] + rng.uniform(profile.min_gap, profile.max_gap), 1)
+        if t > profile.end:
+            return None
+        state["t"] = t
+        state["structural"] += 1
+        return t
+
+    def pick_instant_time() -> float:
+        return round(rng.uniform(profile.start, profile.end), 1)
+
+    def clause_region_join() -> None:
+        candidates = [s for s in spares if s not in set(homes.values())]
+        if state["joined"] or not candidates:
+            return
+        spare = rng.choice(candidates)
+        movable = sorted(s for s, r in homes.items()
+                         if r not in left_regions and r != spare)
+        if not movable:
+            return
+        t = next_struct_time()
+        if t is None:
+            return
+        shard = rng.choice(movable)
+        plan.add(t, "region_join", region=spare, shards=[shard])
+        homes[shard] = spare
+        state["joined"] = True
+
+    def clause_region_leave() -> None:
+        occupied = sorted({r for r in homes.values() if r not in left_regions})
+        if len(occupied) < 2:
+            return  # never empty the whole deployment
+        t = next_struct_time()
+        if t is None:
+            return
+        src = rng.choice(occupied)
+        dst = rng.choice([r for r in occupied if r != src])
+        plan.add(t, "region_leave", region=src, dst=dst)
+        for shard, region in homes.items():
+            if region == src:
+                homes[shard] = dst
+        left_regions.add(src)
+
+    def clause_move_shard() -> None:
+        movable = sorted(s for s, r in homes.items() if r not in left_regions)
+        if not movable:
+            return
+        t = next_struct_time()
+        if t is None:
+            return
+        shard = rng.choice(movable)
+        dst_candidates = [r for r in all_regions
+                          if r != homes[shard] and r not in left_regions]
+        if not dst_candidates:
+            return
+        dst = rng.choice(dst_candidates)
+        plan.add(t, "move_shard", shard=shard, dst=dst)
+        homes[shard] = dst
+
+    def clause_migrate_clients() -> None:
+        if len(workload_regions) < 2:
+            return
+        src, dst = rng.sample(workload_regions, 2)
+        fraction = round(rng.uniform(profile.min_migrate_fraction,
+                                     profile.max_migrate_fraction), 3)
+        plan.add(pick_instant_time(), "migrate_clients",
+                 src=src, dst=dst, fraction=fraction)
+
+    def clause_rtt_profile() -> None:
+        name = rng.choice(list(profile.rtt_profiles))
+        plan.add(pick_instant_time(), "set_rtt_profile", profile=name)
+
+    def clause_service_tier() -> None:
+        region = rng.choice(all_regions)
+        factor = round(rng.uniform(profile.min_service_factor,
+                                   profile.max_service_factor), 2)
+        plan.add(pick_instant_time(), "set_service_multiplier",
+                 region=region, factor=factor)
+
+    menu: List = [
+        clause_region_join, clause_region_leave, clause_move_shard,
+        clause_migrate_clients, clause_rtt_profile, clause_service_tier,
+    ]
+    n_clauses = rng.randint(profile.min_clauses, profile.max_clauses)
+    for _ in range(n_clauses):
+        rng.choice(menu)()
+    return plan.validate()

@@ -1,0 +1,194 @@
+"""Declarative topology plans: seeded, serializable schedules of churn.
+
+A :class:`TopologyPlan` mirrors :class:`repro.chaos.plan.FaultPlan` exactly
+— an ordered list of :class:`TopoEvent` entries ``(time, kind, args)`` that
+can be compiled onto a running system
+(:class:`repro.topo.runner.TopoRunner`), generated from a seed
+(:mod:`repro.topo.generator`), shrunk to a minimal reproducer (the chaos
+ddmin shrinker duck-types plans, so :func:`repro.chaos.shrink.shrink_plan`
+works unchanged), and serialized to canonical JSON for byte-identical
+regression reproducers.
+
+Two event classes exist:
+
+* **structural** kinds (``move_shard``, ``region_join``, ``region_leave``,
+  ``add_node``, ``remove_node``) reconfigure membership through the
+  Algorithm 3/4 view-change machinery.  The runner executes them
+  *sequentially* in one driver coroutine — overlapping view changes are
+  impossible by construction, matching the paper's one-reconfiguration-
+  at-a-time manager;
+* **instant** kinds (``set_rtt_profile``, ``set_service_multiplier``,
+  ``migrate_clients``) apply at their scheduled instant as kernel timers,
+  exactly like chaos faults.
+
+Event times are virtual milliseconds relative to plan installation
+(usually t=0).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["TopoEvent", "TopologyPlan", "TOPO_KINDS",
+           "STRUCTURAL_KINDS", "INSTANT_KINDS"]
+
+# kind -> required argument names; optional arguments in _OPTIONAL_ARGS.
+TOPO_KINDS: Dict[str, Tuple[str, ...]] = {
+    # Structural (sequential, via the view-change machinery)
+    "move_shard": ("shard", "dst"),
+    "region_join": ("region", "shards"),
+    "region_leave": ("region",),
+    "add_node": ("shard",),
+    "remove_node": ("host",),
+    # Instant (kernel timers)
+    "set_rtt_profile": ("profile",),
+    "set_service_multiplier": ("region", "factor"),
+    "migrate_clients": ("src", "dst", "fraction"),
+}
+
+_OPTIONAL_ARGS: Dict[str, Tuple[str, ...]] = {
+    "region_leave": ("dst",),
+    "add_node": ("host",),
+}
+
+STRUCTURAL_KINDS = frozenset(
+    {"move_shard", "region_join", "region_leave", "add_node", "remove_node"})
+INSTANT_KINDS = frozenset(TOPO_KINDS) - STRUCTURAL_KINDS
+
+
+class TopoEvent:
+    """One timed reconfiguration: ``kind`` with ``args`` at virtual ``time``."""
+
+    __slots__ = ("time", "kind", "args")
+
+    def __init__(self, time: float, kind: str, args: Optional[Dict] = None):
+        self.time = float(time)
+        self.kind = kind
+        self.args = dict(args or {})
+
+    def to_dict(self) -> Dict:
+        return {"time": self.time, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TopoEvent":
+        return cls(data["time"], data["kind"], data.get("args", {}))
+
+    def validate(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"topology event time must be >= 0, got {self.time}")
+        required = TOPO_KINDS.get(self.kind)
+        if required is None:
+            raise ConfigError(
+                f"unknown topology kind {self.kind!r}; known: {sorted(TOPO_KINDS)}"
+            )
+        missing = [a for a in required if a not in self.args]
+        if missing:
+            raise ConfigError(f"{self.kind}: missing args {missing}")
+        allowed = set(required) | set(_OPTIONAL_ARGS.get(self.kind, ()))
+        extra = [a for a in self.args if a not in allowed]
+        if extra:
+            raise ConfigError(f"{self.kind}: unexpected args {extra}")
+        if self.kind == "migrate_clients":
+            fraction = self.args["fraction"]
+            if not (0.0 < fraction <= 1.0):
+                raise ConfigError(
+                    f"migrate_clients: fraction must be in (0, 1], got {fraction}")
+            if self.args["src"] == self.args["dst"]:
+                raise ConfigError("migrate_clients: src == dst")
+        if self.kind == "set_service_multiplier" and self.args["factor"] <= 0:
+            raise ConfigError(
+                f"set_service_multiplier: factor must be > 0, got {self.args['factor']}")
+
+    def __repr__(self) -> str:
+        extra = " ".join(f"{k}={self.args[k]}" for k in sorted(self.args))
+        return f"[{self.time:10.1f}] {self.kind:<24} {extra}".rstrip()
+
+
+class TopologyPlan:
+    """An ordered, serializable schedule of topology events."""
+
+    def __init__(self, events: Iterable[TopoEvent] = (), name: str = "",
+                 seed: Optional[int] = None):
+        self.name = name
+        self.seed = seed
+        # Stable sort: same-instant events keep their authored order, which
+        # matches the simulator's FIFO tie-break when compiled.
+        self.events: List[TopoEvent] = sorted(events, key=lambda e: e.time)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, time: float, kind: str, **args) -> "TopologyPlan":
+        """Append one event (chainable); keeps the schedule time-sorted."""
+        event = TopoEvent(time, kind, args)
+        event.validate()
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.time)
+        return self
+
+    def validate(self) -> "TopologyPlan":
+        for event in self.events:
+            event.validate()
+        return self
+
+    def structural(self) -> List[TopoEvent]:
+        return [e for e in self.events if e.kind in STRUCTURAL_KINDS]
+
+    def instant(self) -> List[TopoEvent]:
+        return [e for e in self.events if e.kind in INSTANT_KINDS]
+
+    # ------------------------------------------------------------------
+    # Serialization (canonical: identical plans -> identical bytes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name, "events": [e.to_dict() for e in self.events]}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TopologyPlan":
+        return cls(
+            (TopoEvent.from_dict(e) for e in data.get("events", [])),
+            name=data.get("name", ""),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopologyPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Shrinker support (duck-typed by repro.chaos.shrink.shrink_plan)
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "TopologyPlan":
+        """A plan containing only the events at ``indices`` (order kept)."""
+        keep = set(indices)
+        events = [TopoEvent(e.time, e.kind, e.args)
+                  for i, e in enumerate(self.events) if i in keep]
+        return TopologyPlan(events, name=self.name, seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def timeline(self) -> str:
+        """Deterministic human-readable churn timeline."""
+        header = f"topology plan {self.name or '(unnamed)'}"
+        if self.seed is not None:
+            header += f" seed={self.seed}"
+        header += f" ({len(self.events)} events)"
+        lines = [header]
+        lines.extend(repr(e) for e in self.events)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"TopologyPlan({self.name or 'unnamed'}, {len(self.events)} events)"

@@ -32,7 +32,7 @@ __all__ = [
     "AbortCrt", "Ping", "Suspect",
     # DAST failover / recovery
     "RemovePrep", "RemoveCommit", "MgrTakeover", "TransferCkpt",
-    "InstallCkpt", "AddPrep", "AddCommit", "ReplicaCatchup",
+    "InstallCkpt", "AddPrep", "AddCommit", "ReplicaCatchup", "ViewSync",
     # SMR
     "SmrPut", "SmrGet", "SmrAppend", "SmrElect",
     # SLOG
@@ -292,6 +292,22 @@ class ReplicaCatchup(WireMessage):
     """Donor replica -> new replica: post-checkpoint transactions."""
 
     entries: List[dict]
+
+
+@message("view_sync")
+class ViewSync(WireMessage):
+    """Reshard view flip (repro.topo): adopt this manager/member set.
+
+    Sent at the end of an elastic shard move, after the donor region's
+    replicas retired: the migrated replicas switch from the source region's
+    manager to ``manager`` and every affected node installs the explicit
+    ``members`` list (full symmetry — asymmetric member sets wedge the PCT
+    watermark).  ``manager=None`` means "keep your current manager"."""
+
+    shard: str
+    region: str
+    manager: Optional[str] = None
+    members: Optional[List[str]] = None
 
 
 # ----------------------------------------------------------------------

@@ -55,6 +55,10 @@ class Workload:
             shards = sorted(
                 self.topology.shards_in_region(region), key=self.topology.shard_index
             )
+            if not shards:
+                # Spare regions (repro.topo) start empty; they host no
+                # clients until a region_join reshards work onto them.
+                continue
             for i, client in enumerate(self.topology.clients_in_region(region)):
                 shard = shards[i % len(shards)]
                 bindings.append(

@@ -164,7 +164,7 @@ class _RegionState:
     __slots__ = ("region", "sim", "stream", "users", "sample_uid", "gen_rng",
                  "route_rng", "bindings", "next_arrival", "inflight",
                  "backlog", "arrivals", "launched", "flash", "sub_bytes",
-                 "failed")
+                 "failed", "migrated")
 
     def __init__(self, region: str, sim, stream: ArrivalStream,
                  users: ZipfGenerator, gen_rng, route_rng,
@@ -194,6 +194,10 @@ class _RegionState:
         # True only for the flash region of a trial with flash redirect
         # configured — lets the hot path skip the whole check elsewhere.
         self.flash = False
+        # repro.topo client mobility: uid -> destination region for users
+        # whose device moved.  Empty for every trial without a topology
+        # plan, so the hot path pays one falsy check.
+        self.migrated: Dict[int, str] = {}
 
 
 class OpenLoopEngine:
@@ -278,9 +282,15 @@ class OpenLoopEngine:
         for binding in workload.bind_clients():
             by_region.setdefault(binding.region, []).append(binding)
         self.regions: List[_RegionState] = []
+        self._rs_by_region: Dict[str, _RegionState] = {}
+        self._sys_stats = getattr(system, "stats", None)
         for region in regions:
             bindings = by_region.get(region)
             if not bindings:
+                if not system.topology.shards_in_region(region):
+                    # Spare region (repro.topo): empty until a region_join
+                    # reshards work onto it; it drives no arrivals.
+                    continue
                 raise ConfigError(f"region {region!r} has no client slots")
             kwargs = config.stream_kwargs()
             if region != flash_region:
@@ -298,6 +308,7 @@ class OpenLoopEngine:
                 system.rng.stream(f"openloop.route.{region}"),
                 bindings,
             ))
+            self._rs_by_region[region] = self.regions[-1]
         self.flash_region = flash_region
         for rs in self.regions:
             rs.flash = bool(
@@ -447,10 +458,23 @@ class OpenLoopEngine:
         slot.submit = submit
         slot.client = binding.client
         slot.rs = rs
+        migrated_to = rs.migrated.get(uid) if rs.migrated else None
         tracer = self._tracer
         if tracer is not None:
-            tracer.emit(submit, binding.client, "arrival",
-                        txn=txn.txn_id, intended=intended, region=rs.region)
+            if migrated_to is not None:
+                tracer.emit(submit, binding.client, "arrival",
+                            txn=txn.txn_id, intended=intended,
+                            region=rs.region, migrated=migrated_to)
+            else:
+                tracer.emit(submit, binding.client, "arrival",
+                            txn=txn.txn_id, intended=intended, region=rs.region)
+        if migrated_to is not None:
+            if submit > rs.sim.now:
+                rs.sim.schedule_abs(submit, self._launch_handoff, rs, slot,
+                                    binding, migrated_to)
+            else:
+                self._launch_handoff(rs, slot, binding, migrated_to)
+            return
         if (self.express and len(txn.pieces) == 1
                 and txn.pieces[0].shard_id == binding.home_shard):
             self._launch_express(rs, slot, binding.home_shard)
@@ -568,6 +592,65 @@ class OpenLoopEngine:
         rs.inflight -= 1
         self._free_slots.append(slot)
         self._drain(rs)
+
+    # -- client mobility (repro.topo) ------------------------------------
+    def migrate_users(self, src: str, dst: str, fraction: float) -> int:
+        """Re-home ``fraction`` of ``src``'s user population to ``dst``.
+
+        A migrated user keeps its data (and zipf identity) in ``src`` but
+        submits through a coordinator in ``dst`` — the coordinator sees a
+        foreign home region and runs the full CRT protocol, so mobility
+        converts the user's IRTs into CRT bursts with zero protocol
+        changes.  Deterministic: the uid sample comes from the named
+        stream ``topo.migrate.{src}.{dst}``, which continues across
+        repeated migrations of the same pair.
+
+        Users are sampled by *activity weight* (the same zipf law that
+        drives arrivals), not uniformly: mobile devices migrate in
+        proportion to how often they submit, and a uniform draw over a
+        skewed population would mostly pick users who never arrive
+        during the trial, making the migration invisible."""
+        rs = self._rs_by_region.get(src)
+        if rs is None or src == dst or fraction <= 0:
+            return 0
+        users = self.cfg.users_per_region
+        count = min(users, max(1, int(users * fraction)))
+        rng = self.system.rng.stream(f"topo.migrate.{src}.{dst}")
+        sample = ZipfGenerator(users, self.cfg.user_theta, rng).sampler()
+        picked: set = set()
+        for _ in range(10 * users):
+            if len(picked) >= count:
+                break
+            picked.add(sample())
+        while len(picked) < count:  # zipf tail too thin: top up uniformly
+            picked.add(rng.randrange(users))
+        moved = 0
+        for uid in sorted(picked):
+            if rs.migrated.get(uid) != dst:
+                moved += 1
+            rs.migrated[uid] = dst
+        if self._sys_stats is not None:
+            self._sys_stats.inc("topo_migrated_users", moved)
+        return moved
+
+    def _launch_handoff(self, rs: _RegionState, slot: _Slot,
+                        binding: ClientBinding, dst_region: str) -> None:
+        """Submit a migrated user's transaction via its *new* region."""
+        shards = self.system.catalog.shards_in_region(dst_region)
+        if not shards:
+            # The destination emptied out (region_leave); coordinate at
+            # home again until the next migration event says otherwise.
+            self._launch_rpc(rs, slot, binding.home_shard)
+            return
+        dst_rs = self._rs_by_region.get(dst_region)
+        if dst_rs is not None and dst_rs.bindings:
+            # The device is physically in the new region now: charge the
+            # client<->coordinator legs at that region's delays.
+            slot.client = dst_rs.bindings[0].client
+        if self._sys_stats is not None:
+            self._sys_stats.inc("topo_handoff_txns")
+        shard = shards[0] if len(shards) == 1 else rs.route_rng.choice(shards)
+        self._launch_rpc(rs, slot, shard)
 
     # -- generic RPC path ------------------------------------------------
     def _launch_rpc(self, rs: _RegionState, slot: _Slot, shard: str) -> None:

@@ -1,0 +1,272 @@
+"""End-to-end topology churn: reshards, mobility, audit, determinism.
+
+The churn contract mirrors the chaos one (``tests/test_chaos_matrix.py``):
+every generated scenario is recoverable by construction, so DAST must come
+out of each serializable (``audit_dast_run(...).ok``), with replicas in
+agreement and only benign churn aborts.  On failure the fuzz test prints a
+delta-debugged minimal reproducer via the shared ddmin shrinker.
+
+The canonical smoke scenario exercises the full tentpole surface in one
+trial: a region join that reshards work onto a spare region, a seeded
+client-migration burst, and a region leave that reshards work back — all
+under open-loop load, audited, and byte-identical across reruns.
+"""
+
+import pytest
+
+from repro.bench.auditor import audit_dast_run
+from repro.bench.harness import Trial, run_trial
+from repro.chaos import FaultPlan, shrink_plan
+from repro.sim.par import MODE_SERIAL, resolve_mode
+from repro.topo import TopologyPlan, generate_topology_plan
+from repro.topo.runner import run_topo_trial
+from repro.workloads.tpca import TpcaWorkload
+
+# Small budgets: structural events finish inside the drain window (the
+# same knobs the CI chaos job uses for `repro topo`).
+DURATION_MS = 2500.0
+DRAIN_MS = 7000.0
+
+FUZZ_SEEDS = list(range(4))
+
+
+def _smoke_plan() -> TopologyPlan:
+    """Join a spare region (reshard out), migrate clients, leave (reshard
+    back).  Times sit inside the arrival window so churn lands mid-load."""
+    return (
+        TopologyPlan(name="churn-smoke")
+        .add(900.0, "region_join", region="r3", shards=["s0"])
+        .add(1500.0, "migrate_clients", src="r1", dst="r2", fraction=0.1)
+        .add(2400.0, "region_leave", region="r3")
+    )
+
+
+def _run_smoke():
+    return run_topo_trial(
+        _smoke_plan(), workload="tpca", num_regions=3, shards_per_region=1,
+        spare_regions=1, users_per_region=60, arrival_rate_tps=40.0,
+        duration_ms=3500.0, drain_ms=9000.0, seed=3, crt_ratio=0.1)
+
+
+_SMOKE = None
+
+
+def smoke_report():
+    global _SMOKE
+    if _SMOKE is None:
+        _SMOKE = _run_smoke()
+    return _SMOKE
+
+
+class TestChurnSmoke:
+    def test_audit_and_verdict(self):
+        report = smoke_report()
+        assert report.ok, report.to_text()
+        assert report.audit is not None and report.audit.ok
+        assert report.replica_mismatches == []
+        assert report.conflict_aborts == []
+        assert report.events_applied == 3
+        assert report.committed > 0
+
+    def test_churn_counters(self):
+        c = smoke_report().counters
+        # join + leave = two elastic reshards, each counted once.
+        assert c["reshards"] >= 2, c
+        assert c["region_joins"] == 1, c
+        assert c["region_leaves"] == 1, c
+        # 10% of r1's open-loop users re-homed; their post-migration
+        # traffic routes through r2 coordinators as handoff CRTs.
+        assert c["migrated_users"] > 0, c
+        assert c["handoff_txns"] > 0, c
+
+
+class TestDeterminism:
+    def test_identical_reruns_byte_identical_report(self):
+        """Same plan + seed twice: the rendered report (timeline, commit and
+        abort counts, churn counters, audit verdict) must match exactly."""
+        plan = generate_topology_plan(3, num_regions=3, shards_per_region=1,
+                                      spare_regions=1)
+        runs = [
+            run_topo_trial(plan, duration_ms=DURATION_MS, drain_ms=DRAIN_MS,
+                           seed=3)
+            for _ in range(2)
+        ]
+        assert runs[0].ok, runs[0].to_text()
+        assert runs[0].to_text() == runs[1].to_text()
+        assert runs[0].counters == runs[1].counters
+
+
+class TestSerialFallback:
+    """The PDES gate: dynamic reconfiguration names its serial fallback."""
+
+    def _trial(self, **kw) -> Trial:
+        return Trial("dast", lambda topo: TpcaWorkload(topo),
+                     num_regions=3, shards_per_region=1, replication=1,
+                     clients_per_region=2, duration_ms=500.0, **kw)
+
+    def test_topology_plan_forces_serial_with_named_reason(self):
+        trial = self._trial(topology_plan=_smoke_plan(), spare_regions=1)
+        mode, reason = resolve_mode(trial, requested=3)
+        assert mode == MODE_SERIAL
+        assert reason == ("topology plan: dynamic reconfiguration "
+                          "requires the serial kernel")
+
+    def test_static_heterogeneity_stays_partition_eligible(self):
+        # rtt_profile / service_multipliers / an *empty* plan are static
+        # config, not mid-trial churn: the partitioned kernel stays on.
+        trial = self._trial(topology_plan=TopologyPlan(),
+                            rtt_profile="aws-like",
+                            service_multipliers="edge-tiers")
+        mode, reason = resolve_mode(trial, requested=3)
+        assert mode != MODE_SERIAL
+        assert reason is None
+
+
+class TestTopoFuzzMatrix:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_generated_churn_stays_serializable(self, seed):
+        plan = generate_topology_plan(seed, num_regions=3,
+                                      shards_per_region=1, spare_regions=1)
+        report = run_topo_trial(plan, duration_ms=DURATION_MS,
+                                drain_ms=DRAIN_MS, seed=seed)
+        if not report.ok:
+            shrunk = shrink_plan(
+                plan,
+                lambda p: not run_topo_trial(
+                    p, duration_ms=DURATION_MS, drain_ms=DRAIN_MS,
+                    seed=seed).ok,
+                max_runs=32,
+            )
+            pytest.fail(
+                f"topo seed={seed} failed the audit.\n"
+                f"minimal reproducer ({shrunk.runs} shrink runs):\n"
+                f"{shrunk.plan.timeline()}\n"
+                f"json: {shrunk.plan.to_json()}\n\n"
+                f"full report:\n{report.to_text()}"
+            )
+        assert report.audit is not None and report.audit.ok
+        assert report.conflict_aborts == []
+        assert report.events_applied == len(plan.events)
+        assert report.committed > 0
+
+
+class TestFaultComposition:
+    def test_topology_plan_composes_with_fault_plan(self):
+        """Churn and network faults on the same trial: a cross-region RTT
+        spike lands between a reshard and a migration burst, and the run
+        must still drain to a serializable state."""
+        topo_plan = (
+            TopologyPlan(name="churn+faults")
+            .add(800.0, "move_shard", shard="s0", dst="r3")
+            .add(1400.0, "migrate_clients", src="r0", dst="r1", fraction=0.1)
+        )
+        fault_plan = (
+            FaultPlan(name="rtt-spike")
+            .add(1000.0, "set_rtt", rtt=80.0)
+            .add(1800.0, "set_rtt", rtt=40.0)
+        )
+        trial = Trial(
+            "dast", lambda topo: TpcaWorkload(topo, crt_ratio=0.1),
+            num_regions=3, shards_per_region=1, replication=1,
+            clients_per_region=2, duration_ms=DURATION_MS, seed=5,
+            topology_plan=topo_plan, spare_regions=1, fault_plan=fault_plan,
+            open_loop={"users_per_region": 60, "txn_per_user_s": 40.0 / 60.0,
+                       "keep_records": True},
+        )
+        result = run_trial(trial)
+        result.drain(extra_ms=DRAIN_MS)
+        assert result.topo is not None
+        assert len(result.topo.applied) == len(topo_plan.events)
+        audit = audit_dast_run(result.system)
+        assert audit.ok, audit
+        counters = result.system.topo_counters()
+        assert counters.get("topo_reshards", 0) >= 1, counters
+        assert counters.get("topo_migrated_users", 0) > 0, counters
+
+
+class TestMigrationSpans:
+    def test_handoff_spans_lead_with_migration_phase(self):
+        """Open-loop spans for re-homed users anchor at the original arrival
+        and replace the leading ``queue`` phase with ``migration``."""
+        from repro.obs.spans import assemble_spans
+
+        plan = TopologyPlan(name="mobility-only").add(
+            1000.0, "migrate_clients", src="r0", dst="r1", fraction=0.2)
+        trial = Trial(
+            "dast", lambda topo: TpcaWorkload(topo, crt_ratio=0.1),
+            num_regions=3, shards_per_region=1, replication=1,
+            clients_per_region=2, duration_ms=DURATION_MS, seed=7,
+            obs=True, topology_plan=plan,
+            open_loop={"users_per_region": 40, "txn_per_user_s": 0.5,
+                       "keep_records": True},
+        )
+        result = run_trial(trial)
+        result.drain(extra_ms=DRAIN_MS)
+        assert result.system.topo_counters().get("topo_migrated_users", 0) > 0
+        tracer = result.obs.tracer if hasattr(result.obs, "tracer") else result.obs
+        spans = assemble_spans(tracer)
+        migration = [s for s in spans if "migration" in s.phases]
+        assert migration, "no spans carried the migration phase"
+        for span in migration:
+            assert "queue" not in span.phases
+            assert span.phases["migration"] >= 0.0
+            # Phase durations telescope to the client-observed total.
+            assert sum(span.phases.values()) == pytest.approx(span.total)
+
+
+class TestFleetSpecTopology:
+    def test_topology_round_trips_through_spec(self):
+        from repro.fleet.spec import TrialSpec
+
+        spec = TrialSpec(
+            system="dast", workload="tpca", num_regions=3,
+            shards_per_region=1, replication=1, clients_per_region=2,
+            duration_ms=1000.0, seed=3, spare_regions=1,
+            topology=_smoke_plan().to_dict(),
+            label="topo-spec/dast",
+        )
+        spec.validate()
+        trial = spec.to_trial()
+        assert isinstance(trial.topology_plan, TopologyPlan)
+        assert len(trial.topology_plan) == 3
+        assert trial.spare_regions == 1
+
+    def test_topology_fields_are_fingerprint_bearing(self):
+        from dataclasses import replace
+
+        from repro.fleet.spec import TrialSpec
+
+        base = TrialSpec(system="dast", workload="tpca", num_regions=3,
+                         shards_per_region=1, replication=1,
+                         clients_per_region=2, duration_ms=1000.0, seed=3)
+        prints = {
+            base.fingerprint(),
+            replace(base, topology=_smoke_plan().to_dict(),
+                    spare_regions=1).fingerprint(),
+            replace(base, rtt_profile="aws-like").fingerprint(),
+            replace(base, service_multipliers="edge-tiers").fingerprint(),
+        }
+        assert len(prints) == 4  # each knob lands in the cache key
+
+
+class TestCanarySeedBand:
+    def test_seed_band_accepts_range_and_flags_outliers(self):
+        from repro.obs.canary import _band_violations, _seed_band
+
+        rows = [{"throughput_tps": 100.0}, {"throughput_tps": 110.0},
+                {"throughput_tps": 104.0}]
+        band = _seed_band(1, 3, rows)
+        assert band["seeds"] == [1, 2, 3]
+        dist = band["metrics"]["throughput_tps"]
+        assert (dist["min"], dist["max"]) == (100.0, 110.0)
+
+        golden = {"row": rows[0], "seed_band": band}
+        # Inside the observed seed range: no violation even though it is
+        # far from the base-seed point value.
+        inside = {"row": {"throughput_tps": 109.0}}
+        assert _band_violations(golden, inside, tolerance=None) == []
+        # Outside range + slack (10% of mean): flagged with the seed range.
+        outlier = {"row": {"throughput_tps": 130.0}}
+        violations = _band_violations(golden, outlier, tolerance=None)
+        assert [v["metric"] for v in violations] == ["throughput_tps"]
+        assert violations[0]["seed_range"] == [100.0, 110.0]

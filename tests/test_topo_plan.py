@@ -1,0 +1,171 @@
+"""Unit tests for the topology subsystem: plans, generator, profiles.
+
+Simulation-free (plan algebra, serialization, generation invariants,
+preset resolution); the end-to-end churn trials live in
+``tests/test_topo_churn.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topo import (
+    RTT_PROFILES,
+    SERVICE_PROFILES,
+    TOPO_KINDS,
+    TopologyPlan,
+    generate_topology_plan,
+    resolve_service_multipliers,
+)
+from repro.topo.plan import INSTANT_KINDS, STRUCTURAL_KINDS
+
+
+class TestPlanAlgebra:
+    def test_add_keeps_time_order(self):
+        plan = TopologyPlan()
+        plan.add(500.0, "region_leave", region="r1")
+        plan.add(100.0, "move_shard", shard="s0", dst="r2")
+        assert [e.kind for e in plan.events] == ["move_shard", "region_leave"]
+
+    def test_every_kind_is_structural_or_instant(self):
+        assert STRUCTURAL_KINDS | INSTANT_KINDS == set(TOPO_KINDS)
+        assert not STRUCTURAL_KINDS & INSTANT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologyPlan().add(0.0, "teleport_shard", shard="s0")
+
+    def test_missing_and_extra_args_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologyPlan().add(0.0, "move_shard", shard="s0")  # no dst
+        with pytest.raises(ConfigError):
+            TopologyPlan().add(0.0, "move_shard", shard="s0", dst="r1",
+                               extra=True)
+
+    def test_migrate_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            TopologyPlan().add(0.0, "migrate_clients",
+                               src="r0", dst="r1", fraction=0.0)
+        with pytest.raises(ConfigError):
+            TopologyPlan().add(0.0, "migrate_clients",
+                               src="r0", dst="r0", fraction=0.5)
+
+    def test_json_round_trip_is_canonical(self):
+        plan = TopologyPlan(name="rt", seed=7)
+        plan.add(900.0, "region_join", region="r3", shards=["s0"])
+        plan.add(1500.0, "migrate_clients", src="r1", dst="r2", fraction=0.1)
+        text = plan.to_json()
+        again = TopologyPlan.from_json(text)
+        assert again.to_json() == text
+        assert again.seed == 7
+        assert [e.to_dict() for e in again.events] == \
+            [e.to_dict() for e in plan.events]
+
+    def test_subset_supports_ddmin(self):
+        plan = TopologyPlan()
+        for t in (100.0, 200.0, 300.0):
+            plan.add(t, "move_shard", shard="s0", dst="r1")
+        half = plan.subset([0, 2])
+        assert len(half) == 2
+        assert [e.time for e in half.events] == [100.0, 300.0]
+        # The subset is a deep copy: mutating it leaves the parent alone.
+        half.events[0].args["dst"] = "r2"
+        assert plan.events[0].args["dst"] == "r1"
+
+
+class TestGenerator:
+    def test_same_seed_same_plan(self):
+        for seed in range(6):
+            a = generate_topology_plan(seed)
+            b = generate_topology_plan(seed)
+            assert a.to_json() == b.to_json()
+
+    def test_plans_validate_and_vary(self):
+        plans = [generate_topology_plan(s) for s in range(8)]
+        for plan in plans:
+            plan.validate()
+        assert len({p.to_json() for p in plans}) > 1
+
+    def test_structural_times_are_monotone(self):
+        for seed in range(8):
+            times = [e.time
+                     for e in generate_topology_plan(seed).structural()]
+            assert times == sorted(times)
+
+    def test_region_leaves_never_empty_deployment(self):
+        # Replaying the generator's bookkeeping: after applying every
+        # structural event in order, at least one region still hosts shards.
+        for seed in range(10):
+            plan = generate_topology_plan(seed, num_regions=3,
+                                          shards_per_region=1)
+            homes = {f"s{k}": f"r{k}" for k in range(3)}
+            for event in plan.structural():
+                if event.kind == "move_shard":
+                    homes[event.args["shard"]] = event.args["dst"]
+                elif event.kind == "region_join":
+                    for shard in event.args["shards"]:
+                        homes[shard] = event.args["region"]
+                elif event.kind == "region_leave":
+                    src = event.args["region"]
+                    dst = event.args.get("dst")
+                    for shard, region in homes.items():
+                        if region == src:
+                            assert dst is not None
+                            homes[shard] = dst
+            assert homes  # some shard always has a home
+            assert len(set(homes.values())) >= 1
+
+
+class TestProfiles:
+    def test_rtt_profiles_are_symmetric_zero_diagonal(self):
+        for name, matrix in RTT_PROFILES.items():
+            n = len(matrix)
+            for i in range(n):
+                assert matrix[i][i] == 0.0, name
+                for j in range(n):
+                    assert matrix[i][j] == matrix[j][i], name
+
+    def test_resolve_named_service_profile(self):
+        regions = ["r0", "r1", "r2"]
+        out = resolve_service_multipliers("edge-tiers", regions)
+        tiers = SERVICE_PROFILES["edge-tiers"]
+        assert out == {r: tiers[i] for i, r in enumerate(sorted(regions))}
+
+    def test_resolve_mapping_validates_factors(self):
+        assert resolve_service_multipliers({"r0": 2.0}, ["r0"]) == {"r0": 2.0}
+        with pytest.raises(ConfigError):
+            resolve_service_multipliers({"r0": 0.0}, ["r0"])
+        with pytest.raises(ConfigError):
+            resolve_service_multipliers("no-such-profile", ["r0"])
+
+    def test_unknown_rtt_profile_rejected(self):
+        from repro.topo import apply_rtt_profile
+
+        class _Net:
+            def set_cross_region_rtt(self, rtt, r1, r2):
+                pass
+
+        with pytest.raises(ConfigError):
+            apply_rtt_profile(_Net(), ["r0", "r1"], "no-such-profile")
+
+
+class TestShrinkerIntegration:
+    def test_chaos_ddmin_shrinks_topology_plans(self):
+        """The chaos shrinker duck-types TopologyPlan: a synthetic oracle
+        that fails on a single event shrinks a 6-event plan down to it."""
+        from repro.chaos import shrink_plan
+
+        plan = TopologyPlan()
+        rng = random.Random(3)
+        for i in range(6):
+            plan.add(100.0 * (i + 1), "move_shard",
+                     shard=f"s{rng.randrange(3)}", dst=f"r{rng.randrange(3)}")
+        plan.add(650.0, "region_leave", region="r1")
+
+        def failing(p):
+            return any(e.kind == "region_leave" for e in p.events)
+
+        result = shrink_plan(plan, failing, max_runs=32)
+        assert len(result.plan) == 1
+        assert result.plan.events[0].kind == "region_leave"
