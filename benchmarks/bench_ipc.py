@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Microbenchmark: what one cross-partition window costs the process backend.
+
+The process backend ships :class:`~repro.sim.par.channel.CrossChannel`
+frames between forked workers in window-sized batches — each window is
+one encode (:mod:`repro.sim.par.codec`), one length-prefixed pipe write,
+one read, one decode.  This bench isolates those costs with real frames
+(TPC-C transactions whose piece bodies are closures, the expensive case)
+so docs/PARALLEL.md's IPC cost model stays honest::
+
+    python benchmarks/bench_ipc.py [--json out.json]
+
+Reported per window size: encoded bytes, encode/decode µs, and the full
+pipe round-trip µs.  The break-even rule of thumb: the process backend
+wins when per-window simulation work exceeds roughly the round-trip cost
+times the partition count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import struct
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import Topology, TopologyConfig  # noqa: E402
+from repro.sim.par import codec  # noqa: E402
+
+_HDR = struct.Struct("<I")
+
+
+def build_frames(count: int):
+    """Representative cross-partition frames: canonical 8-tuples whose
+    payloads are TPC-C transactions (closure-carrying piece bodies)."""
+    from repro.workloads.tpcc import TpccWorkload
+
+    topo = Topology(TopologyConfig(num_regions=2, shards_per_region=2,
+                                   clients_per_region=2))
+    workload = TpccWorkload(topo)
+    bindings = workload.bind_clients()
+    rng = random.Random(11)
+    frames = []
+    for i in range(count):
+        txn = workload.next_transaction(bindings[i % len(bindings)], rng)
+        frames.append((10.0 + i * 0.05, 10.0 + i * 0.05, 0, i,
+                       "r0.n0", "r1.n0", txn, 0))
+    return frames
+
+
+def bench_window(frames, repeats: int = 30):
+    """Encode / pipe-ship / decode one window of ``frames``, best-of runs.
+
+    The writer runs on a helper thread because a window can exceed the
+    kernel pipe buffer — exactly like the real protocol, where the worker
+    on the far end is already reading while the parent writes.
+    """
+    import threading
+
+    encode_s = decode_s = ship_s = float("inf")
+    data = codec.dumps(frames)
+    r_fd, w_fd = os.pipe()
+    rf, wf = os.fdopen(r_fd, "rb"), os.fdopen(w_fd, "wb")
+
+    def write(payload: bytes) -> None:
+        wf.write(_HDR.pack(len(payload)))
+        wf.write(payload)
+        wf.flush()
+
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            data = codec.dumps(frames)
+            t1 = time.perf_counter()
+            codec.loads(data)
+            t2 = time.perf_counter()
+            writer = threading.Thread(target=write, args=(data,))
+            writer.start()
+            hdr = rf.read(_HDR.size)
+            codec.loads(rf.read(_HDR.unpack(hdr)[0]))
+            t3 = time.perf_counter()
+            writer.join()
+            encode_s = min(encode_s, t1 - t0)
+            decode_s = min(decode_s, t2 - t1)
+            ship_s = min(ship_s, t3 - t2)
+    finally:
+        rf.close()
+        wf.close()
+    return {
+        "frames": len(frames),
+        "encoded_bytes": len(data),
+        "encode_us": round(encode_s * 1e6, 1),
+        "decode_us": round(decode_s * 1e6, 1),
+        "ship_roundtrip_us": round(ship_s * 1e6, 1),
+        "us_per_frame": round((encode_s + ship_s) * 1e6 / len(frames), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="1,16,64,256",
+                        help="comma-separated window sizes (frames)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the rows as JSON")
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    pool = build_frames(max(sizes))
+    rows = [bench_window(pool[:n]) for n in sizes]
+
+    header = ("frames", "encoded_bytes", "encode_us", "decode_us",
+              "ship_roundtrip_us", "us_per_frame")
+    widths = [max(len(h), *(len(str(r[h])) for r in rows)) for h in header]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(w) for h, w in zip(header, widths)))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"schema": "repro.bench.ipc/1", "rows": rows}, fh,
+                      indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    # Sanity gate for CI: shipping a window must stay in the sub-millisecond
+    # band per frame, or batching has silently broken.
+    worst = max(r["us_per_frame"] for r in rows if r["frames"] > 1)
+    if worst > 1000.0:
+        print(f"bench-ipc: FAIL — {worst} us/frame exceeds 1ms", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

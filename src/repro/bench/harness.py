@@ -57,6 +57,7 @@ class Trial:
         batch_window: float = 0.0,
         open_loop: Optional[dict] = None,
         parallel_regions: int = 0,
+        parallel_backend: str = "auto",
         topology_plan=None,
         rtt_profile: Optional[str] = None,
         service_multipliers=None,
@@ -109,7 +110,11 @@ class Trial:
         # requests the repro.sim.par kernel; repro.sim.par.resolve_mode
         # decides the backend (or declines with a named reason).  Virtual
         # -time outputs are identical either way; only wall-clock changes.
+        # parallel_backend picks *which* eligible backend runs the windows
+        # ("auto"/"serial"/"lockstep"/"threads"/"process"); it narrows but
+        # never widens eligibility.
         self.parallel_regions = parallel_regions
+        self.parallel_backend = parallel_backend
         # Dynamic topology (repro.topo): a TopologyPlan of mid-trial events
         # (forces the serial kernel when present), a named cross-region RTT
         # profile, per-region CPU service-time multipliers (name, list, or
@@ -161,10 +166,26 @@ class TrialResult:
         for endpoint in getattr(self.system.network, "endpoints", ()):
             endpoint.batch_window = 0.0
             endpoint.flush()
+        par_group = getattr(self.system, "par_group", None)
+        if par_group is not None:
+            # Under the process backend the stops/flushes above only
+            # touched the parent's copies; repeat them inside the workers.
+            par_group.drain_prep()
         self.system.run(until=self.system.sim.now + extra_ms)
         # Topology events may still be completing when the measured window
         # closes; refresh the summary's churn counters after the drain.
         self._attach_topo()
+
+    def close(self) -> None:
+        """Release kernel workers (thread pools / partition processes).
+
+        Idempotent; safe on serial trials.  Process-backend workers are
+        also reaped by an atexit hook, but callers that run many trials
+        in one process should close each result when done with it.
+        """
+        par_group = getattr(self.system, "par_group", None)
+        if par_group is not None:
+            par_group.shutdown()
 
 
 def _reset_global_id_streams() -> None:
@@ -212,12 +233,18 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
     kwargs = {}
     if trial.system == "dast" and trial.variant:
         kwargs["variant"] = trial.variant
-    from repro.sim.par import MODE_SERIAL, resolve_mode
+    from repro.sim.par import MODE_SERIAL, plan_partitions, resolve_mode
 
     mode, serial_reason = resolve_mode(
         trial, getattr(trial, "parallel_regions", 0), hooks=hooks is not None)
     if mode != MODE_SERIAL:
         kwargs["parallel"] = mode
+        # Sub-region sharding: a single populated region splits into shard
+        # partitions (resolve_mode already gated eligibility); None keeps
+        # the one-partition-per-region default.
+        parts = plan_partitions(topology, getattr(trial, "parallel_regions", 0))
+        if parts is not None:
+            kwargs["parallel_parts"] = parts
     system = system_cls(
         topology, workload.schemas(), workload.load,
         seed=trial.seed, clock_skew=trial.clock_skew, **kwargs,
@@ -292,6 +319,15 @@ def run_trial(trial: Trial, hooks: Optional[Callable] = None) -> TrialResult:
                                  origin=0.0).install()
     if hooks is not None:
         hooks(system, recorder)
+    par_group = getattr(system, "par_group", None)
+    if par_group is not None:
+        # The process backend forks at first run; register the runtime
+        # objects its workers must reach (recorder, clients, engine,
+        # nodes) before that snapshot is taken.  In-process backends
+        # share memory, so for them this is pure bookkeeping.
+        par_group.register_runtime(recorder=recorder, clients=clients,
+                                   engine=engine,
+                                   nodes=getattr(system, "nodes", None))
     if open_cfg is not None:
         # Open-loop trials churn through millions of short-lived objects
         # whose lifetimes are purely refcounted (pools hold the rest);

@@ -132,6 +132,7 @@ def _build_trial(args, obs: bool = False, causal: bool = False) -> Trial:
         batch_window=_batch_window(args),
         open_loop=_open_loop_dict(args),
         parallel_regions=getattr(args, "parallel_regions", 0),
+        parallel_backend=getattr(args, "parallel_backend", "auto"),
         topology_plan=topology_plan,
         rtt_profile=getattr(args, "rtt_profile", None),
         service_multipliers=getattr(args, "service_profile", None),
@@ -400,7 +401,9 @@ def cmd_bench(args) -> int:
     payload = run_bench(jobs=args.jobs, quick=args.quick, cache=cache,
                         refresh=args.refresh, progress=_progress,
                         timeout_s=args.timeout_s,
-                        parallel_regions=getattr(args, "parallel_regions", 0))
+                        parallel_regions=getattr(args, "parallel_regions", 0),
+                        parallel_backend=getattr(args, "parallel_backend",
+                                                 "auto"))
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
@@ -775,6 +778,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the kernel region-partitioned across N "
                             "partitions (docs/PARALLEL.md); virtual-time "
                             "results are identical to the serial kernel")
+        p.add_argument("--backend", dest="parallel_backend",
+                       choices=["auto", "serial", "lockstep", "threads",
+                                "process"],
+                       default="auto",
+                       help="which partitioned backend executes -j windows "
+                            "(docs/PARALLEL.md); 'process' forks one OS "
+                            "process per partition")
 
     run_p = sub.add_parser("run", help="run one trial and print its summary")
     run_p.add_argument("--system", choices=sorted(SYSTEMS), default="dast")
@@ -867,6 +877,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "region-partitioned kernel across N partitions "
                               "(exploration knob; the pinned matrix carries "
                               "its own -j3 twins)")
+    bench_p.add_argument("--backend", dest="parallel_backend",
+                         choices=["auto", "serial", "lockstep", "threads",
+                                  "process"],
+                         default="auto",
+                         help="backend for the -j override rows "
+                              "(docs/PARALLEL.md)")
     add_fleet_args(bench_p)
     bench_p.set_defaults(fn=cmd_bench)
 

@@ -49,6 +49,7 @@ class DastSystem:
         with_failure_detector: bool = False,
         variant: Optional[Dict[str, bool]] = None,
         parallel: str = "",
+        parallel_parts: Optional[Dict[str, str]] = None,
     ):
         # Ablation variant flags: {"stretch": bool, "calibration": bool,
         # "anticipation": bool}; all default True (full DAST).
@@ -60,12 +61,26 @@ class DastSystem:
         self.timing = topology.config.timing
         self.sim = Simulator()
         # Region-partitioned execution (repro.sim.par): "" = plain serial
-        # (everything on self.sim), else "lockstep"/"threads" — one kernel
-        # per region, with self.sim demoted to the *control kernel* (chaos
-        # plans, probe timers, harness bookkeeping).
+        # (everything on self.sim), else "lockstep"/"threads"/"process" —
+        # one kernel per partition, with self.sim demoted to the *control
+        # kernel* (chaos plans, probe timers, harness bookkeeping).
+        # Partitions are regions unless ``parallel_parts`` carries a
+        # host -> partition-name map (sub-region sharding: one region's
+        # shards spread over several kernels, see plan_partitions).
         self.parallel_mode = parallel
         self.region_sims: Dict[str, Simulator] = {}
-        if parallel:
+        self.partition_sims: Dict[str, Simulator] = {}
+        self.host_partition: Optional[Dict[str, str]] = None
+        if parallel and parallel_parts:
+            self.host_partition = dict(parallel_parts)
+            names: List[str] = []
+            for part in self.host_partition.values():
+                if part not in names:
+                    names.append(part)
+            names.sort(key=lambda p: (p.rpartition("@")[0],
+                                      int(p.rpartition("@")[2])))
+            self.partition_sims = {name: Simulator() for name in names}
+        elif parallel:
             self.region_sims = {region: Simulator() for region in topology.regions}
         self.par_group = None
         self.rng = RngRegistry(seed)
@@ -119,9 +134,10 @@ class DastSystem:
                 shard_id = topology.shard_of_node(node_host)
                 shard = Shard(shard_id, self.schemas)
                 self.loader(shard, topology.shard_index(shard_id))
-                source = self._clock_source(node_host, clock_skew, skew_rng, rsim)
+                nsim = self.sim_for_host(node_host)
+                source = self._clock_source(node_host, clock_skew, skew_rng, nsim)
                 node = DastNode(
-                    rsim, self.network, topology, self.catalog, self.timing,
+                    nsim, self.network, topology, self.catalog, self.timing,
                     node_host, shard, source, nid, self.manager_directory,
                 )
                 node.dclock.stretch_enabled = self.variant["stretch"]
@@ -132,9 +148,10 @@ class DastSystem:
                 (topology.manager_of(region), True),
                 (topology.manager_backup_of(region), False),
             ):
-                source = self._clock_source(mgr_host, clock_skew, skew_rng, rsim)
+                msim = self.sim_for_host(mgr_host)
+                source = self._clock_source(mgr_host, clock_skew, skew_rng, msim)
                 manager = DastManager(
-                    rsim, self.network, topology, self.catalog, self.timing,
+                    msim, self.network, topology, self.catalog, self.timing,
                     mgr_host, region, source, nid,
                     smr=self.smr_clusters.get(region), active=active,
                 )
@@ -150,19 +167,46 @@ class DastSystem:
         for client in topology.all_clients():
             region = client.split(".", 1)[0]
             self.client_endpoints[client] = Endpoint(
-                self.sim_for(region), self.network, client, region)
+                self.sim_for_host(client), self.network, client, region)
         if parallel:
-            from repro.sim.par import PartitionGroup
+            from repro.sim.par import MODE_PROCESS, PartitionGroup
 
-            self.par_group = PartitionGroup(
-                self.sim, self.region_sims, self.network, mode=parallel)
+            if parallel == MODE_PROCESS:
+                from repro.sim.par.proc import ProcessGroup
+
+                group_cls = ProcessGroup
+            else:
+                group_cls = PartitionGroup
+            self.par_group = group_cls(
+                self.sim, self.partition_sims or self.region_sims,
+                self.network, mode=parallel,
+                host_partition=self.host_partition)
             self.network.attach_partitions(self.par_group)
 
     def sim_for(self, region: str) -> Simulator:
-        """The kernel owning ``region`` (the shared kernel when serial)."""
+        """The kernel owning ``region`` (the shared kernel when serial).
+
+        Under sub-region sharding a region has no single kernel; callers
+        with a host in hand should use :meth:`sim_for_host`.  This falls
+        back to the control kernel then, which only region-agnostic
+        paths (faults, SMR) hit — none of which sub-shard trials host.
+        """
         if not self.region_sims:
             return self.sim
         return self.region_sims.get(region, self.sim)
+
+    def sim_for_host(self, host: str) -> Simulator:
+        """The kernel owning ``host`` (region kernel, shard-partition
+        kernel under sub-region sharding, or the shared serial kernel)."""
+        hp = self.host_partition
+        if hp is not None:
+            part = hp.get(host)
+            if part is not None:
+                return self.partition_sims[part]
+            return self.sim
+        if not self.region_sims:
+            return self.sim
+        return self.region_sims.get(host.split(".", 1)[0], self.sim)
 
     def _clock_source(self, host: str, skew: float, rng,
                       sim: Optional[Simulator] = None) -> ClockSource:
@@ -208,7 +252,8 @@ class DastSystem:
         endpoint = self.client_endpoints.get(client)
         if endpoint is None:
             region = client.split(".", 1)[0]
-            endpoint = Endpoint(self.sim_for(region), self.network, client, region)
+            endpoint = Endpoint(self.sim_for_host(client), self.network,
+                                client, region)
             self.client_endpoints[client] = endpoint
         if self.track_submitted:
             self.submitted[txn.txn_id] = txn

@@ -77,6 +77,14 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
         specs.append(par_base)
         specs.append(replace(par_base, parallel_regions=3,
                              label="par-smoke-j3/dast"))
+        # Appended: the same trial on the process backend — one forked OS
+        # process per region partition (docs/PARALLEL.md).  CI's smoke
+        # gate asserts this row's deterministic content matches the serial
+        # row too, and on multi-core hosts that its speedup_vs_serial
+        # exceeds 1.0.
+        specs.append(replace(par_base, parallel_regions=3,
+                             parallel_backend="process",
+                             label="par-smoke-p3/dast"))
         # Appended: topology-churn smoke (docs/TOPOLOGY.md) — one region
         # joins and pulls a shard in by elastic resharding, 10% of a
         # region's open-loop users migrate (their IRTs become CRT
@@ -183,6 +191,11 @@ def bench_matrix(quick: bool = False) -> List[TrialSpec]:
     specs.append(tpcc3)
     specs.append(replace(tpcc3, parallel_regions=3,
                          label="tpcc-3regions-j3/dast"))
+    # Appended: the shared-nothing process backend twin of the same trial
+    # — the row that actually escapes the GIL on multi-core hosts.
+    specs.append(replace(tpcc3, parallel_regions=3,
+                         parallel_backend="process",
+                         label="tpcc-3regions-p3/dast"))
     ol3 = TrialSpec(
         system="dast", workload="ycsb",
         workload_params={"theta": 0.7, "crt_ratio": 0.0,
@@ -219,7 +232,9 @@ def _attach_speedups(specs: List[TrialSpec], rows: List[Dict]) -> None:
     """Set ``speedup_vs_serial`` on each parallel row with a serial twin.
 
     Twins are matched on the full spec payload minus ``parallel_regions``
-    (labels are display-only), so the pairing survives relabelling.  When
+    and ``parallel_backend`` (labels are display-only), so the pairing
+    survives relabelling and a ``--backend process`` twin still finds the
+    serial row it should be compared against.  When
     both twins executed in this run the ratio is a live measurement
     (``speedup_source: "measured"``).  When either side was served from
     the cache, the cache's *recorded* wall clock still describes a real
@@ -230,6 +245,7 @@ def _attach_speedups(specs: List[TrialSpec], rows: List[Dict]) -> None:
     def twin_key(spec: TrialSpec) -> str:
         payload = spec.payload()
         payload.pop("parallel_regions", None)
+        payload.pop("parallel_backend", None)
         return canonical_json(payload)
 
     serial_rows: Dict[str, Dict] = {}
@@ -256,21 +272,25 @@ def run_bench(
     progress=None,
     timeout_s: Optional[float] = None,
     parallel_regions: int = 0,
+    parallel_backend: str = "auto",
 ) -> Dict:
     """Run the pinned matrix and reduce it to the ``BENCH_fleet.json`` payload.
 
     ``parallel_regions`` >= 2 (the CLI's ``-j``) reruns every serial
-    multi-region spec under the region-partitioned kernel.  The override
-    moves each spec's fingerprint, so it never pollutes the pinned cache
-    rows — it is an exploration knob, not part of the pinned matrix
-    (which carries its own ``-j3`` twins).
+    multi-region spec under the region-partitioned kernel;
+    ``parallel_backend`` picks which backend executes those windows
+    (docs/PARALLEL.md).  The overrides move each spec's fingerprint, so
+    they never pollute the pinned cache rows — exploration knobs, not
+    part of the pinned matrix (which carries its own ``-j3`` and process
+    twins).
     """
     from repro.fleet.executor import FleetExecutor
 
     specs = bench_matrix(quick=quick)
     if parallel_regions >= 2:
         specs = [
-            replace(s, parallel_regions=parallel_regions)
+            replace(s, parallel_regions=parallel_regions,
+                    parallel_backend=parallel_backend)
             if s.num_regions >= 2 and not s.parallel_regions else s
             for s in specs
         ]
@@ -301,6 +321,7 @@ def run_bench(
             if spec.parallel_regions:
                 row["parallel_regions"] = spec.parallel_regions
                 row["parallel_mode"] = result.parallel_mode
+                row["parallel_backend"] = result.parallel_backend
             rows.append(row)
         else:
             failures += 1

@@ -498,7 +498,9 @@ class Network:
         delay = self._one_way_delay(src, dst, regions[src], r_dst)
         stats.in_flight += 1
         incarnation = self._incarnation.get(dst, 0)
-        dst_idx = par.region_index(r_dst)
+        # Partition of the destination *host* — its region by default, its
+        # shard group under sub-region sharding (par.locate handles both).
+        dst_idx = par.locate(dst)[0]
         if dst_idx == src_idx:
             src_sim.schedule(delay, self._deliver_par, src, dst, payload,
                              incarnation, dst_idx)

@@ -14,7 +14,17 @@ Layout:
 * :mod:`repro.sim.par.channel` — the inter-kernel mailbox for cross-region
   messages, drained in a canonical deterministic order at window barriers;
 * :mod:`repro.sim.par.group` — :class:`PartitionGroup`, the synchronized
-  multi-kernel run loop (lockstep and thread-per-partition backends).
+  multi-kernel run loop (lockstep and thread-per-partition backends);
+* :mod:`repro.sim.par.proc` — :class:`ProcessGroup`, the process-per-
+  partition backend (forked shared-nothing workers, windows over pipes;
+  imported lazily by :class:`~repro.core.system.DastSystem` so in-process
+  trials never touch it);
+* :mod:`repro.sim.par.codec` — the closure-capable pickle codec process
+  workers ship cross-partition frames with.
+
+Partitions are regions by default; :func:`plan_partitions` additionally
+splits a hot *single-region* topology into shard groups behind the
+intra-region lookahead (sub-region sharding).
 
 See ``docs/PARALLEL.md`` for the model, the determinism invariant, and the
 serial-fallback rules.
@@ -23,21 +33,27 @@ serial-fallback rules.
 from repro.sim.par.channel import CrossChannel
 from repro.sim.par.group import PartitionGroup
 from repro.sim.par.partition import (
+    BACKENDS,
     MODE_LOCKSTEP,
+    MODE_PROCESS,
     MODE_SERIAL,
     MODE_THREADS,
     PAR_SAFE_FAULT_KINDS,
     lookahead,
+    plan_partitions,
     resolve_mode,
 )
 
 __all__ = [
     "CrossChannel",
     "PartitionGroup",
+    "BACKENDS",
     "MODE_SERIAL",
     "MODE_LOCKSTEP",
     "MODE_THREADS",
+    "MODE_PROCESS",
     "PAR_SAFE_FAULT_KINDS",
     "lookahead",
+    "plan_partitions",
     "resolve_mode",
 ]

@@ -1,0 +1,96 @@
+"""Pickle codec for cross-partition wire frames.
+
+The process backend ships :class:`~repro.sim.par.channel.CrossChannel`
+frames between OS processes.  Frame payloads are wire messages whose
+transactions carry piece *bodies* — plain Python closures built by the
+workload generators — and the stdlib pickler refuses closures (it can
+only pickle module-level functions by reference).  This codec extends
+pickle with a function reducer:
+
+* module-level functions that resolve back to themselves by
+  ``module.qualname`` pickle by reference, exactly as stdlib pickle
+  would — cheap, and the worker ends up calling the *same* function
+  object (workers are forks, so the module is already imported);
+* closures / lambdas / local functions ship as ``marshal``-ed code
+  objects plus their defaults and cell contents, rebuilt with
+  :class:`types.FunctionType` on the receiving side.  The rebuilt
+  function's globals are the defining module's ``__dict__`` so bodies
+  keep seeing their helpers.
+
+Determinism note: the codec is pure transport.  Encoded bytes never
+enter the virtual-byte size model (wire sizes were already accounted on
+the sender via :func:`repro.wire.sizeof`), so pickling detail can never
+leak into a trial's results.
+"""
+
+from __future__ import annotations
+
+import io
+import marshal
+import pickle
+import sys
+import types
+
+__all__ = ["dumps", "loads"]
+
+
+def _rebuild_function(code_bytes, module, qualname, name, defaults,
+                      kwdefaults, cell_values, fn_dict):
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(module)
+    globs = mod.__dict__ if mod is not None else {"__builtins__": __builtins__}
+    closure = None
+    if cell_values is not None:
+        closure = tuple(types.CellType(v) for v in cell_values)
+    fn = types.FunctionType(code, globs, name, defaults, closure)
+    if kwdefaults:
+        fn.__kwdefaults__ = dict(kwdefaults)
+    if fn_dict:
+        fn.__dict__.update(fn_dict)
+    fn.__module__ = module
+    fn.__qualname__ = qualname
+    return fn
+
+
+def _importable(fn: types.FunctionType) -> bool:
+    """True when stdlib by-reference pickling would round-trip ``fn``."""
+    if fn.__closure__ is not None or "<locals>" in fn.__qualname__:
+        return False
+    mod = sys.modules.get(fn.__module__ or "")
+    target = mod
+    for part in fn.__qualname__.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            return False
+    return target is fn
+
+
+class _FramePickler(pickle.Pickler):
+    def reducer_override(self, obj):
+        if type(obj) is types.FunctionType:
+            if _importable(obj):
+                return NotImplemented  # stdlib by-reference path
+            cells = None
+            if obj.__closure__ is not None:
+                cells = tuple(c.cell_contents for c in obj.__closure__)
+            return (_rebuild_function, (
+                marshal.dumps(obj.__code__),
+                obj.__module__ or "builtins",
+                obj.__qualname__,
+                obj.__name__,
+                obj.__defaults__,
+                obj.__kwdefaults__,
+                cells,
+                obj.__dict__ or None,
+            ))
+        return NotImplemented
+
+
+def dumps(obj) -> bytes:
+    buf = io.BytesIO()
+    _FramePickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+def loads(data: bytes):
+    return pickle.loads(data)

@@ -24,7 +24,14 @@ Backends: **lockstep** steps the region kernels inline in region order —
 this is the canonical partitioned semantics; **threads** runs each
 window's partitions on a thread pool and is observationally identical by
 construction (kernels are single-owner during a window, cross traffic is
-buffered, shared counters use per-partition lanes).
+buffered, shared counters use per-partition lanes); **process**
+(:class:`repro.sim.par.proc.ProcessGroup`, a subclass of this loop) forks
+one OS process per partition and ships the same windows over pipes.
+
+Partitions are regions by default; with a ``host_partition`` map
+(sub-region sharding, see :func:`repro.sim.par.partition.plan_partitions`)
+they are named shard groups inside one region, and the window lookahead
+shrinks to the intra-region one-way delay.
 """
 
 from __future__ import annotations
@@ -35,19 +42,29 @@ from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
 from repro.sim.network import NetworkStats
 from repro.sim.par.channel import CrossChannel
-from repro.sim.par.partition import MODE_LOCKSTEP, MODE_THREADS, lookahead
+from repro.sim.par.partition import (
+    MODE_LOCKSTEP,
+    MODE_THREADS,
+    intra_lookahead,
+    lookahead,
+)
 
 __all__ = ["PartitionGroup"]
 
 
 class PartitionGroup:
-    """Coordinates one kernel per region behind a conservative barrier."""
+    """Coordinates one kernel per partition behind a conservative barrier."""
+
+    # Backends this group class implements; the process backend lives in a
+    # subclass (repro.sim.par.proc.ProcessGroup) with its own loop.
+    _MODES = (MODE_LOCKSTEP, MODE_THREADS)
 
     def __init__(self, control: Simulator, kernels: Dict[str, Simulator],
-                 network, mode: str = MODE_LOCKSTEP):
+                 network, mode: str = MODE_LOCKSTEP,
+                 host_partition: Optional[Dict[str, str]] = None):
         if len(kernels) < 2:
-            raise SimulationError("partitioned execution needs >= 2 regions")
-        if mode not in (MODE_LOCKSTEP, MODE_THREADS):
+            raise SimulationError("partitioned execution needs >= 2 partitions")
+        if mode not in self._MODES:
             raise SimulationError(f"unknown partition backend {mode!r}")
         self.control = control
         self.regions: List[str] = list(kernels)
@@ -57,14 +74,25 @@ class PartitionGroup:
         self.mode = mode
         self.channel = CrossChannel(len(self._parts))
         self._region_index = {r: i for i, r in enumerate(self.regions)}
+        # Sub-region sharding: explicit host -> partition-name map.  None
+        # means region mode (a host's partition is its region).
+        self._host_partition = dict(host_partition) if host_partition else None
         self._host_loc: Dict[str, Tuple[int, Simulator]] = {}
         self._pool = None
-        if mode == MODE_THREADS:
-            self._lanes = [NetworkStats() for _ in self._parts]
-        else:
+        if mode == MODE_LOCKSTEP:
             # Lockstep is single-threaded: every partition shares the
             # network's own stats object, so no merge step exists.
             self._lanes = [network.stats] * len(self._parts)
+        else:
+            self._lanes = [NetworkStats() for _ in self._parts]
+        # Trial runtime objects the process backend must reach from inside
+        # forked workers; registered by the harness before the first run.
+        # Base backends share memory with the harness, so storing them is
+        # all that happens here.
+        self.recorder = None
+        self.clients: List = []
+        self.engine = None
+        self.nodes: Dict = {}
         # Instrumentation: how the run decomposed (window barriers vs
         # exact-instant steps) — surfaced in tests and perf reports.
         self.windows = 0
@@ -81,13 +109,41 @@ class PartitionGroup:
         try:
             return self._host_loc[host]
         except KeyError:
-            idx = self._region_index[self.network._host_region[host]]
+            if self._host_partition is not None:
+                part = self._host_partition[host]
+            else:
+                part = self.network._host_region[host]
+            idx = self._region_index[part]
             loc = (idx, self._parts[idx])
             self._host_loc[host] = loc
             return loc
 
     def stats_lane(self, idx: int) -> NetworkStats:
         return self._lanes[idx]
+
+    def _lookahead(self) -> float:
+        """The conservative window width for this partition shape."""
+        if self._host_partition is not None:
+            return intra_lookahead(self.network)
+        return lookahead(self.network)
+
+    # ------------------------------------------------------------------
+    # Harness hooks (overridden by the process backend)
+    # ------------------------------------------------------------------
+    def register_runtime(self, recorder=None, clients=(), engine=None,
+                         nodes=None) -> None:
+        """Tell the group which trial objects workers must operate on."""
+        self.recorder = recorder
+        self.clients = list(clients)
+        self.engine = engine
+        self.nodes = dict(nodes) if nodes else {}
+
+    def drain_prep(self) -> None:
+        """Propagate client-stop/flush to workers (no-op in shared memory)."""
+
+    def child_rss_kb(self) -> int:
+        """Peak RSS of partition worker processes (0 for in-process modes)."""
+        return 0
 
     # ------------------------------------------------------------------
     # Running
@@ -126,7 +182,7 @@ class PartitionGroup:
                         self._drain_instant(k, horizon)
                     self.instants += 1
                     continue
-                bound = t_next + lookahead(self.network)
+                bound = t_next + self._lookahead()
                 if t_ctrl is not None and t_ctrl < bound:
                     bound = t_ctrl
                 if bound > horizon:

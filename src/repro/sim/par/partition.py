@@ -1,4 +1,4 @@
-"""Partition eligibility gate and the conservative lookahead rule.
+"""Partition eligibility gate, backend selection, and the lookahead rules.
 
 A trial runs region-partitioned only when the model guarantees the
 partitioned execution is *indistinguishable* from the serial one for every
@@ -12,24 +12,59 @@ Fault plans are allowed but demote the backend to **lockstep** (one OS
 thread stepping the region kernels in a fixed order): fault handlers
 mutate shared control-plane state (catalog, manager directory, partition
 sets) that the threaded backend must never see change mid-window.
+
+Two partitioning *shapes* exist:
+
+* **region mode** (the default, multi-region topologies): one partition
+  per region, windows bounded by the minimum cross-region one-way delay
+  (:func:`lookahead`);
+* **sub-region sharding** (hot single-region trials): one region's nodes
+  split into K shard-partitions, windows bounded by the intra-region
+  one-way delay.  :func:`plan_partitions` builds the host → partition
+  map; eligibility is narrower (closed-loop dast only) because every
+  hop, including client → coordinator, must clear the smaller horizon.
+
+Region mode is byte-identical to serial.  Sub-region sharding carries a
+weaker — but still pinned — contract: intra-region delays are uniform, so
+cross-partition messages routinely *tie* on arrival instant, and the
+canonical channel order serializes those ties differently than the single
+kernel's insertion order would.  Sub-shard runs are therefore a distinct
+deterministic serialization of the same model: byte-stable run-to-run and
+across every partitioned backend (lockstep == threads == process), but
+not a replay of the serial schedule.  The determinism tests pin exactly
+this split.
+
+Backends: the ``parallel_backend`` knob ("auto"/"serial"/"lockstep"/
+"threads"/"process") picks *how* eligible partitions execute.  "auto"
+keeps the PR 8 behaviour (threads, demoted to lockstep by faults/obs).
+An explicit backend never widens eligibility — trials that auto demotes
+to lockstep stay lockstep, and serial-only trials stay serial — it only
+chooses among the window-equivalent execution strategies.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "MODE_SERIAL",
     "MODE_LOCKSTEP",
     "MODE_THREADS",
+    "MODE_PROCESS",
+    "BACKENDS",
     "PAR_SAFE_FAULT_KINDS",
     "lookahead",
+    "plan_partitions",
     "resolve_mode",
 ]
 
 MODE_SERIAL = "serial"
 MODE_LOCKSTEP = "lockstep"
 MODE_THREADS = "threads"
+MODE_PROCESS = "process"
+
+# Legal values of Trial/TrialSpec ``parallel_backend``.
+BACKENDS = ("auto", MODE_SERIAL, MODE_LOCKSTEP, MODE_THREADS, MODE_PROCESS)
 
 # Fault kinds a partitioned run can host (under the lockstep backend):
 # membership/partition faults apply at control-kernel instants, between
@@ -70,20 +105,102 @@ def lookahead(network) -> float:
     return la
 
 
+def intra_lookahead(network) -> float:
+    """Conservative lookahead for sub-region sharding.
+
+    Every hop between sub-region partitions — replica to replica, node to
+    manager, client to coordinator — is an intra-region hop, whose
+    one-way delay the network floors at ``max(0.01, intra_rtt / 2)``
+    (see :meth:`Network._one_way_delay`).  Loopback hops stay inside one
+    partition by construction (same host, same kernel).
+    """
+    return max(MIN_LOOKAHEAD, network.intra_region_rtt / 2.0)
+
+
+def plan_partitions(topology, requested: int) -> Optional[Dict[str, str]]:
+    """Host → partition-name map for sub-region sharding, or ``None``.
+
+    ``None`` means "use region mode" (one partition per region) — the
+    multi-region default, which keeps every PR 8 construction path and
+    digest untouched.  For a single populated region with >= 2 shards,
+    splits that region into ``K = min(requested, shards)`` partitions
+    named ``{region}@{k}``: shard *j* (by shard index) lands on partition
+    ``j % K`` with all its replicas, the manager pair anchors partition
+    0, and each client follows the shard it binds to first
+    (``shards[i % len(shards)]`` — the closed-loop binding rule).
+    """
+    populated = [r for r in topology.regions if topology.nodes_in_region(r)]
+    if len(populated) != 1:
+        return None
+    region = populated[0]
+    shards = sorted(topology.shards_in_region(region), key=topology.shard_index)
+    k = min(int(requested), len(shards))
+    if k < 2:
+        return None
+    parts = [f"{region}@{i}" for i in range(k)]
+    mapping: Dict[str, str] = {}
+    shard_part: Dict[str, str] = {}
+    for j, shard_id in enumerate(shards):
+        name = parts[j % k]
+        shard_part[shard_id] = name
+        for host in topology.replicas_of(shard_id):
+            mapping[host] = name
+    mapping[topology.manager_of(region)] = parts[0]
+    mapping[topology.manager_backup_of(region)] = parts[0]
+    for i, client in enumerate(topology.clients_in_region(region)):
+        mapping[client] = shard_part[shards[i % len(shards)]]
+    return mapping
+
+
+def _subshard_reason(trial) -> Optional[str]:
+    """Why a single-region trial cannot sub-region shard (None = it can)."""
+    if trial.shards_per_region < 2:
+        return "single-region topology has nothing to partition"
+    if trial.system != "dast":
+        return f"system {trial.system!r} is not partition-aware"
+    if trial.open_loop is not None:
+        return ("open-loop express submissions bypass the per-message "
+                "network; sub-region sharding is closed-loop only")
+    if getattr(trial, "spare_regions", 0):
+        return ("spare regions can join mid-trial; sub-region sharding "
+                "needs a static shard map")
+    if trial.fault_plan is not None:
+        return ("fault handlers rewrite the shared region control plane; "
+                "sub-region shards fall back to serial")
+    if trial.obs or trial.obs_causal:
+        return ("observability attachments consume events in emission "
+                "order; sub-region sharding declines")
+    return None
+
+
 def resolve_mode(trial, requested: int,
                  hooks: bool = False) -> Tuple[str, Optional[str]]:
     """Decide how a trial executes: ``(mode, serial_reason)``.
 
     ``requested`` is the ``--parallel-regions/-j`` knob (0/1 = off).
-    Returns one of :data:`MODE_SERIAL` / :data:`MODE_LOCKSTEP` /
-    :data:`MODE_THREADS`; when serial, the second element names why the
+    ``trial.parallel_backend`` (default "auto") selects among the
+    eligible backends; it can *narrow* (force serial/lockstep) but never
+    widen — a trial auto would demote stays demoted.  Returns one of the
+    MODE_* constants; when serial, the second element names why the
     partitioned kernel declined, so bench rows stay self-describing.
     """
+    backend = getattr(trial, "parallel_backend", "auto") or "auto"
+    if backend not in BACKENDS:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown parallel backend {backend!r}; pick one of {BACKENDS}")
     if requested < 2:
         return MODE_SERIAL, None  # parallelism not requested
+    if backend == MODE_SERIAL:
+        return MODE_SERIAL, "serial backend explicitly requested"
     if trial.num_regions < 2:
-        return MODE_SERIAL, "single-region topology has nothing to partition"
-    if trial.system != "dast":
+        reason = _subshard_reason(trial)
+        if reason is not None:
+            return MODE_SERIAL, reason
+        # Sub-region sharding is narrower than region mode: the gates
+        # below (drops, hooks, topology plans) still apply.
+    elif trial.system != "dast":
         return MODE_SERIAL, f"system {trial.system!r} is not partition-aware"
     if trial.timing.drop_probability > 0.0:
         return MODE_SERIAL, ("random drops consume the shared network RNG "
@@ -108,4 +225,8 @@ def resolve_mode(trial, requested: int,
         # Tracer/registry/probe attachments are single-threaded consumers;
         # lockstep keeps their emission order deterministic.
         return MODE_LOCKSTEP, None
+    if backend == MODE_LOCKSTEP:
+        return MODE_LOCKSTEP, None
+    if backend == MODE_PROCESS:
+        return MODE_PROCESS, None
     return MODE_THREADS, None

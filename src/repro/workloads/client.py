@@ -39,8 +39,13 @@ class ClosedLoopClient:
         self._running = False
 
     def _sim(self):
-        # The region kernel under partitioned execution (repro.sim.par);
-        # systems without region kernels fall back to the shared one.
+        # The kernel owning this client under partitioned execution
+        # (repro.sim.par): its region kernel, or its shard-partition
+        # kernel under sub-region sharding; systems without partition
+        # kernels fall back to the shared one.
+        sim_for_host = getattr(self.system, "sim_for_host", None)
+        if sim_for_host is not None:
+            return sim_for_host(self.binding.client)
         sim_for = getattr(self.system, "sim_for", None)
         if sim_for is not None:
             return sim_for(self.binding.region)

@@ -120,3 +120,25 @@ class TestHotPathHygiene:
             "threading/multiprocessing outside repro.sim.par / repro.fleet:\n"
             + "\n".join(offenders)
         )
+
+    # Raw process forking is even more confined than threading: only the
+    # process backend's worker module may call it.  Everything else that
+    # needs process fan-out goes through multiprocessing's spawn context
+    # (repro.fleet, repro.chaos.parallel), which never inherits mutable
+    # simulation state.
+    BANNED_FORK = re.compile(r"\bos\.(?:fork|forkpty)\s*\(")
+    FORK_ALLOWED = ("sim/par/proc.py",)
+
+    def test_os_fork_confined_to_process_backend(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            if rel in self.FORK_ALLOWED:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = line.split("#", 1)[0]
+                if self.BANNED_FORK.search(code):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "os.fork outside repro.sim.par.proc:\n" + "\n".join(offenders)
+        )

@@ -85,6 +85,7 @@ class TestFingerprint:
             "collect": {"crt_cdf": {"points": 10}},
             "open_loop": {"users_per_region": 100, "txn_per_user_s": 2.0},
             "parallel_regions": 3,
+            "parallel_backend": "process",
             "topology": {"events": [{"time": 100.0, "kind": "move_shard",
                                      "args": {"shard": "s0", "dst": "r1"}}]},
             "rtt_profile": "aws-like",

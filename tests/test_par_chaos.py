@@ -35,18 +35,18 @@ def _report_digest(report) -> str:
 
 
 class TestChaosUnderPartitions:
+    # duration must clear the harness's default 1500ms warmup, or the
+    # recorder never sees a committed transaction.
+    KWARGS = dict(system="dast", workload="tpca", num_regions=3,
+                  shards_per_region=1, clients_per_region=2,
+                  duration_ms=2500.0, drain_ms=2000.0, seed=5,
+                  request_timeout=800.0)
+
     @pytest.fixture(scope="class")
     def pair(self):
-        # duration must clear the harness's default 1500ms warmup, or the
-        # recorder never sees a committed transaction.
-        kwargs = dict(system="dast", workload="tpca", num_regions=3,
-                      shards_per_region=1, clients_per_region=2,
-                      duration_ms=2500.0, drain_ms=2000.0, seed=5,
-                      request_timeout=800.0)
-        plan = _crash_partition_plan()
-        serial = run_chaos_trial(plan, **kwargs)
+        serial = run_chaos_trial(_crash_partition_plan(), **self.KWARGS)
         par = run_chaos_trial(_crash_partition_plan(), parallel_regions=3,
-                              **kwargs)
+                              **self.KWARGS)
         return serial, par
 
     def test_reports_byte_identical(self, pair):
@@ -60,6 +60,15 @@ class TestChaosUnderPartitions:
             assert report.ok, report.to_text()
             assert report.audit is not None and report.audit.ok
         assert serial.committed == par.committed > 0
+
+    def test_process_request_demotes_and_stays_byte_identical(self, pair):
+        # An explicit process backend never widens eligibility: the fault
+        # plan demotes it to lockstep, and the chaos report stays byte
+        # identical to serial.
+        serial, _ = pair
+        proc = run_chaos_trial(_crash_partition_plan(), parallel_regions=3,
+                               parallel_backend="process", **self.KWARGS)
+        assert _report_digest(serial) == _report_digest(proc)
 
 
 def _trial(**over) -> Trial:
@@ -106,3 +115,64 @@ class TestResolveMode:
 
     def test_fault_free_untraced_runs_threaded(self):
         assert resolve_mode(_trial(), 3) == (MODE_THREADS, None)
+
+
+class TestResolveBackend:
+    """The ``parallel_backend`` knob narrows but never widens eligibility."""
+
+    def test_unknown_backend_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown parallel backend"):
+            resolve_mode(_trial(parallel_backend="greenlets"), 3)
+
+    def test_explicit_serial_names_itself(self):
+        mode, reason = resolve_mode(_trial(parallel_backend="serial"), 3)
+        assert mode == MODE_SERIAL and "explicitly requested" in reason
+
+    def test_explicit_backends_select_mode(self):
+        from repro.sim.par import MODE_PROCESS
+
+        assert resolve_mode(_trial(parallel_backend="lockstep"), 3) == \
+            (MODE_LOCKSTEP, None)
+        assert resolve_mode(_trial(parallel_backend="threads"), 3) == \
+            (MODE_THREADS, None)
+        assert resolve_mode(_trial(parallel_backend="process"), 3) == \
+            (MODE_PROCESS, None)
+
+    def test_process_request_never_widens(self):
+        # Faults and observability demote to lockstep regardless of the
+        # requested backend; RNG-coupled plans still fall back to serial.
+        trial = _trial(fault_plan=_crash_partition_plan(),
+                       parallel_backend="process")
+        assert resolve_mode(trial, 3) == (MODE_LOCKSTEP, None)
+        trial = _trial(obs=True, parallel_backend="process")
+        assert resolve_mode(trial, 3) == (MODE_LOCKSTEP, None)
+        plan = FaultPlan().add(100.0, "set_jitter", jitter=2.0)
+        mode, reason = resolve_mode(
+            _trial(fault_plan=plan, parallel_backend="process"), 3)
+        assert mode == MODE_SERIAL and "set_jitter" in reason
+
+    def test_subshard_eligibility(self):
+        from repro.sim.par import MODE_PROCESS
+
+        # Single region with >= 2 shards sub-region shards; the backend
+        # knob picks the executor.
+        eligible = _trial(num_regions=1, shards_per_region=3,
+                          parallel_backend="process")
+        assert resolve_mode(eligible, 3) == (MODE_PROCESS, None)
+        assert resolve_mode(
+            _trial(num_regions=1, shards_per_region=3), 3) == \
+            (MODE_THREADS, None)
+        # Open-loop trials bypass the per-message network; they decline.
+        mode, reason = resolve_mode(
+            _trial(num_regions=1, shards_per_region=3,
+                   open_loop={"users_per_region": 10,
+                              "txn_per_user_s": 1.0}), 3)
+        assert mode == MODE_SERIAL and "closed-loop only" in reason
+        # Fault plans on a single region fall back to serial entirely
+        # (the shared control plane lives inside the one region).
+        mode, reason = resolve_mode(
+            _trial(num_regions=1, shards_per_region=3,
+                   fault_plan=_crash_partition_plan()), 3)
+        assert mode == MODE_SERIAL and "fault handlers" in reason

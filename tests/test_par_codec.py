@@ -1,0 +1,89 @@
+"""The cross-partition frame codec: closures over the wire.
+
+The process backend ships wire frames whose transactions carry piece
+bodies — closures built by the workload generators — which stdlib pickle
+refuses.  These tests pin the codec's two paths (by-reference for
+importable functions, marshal rebuild for closures) and that a real
+workload transaction round-trips executably.
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim.par import codec
+
+
+def module_level_helper(x, y=2):
+    return x * y
+
+
+def make_adder(n, scale=1):
+    def adder(value, bump=10):
+        return (value + n) * scale + bump
+    return adder
+
+
+class TestImportableFunctions:
+    def test_round_trips_by_reference(self):
+        fn = codec.loads(codec.dumps(module_level_helper))
+        assert fn is module_level_helper
+
+    def test_stdlib_pickle_equivalence(self):
+        # The by-reference path must produce what stdlib pickle would, so
+        # ordinary payloads (no closures) stay interchangeable.
+        assert codec.loads(pickle.dumps(module_level_helper)) is \
+            codec.loads(codec.dumps(module_level_helper))
+
+
+class TestClosures:
+    def test_stdlib_refuses_what_the_codec_ships(self):
+        adder = make_adder(5)
+        with pytest.raises(Exception):
+            pickle.dumps(adder)
+        rebuilt = codec.loads(codec.dumps(adder))
+        assert rebuilt(1) == adder(1) == 16
+
+    def test_cells_defaults_and_kwdefaults_survive(self):
+        adder = make_adder(3, scale=4)
+        rebuilt = codec.loads(codec.dumps(adder))
+        assert rebuilt(2) == adder(2) == 30
+        assert rebuilt(2, bump=0) == adder(2, bump=0) == 20
+        assert rebuilt.__name__ == "adder"
+        assert "<locals>" in rebuilt.__qualname__
+
+    def test_rebuilt_closure_sees_module_globals(self):
+        def caller(v):
+            return module_level_helper(v) + 1
+
+        # Local function (no closure, but "<locals>" qualname): must ship
+        # by value and still resolve its module-global helper.
+        rebuilt = codec.loads(codec.dumps(caller))
+        assert rebuilt(4) == caller(4) == 9
+
+    def test_lambda_round_trips(self):
+        double = lambda v: v * 2  # noqa: E731
+        assert codec.loads(codec.dumps(double))(21) == 42
+
+    def test_nested_containers(self):
+        payload = {"fns": [make_adder(1), make_adder(2)], "n": 7}
+        out = codec.loads(codec.dumps(payload))
+        assert out["n"] == 7
+        assert [f(0) for f in out["fns"]] == [11, 12]
+
+
+class TestWorkloadTransactions:
+    def test_tpcc_transaction_bodies_round_trip(self):
+        from repro.config import Topology, TopologyConfig
+        from repro.workloads.tpcc import TpccWorkload
+
+        topo = Topology(TopologyConfig(num_regions=2, shards_per_region=2,
+                                       clients_per_region=2))
+        workload = TpccWorkload(topo)
+        binding = workload.bind_clients()[0]
+        import random
+        txn = workload.next_transaction(binding, random.Random(3))
+        out = codec.loads(codec.dumps(txn))
+        assert out.txn_id == txn.txn_id
+        assert [p.index for p in out.pieces] == [p.index for p in txn.pieces]
+        assert all(callable(p.body) for p in out.pieces)

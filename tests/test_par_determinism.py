@@ -1,7 +1,10 @@
 """The parallel kernel's core invariant: virtual-time output is identical
-across serial, lockstep, and threaded execution — only wall-clock may
-change.  Also pins the fleet plumbing that reports on it: mode provenance
-on outcomes and the bench speedup column.
+across serial, lockstep, threaded, and forked-process execution — only
+wall-clock may change.  Sub-region sharding carries the weaker pinned
+contract documented in :mod:`repro.sim.par.partition`: byte-stable
+run-to-run and across partitioned backends, but a distinct serialization
+from the single serial kernel.  Also pins the fleet plumbing that reports
+on it: mode/backend provenance on outcomes and the bench speedup column.
 """
 
 import hashlib
@@ -86,6 +89,114 @@ class TestLockstepMatchesSerial:
         assert serial_digest == par_digest
 
 
+class TestProcessMatchesSerial:
+    """The shared-nothing forked backend replays the serial schedule
+    byte-for-byte: same windows, same canonical frame order, plus id
+    streams re-based per worker so fork never mints colliding ids."""
+
+    def test_closed_loop_tpcc(self):
+        serial = run_spec(CLOSED)
+        par = run_spec(replace(CLOSED, parallel_regions=3,
+                               parallel_backend="process"))
+        assert serial.parallel_mode == "serial"
+        assert par.parallel_mode == "process"
+        assert par.parallel_backend == "process"
+        assert serial.committed > 0
+        assert _virtual_digest(serial) == _virtual_digest(par)
+
+    def test_open_loop_ycsb(self):
+        serial = run_spec(OPEN)
+        par = run_spec(replace(OPEN, parallel_regions=3,
+                               parallel_backend="process"))
+        assert par.parallel_mode == "process"
+        assert serial.committed > 0
+        assert _virtual_digest(serial) == _virtual_digest(par)
+
+    def test_process_self_deterministic(self):
+        spec = replace(CLOSED, parallel_regions=3, parallel_backend="process")
+        assert _virtual_digest(run_spec(spec)) == _virtual_digest(run_spec(spec))
+
+    def test_traced_trial_demotes_to_lockstep(self):
+        # Tracer attachments are single-threaded consumers; an explicit
+        # process request never widens eligibility, so traced trials run
+        # lockstep (whose serial equivalence TestLockstepMatchesSerial
+        # pins) instead of forking.
+        from repro.bench.harness import run_trial
+
+        trial = replace(CLOSED, parallel_regions=3,
+                        parallel_backend="process").to_trial()
+        trial.obs_causal = True
+        result = run_trial(trial)
+        assert result.parallel_mode == "lockstep"
+
+
+SUB = replace(
+    CLOSED,
+    num_regions=1, shards_per_region=3, clients_per_region=6,
+    label="par-det/subshard",
+)
+
+
+class TestSubRegionSharding:
+    def test_plan_partitions_declines_multi_region(self):
+        from repro.config import Topology, TopologyConfig
+        from repro.sim.par import plan_partitions
+
+        topo = Topology(TopologyConfig(num_regions=3, shards_per_region=2,
+                                       clients_per_region=2))
+        assert plan_partitions(topo, 3) is None
+
+    def test_plan_partitions_single_region_shape(self):
+        from repro.config import Topology, TopologyConfig
+        from repro.sim.par import plan_partitions
+
+        topo = Topology(TopologyConfig(num_regions=1, shards_per_region=3,
+                                       clients_per_region=6))
+        region = topo.regions[0]
+        plan = plan_partitions(topo, 2)  # K = min(requested, shards) = 2
+        assert plan is not None
+        parts = sorted(set(plan.values()))
+        assert parts == [f"{region}@0", f"{region}@1"]
+        shards = sorted(topo.shards_in_region(region), key=topo.shard_index)
+        # Shards round-robin across partitions, replicas follow shards.
+        for j, shard_id in enumerate(shards):
+            for host in topo.replicas_of(shard_id):
+                assert plan[host] == f"{region}@{j % 2}"
+        # The manager pair anchors partition 0.
+        assert plan[topo.manager_of(region)] == f"{region}@0"
+        assert plan[topo.manager_backup_of(region)] == f"{region}@0"
+        # Clients follow the shard they bind to first.
+        for i, client in enumerate(topo.clients_in_region(region)):
+            assert plan[client] == plan[topo.replicas_of(shards[i % 3])[0]]
+
+    def test_plan_partitions_single_shard_declines(self):
+        from repro.config import Topology, TopologyConfig
+        from repro.sim.par import plan_partitions
+
+        topo = Topology(TopologyConfig(num_regions=1, shards_per_region=1,
+                                       clients_per_region=2))
+        assert plan_partitions(topo, 3) is None
+
+    def test_subshard_self_deterministic(self):
+        spec = replace(SUB, parallel_regions=3, parallel_backend="process")
+        one, two = run_spec(spec), run_spec(spec)
+        assert one.parallel_mode == "process"
+        assert one.committed > 0
+        assert _virtual_digest(one) == _virtual_digest(two)
+
+    def test_subshard_backend_invariant(self):
+        # The pinned sub-shard contract: every partitioned backend yields
+        # the same serialization (serial may differ in same-instant tie
+        # order — see repro.sim.par.partition).
+        digests = {}
+        for backend in ("lockstep", "threads", "process"):
+            out = run_spec(replace(SUB, parallel_regions=3,
+                                   parallel_backend=backend))
+            assert out.parallel_mode == backend
+            digests[backend] = _virtual_digest(out)
+        assert digests["lockstep"] == digests["threads"] == digests["process"]
+
+
 class TestBenchSpeedupColumn:
     def _pair(self):
         base = TrialSpec(system="dast", workload="tpcc", num_regions=3,
@@ -125,3 +236,16 @@ class TestBenchSpeedupColumn:
         rows = [{"cached": False, "wall_clock_s": 5.0}]
         _attach_speedups(specs, rows)
         assert rows[0]["speedup_vs_serial"] is None
+
+    def test_process_backend_twin_pairs_with_serial(self):
+        # The serial row carries backend "auto"; the process twin must
+        # still match it (twin_key drops parallel_backend alongside
+        # parallel_regions).
+        specs = self._pair()
+        specs[1] = replace(specs[1], parallel_backend="process",
+                           label="twin-p3")
+        rows = [{"cached": False, "wall_clock_s": 12.0},
+                {"cached": False, "wall_clock_s": 6.0}]
+        _attach_speedups(specs, rows)
+        assert rows[1]["speedup_vs_serial"] == 2.0
+        assert rows[1]["speedup_source"] == "measured"
